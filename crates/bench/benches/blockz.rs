@@ -1,0 +1,30 @@
+//! Criterion: blockz (Snappy stand-in) compress/decompress throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dbdedup_storage::blockz;
+use dbdedup_util::dist::SplitMix64;
+use dbdedup_workloads::wikipedia::revision_chain;
+use std::hint::black_box;
+
+fn bench_blockz(c: &mut Criterion) {
+    let text = revision_chain(1, 3).pop().expect("one revision");
+    let mut rng = SplitMix64::new(4);
+    let random: Vec<u8> = (0..text.len()).map(|_| (rng.next_u64() & 0xff) as u8).collect();
+
+    let mut g = c.benchmark_group("blockz");
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("compress_text", |b| {
+        b.iter(|| black_box(blockz::compress(black_box(&text))));
+    });
+    g.bench_function("compress_random", |b| {
+        b.iter(|| black_box(blockz::compress(black_box(&random))));
+    });
+    let packed = blockz::compress(&text);
+    g.bench_function("decompress_text", |b| {
+        b.iter(|| black_box(blockz::decompress(black_box(&packed)).expect("valid")));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_blockz);
+criterion_main!(benches);

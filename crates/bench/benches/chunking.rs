@@ -1,0 +1,43 @@
+//! Criterion: content-defined chunking and sketch extraction throughput.
+//!
+//! Feature extraction is on the insert path, so its cost bounds dbDedup's
+//! ingest overhead (Fig. 12's "negligible throughput impact" relies on
+//! this being memory-bandwidth class).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbdedup_chunker::{ChunkerConfig, ContentChunker, SketchExtractor};
+use dbdedup_workloads::wikipedia::revision_chain;
+use std::hint::black_box;
+
+fn bench_chunking(c: &mut Criterion) {
+    let data = revision_chain(1, 7).pop().expect("one revision");
+    let mut g = c.benchmark_group("chunking");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for avg in [64usize, 1024, 4096] {
+        let chunker = ContentChunker::new(ChunkerConfig::with_avg(avg));
+        g.bench_with_input(BenchmarkId::new("cdc", avg), &data, |b, d| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                chunker.chunk_into(black_box(d), &mut out);
+                black_box(out.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_sketch(c: &mut Criterion) {
+    let data = revision_chain(1, 8).pop().expect("one revision");
+    let mut g = c.benchmark_group("sketch");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for avg in [64usize, 1024] {
+        let ex = SketchExtractor::new(ContentChunker::new(ChunkerConfig::with_avg(avg)), 8);
+        g.bench_with_input(BenchmarkId::new("top8", avg), &data, |b, d| {
+            b.iter(|| black_box(ex.extract(black_box(d))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_chunking, bench_sketch);
+criterion_main!(benches);

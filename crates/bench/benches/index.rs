@@ -1,0 +1,66 @@
+//! Criterion: feature-index operations — the fused lookup+insert on the
+//! dedup hot path, compared with the exact-dedup chunk index it replaces.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dbdedup_index::exact::{ChunkLocation, ExactChunkIndex};
+use dbdedup_index::{CuckooConfig, CuckooFeatureIndex};
+use dbdedup_util::dist::SplitMix64;
+use dbdedup_util::hash::sha1::sha1;
+use std::hint::black_box;
+
+fn bench_cuckoo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("feature_index");
+    let n = 10_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("cuckoo_lookup_insert_10k", |b| {
+        b.iter(|| {
+            let mut idx = CuckooFeatureIndex::new(CuckooConfig {
+                initial_buckets: 4096,
+                ..Default::default()
+            });
+            let mut rng = SplitMix64::new(1);
+            for i in 0..n {
+                black_box(idx.lookup_insert(rng.next_u64(), i as u32));
+            }
+            idx.len()
+        });
+    });
+    g.bench_function("cuckoo_hot_feature_10k", |b| {
+        // Repeated features: the candidate-list + LRU-eviction path.
+        b.iter(|| {
+            let mut idx = CuckooFeatureIndex::default();
+            for i in 0..n {
+                black_box(idx.lookup_insert(0xfeed_0000_0000_0000 | (i % 16) << 32, i as u32));
+            }
+            idx.len()
+        });
+    });
+    g.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exact_index");
+    let chunks: Vec<[u8; 20]> = {
+        let mut rng = SplitMix64::new(2);
+        (0..10_000)
+            .map(|_| sha1(&rng.next_u64().to_le_bytes()))
+            .collect()
+    };
+    g.throughput(Throughput::Elements(chunks.len() as u64));
+    g.bench_function("sha1_check_insert_10k", |b| {
+        b.iter(|| {
+            let mut idx = ExactChunkIndex::new();
+            for (i, d) in chunks.iter().enumerate() {
+                black_box(idx.check_insert(
+                    *d,
+                    ChunkLocation { record: i as u64, offset: 0, len: 64 },
+                ));
+            }
+            idx.len()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cuckoo, bench_exact);
+criterion_main!(benches);

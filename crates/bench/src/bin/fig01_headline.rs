@@ -1,0 +1,80 @@
+//! Fig. 1 — the headline result: compression ratio and index memory for
+//! Wikipedia data under five configurations: dbDedup (1 KiB, 64 B chunks),
+//! trad-dedup (4 KiB, 64 B chunks), and Snappy-class block compression.
+//!
+//! Paper values (20 GB Wikipedia sample): dbDedup/64B 37× (61× with
+//! Snappy) @ 45 MB index; trad-dedup/4KiB 2.3× (3.7×) @ 80 MB growing to
+//! 15× (24×) @ 780 MB at 64 B; Snappy alone 1.6×.
+
+use dbdedup_bench::{engine_for, run_inserts, scale};
+use dbdedup_core::baseline::TradDedup;
+use dbdedup_core::EngineConfig;
+use dbdedup_storage::blockz;
+use dbdedup_util::fmt::{format_bytes, format_ratio};
+use dbdedup_workloads::{Op, Wikipedia};
+
+fn main() {
+    let n = scale();
+    println!("Fig 1: Wikipedia compression ratio & index memory ({n} inserts)\n");
+    dbdedup_bench::header(&["config", "dedup ratio", "+blockz", "index mem"]);
+
+    // dbDedup at 1 KiB and 64 B chunks.
+    for chunk in [1024usize, 64] {
+        let mut cfg = EngineConfig::with_chunk_size(chunk);
+        cfg.min_benefit_bytes = 16;
+        let mut engine = engine_for(cfg);
+        let r = run_inserts(&mut engine, "wikipedia", Wikipedia::insert_only(n, 42));
+        // Post-dedup block compression: measure blockz on the post-dedup
+        // stored stream by compressing stored payload sizes is not direct;
+        // instead run the same config with block compression on.
+        let mut cfg2 = EngineConfig::with_chunk_size(chunk);
+        cfg2.min_benefit_bytes = 16;
+        cfg2.block_compression = true;
+        let mut engine2 = engine_for(cfg2);
+        let r2 = run_inserts(&mut engine2, "wikipedia", Wikipedia::insert_only(n, 42));
+        dbdedup_bench::row(&[
+            format!("dbDedup/{}", if chunk >= 1024 { "1KB" } else { "64B" }),
+            format_ratio(r.metrics.storage_ratio()),
+            format_ratio(r2.metrics.storage_ratio()),
+            format_bytes(r.metrics.index_bytes as u64),
+        ]);
+    }
+
+    // Traditional chunk dedup at 4 KiB and 64 B.
+    for chunk in [4096usize, 64] {
+        let mut trad = TradDedup::new(chunk);
+        let mut post_dedup_blockz_in = 0u64;
+        let mut post_dedup_blockz_out = 0u64;
+        for op in Wikipedia::insert_only(n, 42) {
+            if let Op::Insert { id, data } = op {
+                trad.ingest(id, &data);
+                // Sample block compression on the unique portion (every
+                // record's stored bytes approximate the post-dedup stream).
+                if post_dedup_blockz_in < 32 << 20 {
+                    post_dedup_blockz_in += data.len() as u64;
+                    post_dedup_blockz_out += blockz::compress(&data).len() as u64;
+                }
+            }
+        }
+        let s = trad.stats();
+        let blockz_factor = post_dedup_blockz_in as f64 / post_dedup_blockz_out as f64;
+        dbdedup_bench::row(&[
+            format!("trad/{}", if chunk >= 4096 { "4KB" } else { "64B" }),
+            format_ratio(s.ratio()),
+            format_ratio(s.ratio() * blockz_factor),
+            format_bytes(trad.index_bytes() as u64),
+        ]);
+    }
+
+    // Snappy-class block compression alone.
+    let mut engine = engine_for(EngineConfig::compression_only());
+    let r = run_inserts(&mut engine, "wikipedia", Wikipedia::insert_only(n, 42));
+    dbdedup_bench::row(&[
+        "blockz only".to_string(),
+        format_ratio(r.metrics.storage_ratio()),
+        format_ratio(r.metrics.storage_ratio()),
+        format_bytes(0),
+    ]);
+
+    println!("\npaper: dbDedup/64B 37x (61x w/ Snappy) @45MB; trad/64B 15x @780MB; Snappy 1.6x");
+}

@@ -1,0 +1,52 @@
+//! Fig. 2 — why similarity + delta beats exact chunk matching on database
+//! records: with small dispersed modifications, chunk-based dedup at KB
+//! granularity finds almost no duplicate chunks, while byte-level delta
+//! compression captures nearly all shared content.
+
+use dbdedup_core::baseline::TradDedup;
+use dbdedup_delta::DbDeltaEncoder;
+use dbdedup_util::dist::SplitMix64;
+use dbdedup_util::fmt::format_bytes;
+use dbdedup_util::ids::RecordId;
+
+fn main() {
+    // A 64 KiB record with 12 dispersed ~20-byte modifications — the
+    // scenario Fig. 2 illustrates.
+    let mut rng = SplitMix64::new(7);
+    let original: Vec<u8> = (0..64 << 10).map(|_| (rng.next_u64() % 26 + 97) as u8).collect();
+    let mut incoming = original.clone();
+    for _ in 0..12 {
+        let at = rng.next_index(incoming.len() - 24);
+        for b in incoming.iter_mut().skip(at).take(20) {
+            *b = (rng.next_u64() % 26 + 65) as u8;
+        }
+    }
+
+    println!("Fig 2: one 64 KiB record, 12 dispersed 20-byte edits\n");
+    dbdedup_bench::header(&["method", "stored bytes", "eliminated", "of record"]);
+
+    for chunk in [4096usize, 1024, 64] {
+        let mut t = TradDedup::new(chunk);
+        t.ingest(RecordId(1), &original);
+        let stored = t.ingest(RecordId(2), &incoming);
+        let pct = 100.0 * (1.0 - stored as f64 / incoming.len() as f64);
+        dbdedup_bench::row(&[
+            format!("chunk-dedup/{chunk}B"),
+            format_bytes(stored),
+            format_bytes(incoming.len() as u64 - stored.min(incoming.len() as u64)),
+            format!("{pct:.1}% saved"),
+        ]);
+    }
+
+    let enc = DbDeltaEncoder::default();
+    let delta = enc.encode(&original, &incoming);
+    let stored = delta.encoded_len() as u64;
+    let pct = 100.0 * (1.0 - stored as f64 / incoming.len() as f64);
+    dbdedup_bench::row(&[
+        "delta (dbDedup)".to_string(),
+        format_bytes(stored),
+        format_bytes(incoming.len() as u64 - stored),
+        format!("{pct:.1}% saved"),
+    ]);
+    println!("\npaper: delta compression identifies far finer-grained duplication (Fig 2)");
+}

@@ -1,0 +1,58 @@
+//! Fig. 7 — CDF of record sizes and the CDF weighted by each record's
+//! contribution to space saving, for all four workloads. The paper's
+//! observation: the 60% largest records account for ~90–95% of savings,
+//! motivating the adaptive size-based filter (§3.4.2).
+//!
+//! Space saving per record is measured by running dbDedup (no size
+//! filter) and attributing each insert's saving (`original − forward
+//! delta`) to its size bucket.
+
+use dbdedup_bench::scale;
+use dbdedup_core::{DedupEngine, EngineConfig, InsertOutcome};
+use dbdedup_util::stats::Cdf;
+use dbdedup_workloads::{standard_suite, Op};
+
+fn main() {
+    let n = scale();
+    println!("Fig 7: record-size CDF vs space-saving CDF ({n} inserts per workload)\n");
+
+    for mut wl in standard_suite(n, 42) {
+        let mut cfg = EngineConfig::default().without_size_filter();
+        cfg.min_benefit_bytes = 16;
+        let mut engine = DedupEngine::open_temp(cfg).expect("engine");
+        let mut count_cdf = Cdf::new();
+        let mut saving_cdf = Cdf::new();
+        let db = wl.db();
+        for op in &mut wl {
+            let Op::Insert { id, data } = op else { continue };
+            let size = data.len() as u64;
+            let outcome = engine.insert(db, id, &data).expect("insert");
+            let saving = match outcome {
+                InsertOutcome::Deduped { forward_bytes, .. } => {
+                    size.saturating_sub(forward_bytes as u64)
+                }
+                _ => 0,
+            };
+            count_cdf.add(size);
+            saving_cdf.add_weighted(size, saving as f64);
+        }
+        let p40 = count_cdf.quantile(0.40);
+        let saving_below_p40 = saving_cdf.fraction_at(p40);
+        println!("{}:", wl.name());
+        dbdedup_bench::header(&["percentile", "record size", "cum. #recs", "cum. saving"]);
+        for q in [0.2, 0.4, 0.6, 0.8, 0.95] {
+            let v = count_cdf.quantile(q);
+            dbdedup_bench::row(&[
+                format!("p{:.0}", q * 100.0),
+                format!("{v} B"),
+                format!("{:.1}%", 100.0 * q),
+                format!("{:.1}%", 100.0 * saving_cdf.fraction_at(v)),
+            ]);
+        }
+        println!(
+            "  records below the 40th size percentile contribute {:.1}% of savings\n",
+            100.0 * saving_below_p40
+        );
+    }
+    println!("paper: the 60% largest records account for ~90-95% of data reduction");
+}

@@ -1,0 +1,47 @@
+//! Fig. 11 — storage vs network compression, normalized.
+//!
+//! dbDedup compresses the replication stream (forward encoding) and local
+//! storage (backward encoding) from the same single encoding pass. Storage
+//! compression trails network compression slightly — overlapped encodings
+//! and lossy write-back evictions cost a little — but the paper measures
+//! the gap under 5% on every dataset.
+
+use dbdedup_bench::scale;
+use dbdedup_core::EngineConfig;
+use dbdedup_repl::ReplicaPair;
+use dbdedup_util::fmt::format_ratio;
+use dbdedup_workloads::{standard_suite, Op};
+
+fn main() {
+    let n = scale();
+    println!("Fig 11: storage vs network compression, dbDedup 64 B chunks ({n} inserts)\n");
+    dbdedup_bench::header(&["dataset", "storage", "network", "gap"]);
+
+    for mut wl in standard_suite(n, 42) {
+        let mut cfg = EngineConfig::with_chunk_size(64);
+        cfg.min_benefit_bytes = 16;
+        let mut pair = ReplicaPair::open_temp(cfg).expect("pair");
+        let db = wl.db();
+        let mut original = 0u64;
+        for op in &mut wl {
+            if let Op::Insert { id, data } = op {
+                original += data.len() as u64;
+                pair.primary.insert(db, id, &data).expect("insert");
+            }
+        }
+        pair.sync().expect("sync");
+        pair.flush_both().expect("flush");
+        let stored = pair.primary.store().stored_payload_bytes();
+        let net = pair.network_stats().bytes;
+        let storage_ratio = original as f64 / stored as f64;
+        let network_ratio = original as f64 / net as f64;
+        let gap = 100.0 * (1.0 - storage_ratio / network_ratio);
+        dbdedup_bench::row(&[
+            wl.name().to_string(),
+            format_ratio(storage_ratio),
+            format_ratio(network_ratio),
+            format!("{gap:+.1}%"),
+        ]);
+    }
+    println!("\npaper: storage trails network by under 5% on all four datasets");
+}

@@ -1,0 +1,81 @@
+//! Fig. 12 — runtime impact: throughput (a) and client latency CDF (b)
+//! for Original (no compression), dbDedup, and blockz/Snappy, across all
+//! four workload traces (with their paper read/write mixes).
+//!
+//! Paper: dbDedup imposes negligible overhead on throughput and the
+//! latency distribution; the 99.9%-tile difference is under 1%.
+
+use dbdedup_bench::{engine_for, run_trace, scale};
+use dbdedup_core::EngineConfig;
+use dbdedup_util::fmt::format_ops;
+use dbdedup_workloads::{Enron, MessageBoards, Op, StackExchange, Wikipedia, Workload};
+
+fn traces(n: usize, seed: u64) -> Vec<Box<dyn Workload<Item = Op>>> {
+    // The paper's read/write mixes, with read volume scaled down so runs
+    // finish quickly (ratios preserved in spirit; reads dominate).
+    vec![
+        Box::new(Wikipedia::mixed(n, 0.95, seed)),
+        Box::new(Enron::mixed(n, seed ^ 0x1111)),
+        Box::new(StackExchange::mixed(n, 0.95, seed ^ 0x2222)),
+        Box::new(MessageBoards::mixed(n, 1.0, seed ^ 0x3333)),
+    ]
+}
+
+fn main() {
+    let n = scale();
+    println!("Fig 12a: throughput (ops/s), mixed traces ({n} writes each)\n");
+    println!(
+        "note: this substrate is an in-process library, so the baseline lacks the\n         RPC/journal/page costs that dominate a real DBMS op (~0.1-10 ms on the\n         paper's disk-bound testbed). `added us/op` is the absolute dedup cost —\n         compare it against real per-op latencies to see the paper's `negligible`.\n"
+    );
+    dbdedup_bench::header(&["dataset", "original", "dbDedup", "blockz", "added us/op"]);
+
+    type ConfigRow = (&'static str, fn() -> EngineConfig);
+    let configs: [ConfigRow; 3] = [
+        ("original", EngineConfig::no_dedup),
+        ("dbdedup", || {
+            let mut c = EngineConfig::default();
+            c.min_benefit_bytes = 16;
+            c
+        }),
+        ("blockz", EngineConfig::compression_only),
+    ];
+
+    let mut latencies = Vec::new();
+    for wl_id in 0..4usize {
+        let mut tputs = Vec::new();
+        let mut name = String::new();
+        for (cfg_name, mk) in &configs {
+            let mut wl = traces(n, 42).into_iter().nth(wl_id).expect("workload");
+            name = wl.name().to_string();
+            let db = wl.db();
+            let mut engine = engine_for(mk());
+            let r = run_trace(&mut engine, db, &mut *wl);
+            tputs.push(r.throughput());
+            if *cfg_name != "blockz" {
+                latencies.push((name.clone(), cfg_name.to_string(), r.latency_ns));
+            }
+        }
+        let added_us = (1.0 / tputs[1] - 1.0 / tputs[0]) * 1e6;
+        dbdedup_bench::row(&[
+            name,
+            format_ops(tputs[0]),
+            format_ops(tputs[1]),
+            format_ops(tputs[2]),
+            format!("{added_us:+.1}"),
+        ]);
+    }
+
+    println!("\nFig 12b: client latency (µs)\n");
+    dbdedup_bench::header(&["dataset", "config", "p50", "p90", "p99", "p99.9"]);
+    for (dataset, cfg, hist) in &latencies {
+        dbdedup_bench::row(&[
+            dataset.clone(),
+            cfg.clone(),
+            format!("{:.1}", hist.quantile(0.50) as f64 / 1000.0),
+            format!("{:.1}", hist.quantile(0.90) as f64 / 1000.0),
+            format!("{:.1}", hist.quantile(0.99) as f64 / 1000.0),
+            format!("{:.1}", hist.quantile(0.999) as f64 / 1000.0),
+        ]);
+    }
+    println!("\npaper: dbDedup ≈ original on both throughput and full latency CDF");
+}

@@ -1,0 +1,149 @@
+//! # dbdedup-bench
+//!
+//! Experiment harnesses regenerating every table and figure of the
+//! paper's evaluation (§5). Each `src/bin/figNN_*.rs` binary prints the
+//! same rows/series the corresponding figure plots; `EXPERIMENTS.md` at
+//! the repository root records paper-vs-measured values.
+//!
+//! Scale is controlled with the `DBDEDUP_SCALE` environment variable (the
+//! number of insert operations per workload; default 2000). The paper ran
+//! multi-GiB corpora on a dedicated cluster; shapes and relative factors
+//! are stable from a few thousand records up.
+//!
+//! This library crate holds the shared driver: feeding workload traces
+//! into engines while tracking throughput and client latency.
+
+#![forbid(unsafe_code)]
+
+use dbdedup_core::{DedupEngine, EngineConfig, MetricsSnapshot};
+use dbdedup_util::ids::RecordId;
+use dbdedup_util::stats::LogHistogram;
+use dbdedup_workloads::Op;
+use std::time::Instant;
+
+/// Insert count per workload, from `DBDEDUP_SCALE` (default 2000).
+pub fn scale() -> usize {
+    std::env::var("DBDEDUP_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(2000)
+}
+
+/// Outcome of driving a trace through an engine.
+pub struct RunResult {
+    /// Final engine metrics.
+    pub metrics: MetricsSnapshot,
+    /// Wall-clock seconds.
+    pub elapsed: f64,
+    /// Operations executed.
+    pub ops: u64,
+    /// Client-visible latency per operation, nanoseconds.
+    pub latency_ns: LogHistogram,
+}
+
+impl RunResult {
+    /// Operations per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / self.elapsed
+        }
+    }
+}
+
+/// Drives a full trace (inserts + reads) through `engine`, pumping the
+/// write-back path with real elapsed time every few operations — the
+/// background-thread behaviour of the paper's integration.
+pub fn run_trace(
+    engine: &mut DedupEngine,
+    db: &str,
+    ops: impl Iterator<Item = Op>,
+) -> RunResult {
+    let start = Instant::now();
+    let mut latency = LogHistogram::new();
+    let mut count = 0u64;
+    let mut last_pump = Instant::now();
+    for op in ops {
+        let t0 = Instant::now();
+        match op {
+            Op::Insert { id, data } => {
+                engine.insert(db, id, &data).expect("insert");
+            }
+            Op::Read { id } => {
+                engine.read(id).expect("read");
+            }
+        }
+        latency.record(t0.elapsed().as_nanos() as u64);
+        count += 1;
+        if count.is_multiple_of(64) {
+            let dt = last_pump.elapsed().as_secs_f64();
+            last_pump = Instant::now();
+            engine.pump(dt, 32).expect("pump");
+        }
+    }
+    engine.flush_all_writebacks().expect("final flush");
+    RunResult {
+        metrics: engine.metrics(),
+        elapsed: start.elapsed().as_secs_f64(),
+        ops: count,
+        latency_ns: latency,
+    }
+}
+
+/// Ingests only the inserts of a trace (compression experiments).
+pub fn run_inserts(
+    engine: &mut DedupEngine,
+    db: &str,
+    ops: impl Iterator<Item = Op>,
+) -> RunResult {
+    run_trace(engine, db, ops.filter(|o| o.is_write()))
+}
+
+/// Builds an engine for one of the three Fig. 10/12 configurations.
+pub fn engine_for(config: EngineConfig) -> DedupEngine {
+    DedupEngine::open_temp(config).expect("temp engine")
+}
+
+/// Collects all insert payload sizes of a trace (Fig. 7 style analyses)
+/// without running an engine.
+pub fn insert_sizes(ops: impl Iterator<Item = Op>) -> Vec<(RecordId, usize)> {
+    ops.filter_map(|o| match o {
+        Op::Insert { id, data } => Some((id, data.len())),
+        _ => None,
+    })
+    .collect()
+}
+
+/// Prints a fixed-width table row.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", line.join("  "));
+}
+
+/// Prints a header row plus separator.
+pub fn header(cells: &[&str]) {
+    row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!("{}", "-".repeat(cells.len() * 16));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbdedup_workloads::Wikipedia;
+
+    #[test]
+    fn driver_runs_a_small_trace() {
+        let mut cfg = EngineConfig::default();
+        cfg.min_benefit_bytes = 16;
+        let mut e = engine_for(cfg);
+        let r = run_trace(&mut e, "wikipedia", Wikipedia::mixed(20, 0.5, 1));
+        assert!(r.ops >= 20);
+        assert!(r.throughput() > 0.0);
+        assert!(r.metrics.storage_ratio() >= 1.0);
+        assert!(r.latency_ns.count() == r.ops);
+    }
+
+    #[test]
+    fn insert_sizes_extracts_writes_only() {
+        let sizes = insert_sizes(Wikipedia::mixed(10, 0.5, 2));
+        assert_eq!(sizes.len(), 10);
+    }
+}

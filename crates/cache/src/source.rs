@@ -1,0 +1,262 @@
+//! The source record cache (§3.3.1).
+//!
+//! A byte-budgeted LRU over raw record contents. Its special insert path
+//! ([`SourceRecordCache::replace_or_insert`]) exploits the chain structure:
+//! when a new record supersedes a cached source (the chain head moves, or a
+//! hop base is replaced by a newer one at the same level), the old entry is
+//! *replaced* rather than kept alongside — an encoding chain only ever
+//! needs its head plus one hop base per level in cache, which is what keeps
+//! a 32 MiB budget effective over multi-GiB corpora.
+
+use bytes::Bytes;
+use dbdedup_util::hash::fx::FxHashMap;
+use dbdedup_util::ids::RecordId;
+use std::collections::BTreeMap;
+
+/// Hit/miss counters for Fig. 13a.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SourceCacheStats {
+    /// Lookups that found the record cached.
+    pub hits: u64,
+    /// Lookups that missed (require a DBMS read).
+    pub misses: u64,
+    /// Entries evicted to stay within the byte budget.
+    pub evictions: u64,
+}
+
+impl SourceCacheStats {
+    /// Fraction of lookups that missed, in `[0, 1]`.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    data: Bytes,
+    tick: u64,
+}
+
+/// Byte-budgeted LRU cache of raw record contents.
+#[derive(Debug)]
+pub struct SourceRecordCache {
+    map: FxHashMap<RecordId, CacheEntry>,
+    /// tick → record, for O(log n) LRU eviction.
+    order: BTreeMap<u64, RecordId>,
+    capacity_bytes: usize,
+    used_bytes: usize,
+    clock: u64,
+    stats: SourceCacheStats,
+}
+
+impl SourceRecordCache {
+    /// Creates a cache with the given byte budget (the paper uses 32 MiB).
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            map: FxHashMap::default(),
+            order: BTreeMap::new(),
+            capacity_bytes,
+            used_bytes: 0,
+            clock: 0,
+            stats: SourceCacheStats::default(),
+        }
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// The byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Number of cached records.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> SourceCacheStats {
+        self.stats
+    }
+
+    /// Whether `id` is cached, *without* touching recency or stats.
+    /// Used by cache-aware source selection to score candidates (§3.1.3).
+    pub fn contains(&self, id: RecordId) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    /// Fetches `id`, promoting it to most-recently-used. Counts a hit or
+    /// miss.
+    pub fn get(&mut self, id: RecordId) -> Option<Bytes> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.map.get_mut(&id) {
+            Some(e) => {
+                self.order.remove(&e.tick);
+                e.tick = clock;
+                self.order.insert(clock, id);
+                self.stats.hits += 1;
+                Some(e.data.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `id`, evicting LRU entries as needed.
+    pub fn insert(&mut self, id: RecordId, data: Bytes) {
+        self.remove(id);
+        if data.len() > self.capacity_bytes {
+            return; // an oversized record would evict everything for nothing
+        }
+        self.evict_to_fit(data.len());
+        self.clock += 1;
+        self.used_bytes += data.len();
+        self.order.insert(self.clock, id);
+        self.map.insert(id, CacheEntry { data, tick: self.clock });
+    }
+
+    /// Chain-aware insert: drops `replaces` (the superseded chain head or
+    /// hop base) and caches `id` in its place (§3.3.1).
+    pub fn replace_or_insert(&mut self, id: RecordId, data: Bytes, replaces: Option<RecordId>) {
+        if let Some(old) = replaces {
+            self.remove(old);
+        }
+        self.insert(id, data);
+    }
+
+    /// Removes `id` if cached; returns whether it was present.
+    pub fn remove(&mut self, id: RecordId) -> bool {
+        if let Some(e) = self.map.remove(&id) {
+            self.order.remove(&e.tick);
+            self.used_bytes -= e.data.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn evict_to_fit(&mut self, incoming: usize) {
+        while self.used_bytes + incoming > self.capacity_bytes {
+            let Some((&tick, &victim)) = self.order.iter().next() else { break };
+            self.order.remove(&tick);
+            let e = self.map.remove(&victim).expect("order and map agree");
+            self.used_bytes -= e.data.len();
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes(n: usize, fill: u8) -> Bytes {
+        Bytes::from(vec![fill; n])
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = SourceRecordCache::new(1024);
+        c.insert(RecordId(1), bytes(100, 1));
+        assert!(c.get(RecordId(1)).is_some());
+        assert!(c.get(RecordId(2)).is_none());
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert!((s.miss_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = SourceRecordCache::new(300);
+        c.insert(RecordId(1), bytes(100, 1));
+        c.insert(RecordId(2), bytes(100, 2));
+        c.insert(RecordId(3), bytes(100, 3));
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.get(RecordId(1)).is_some());
+        c.insert(RecordId(4), bytes(100, 4));
+        assert!(c.contains(RecordId(1)));
+        assert!(!c.contains(RecordId(2)), "LRU entry evicted");
+        assert!(c.contains(RecordId(3)));
+        assert!(c.contains(RecordId(4)));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_budget_respected() {
+        let mut c = SourceRecordCache::new(1000);
+        for i in 0..50u64 {
+            c.insert(RecordId(i), bytes(100, i as u8));
+        }
+        assert!(c.used_bytes() <= 1000);
+        assert_eq!(c.len(), 10);
+    }
+
+    #[test]
+    fn replace_or_insert_supersedes_chain_head() {
+        let mut c = SourceRecordCache::new(1000);
+        c.insert(RecordId(1), bytes(200, 1));
+        c.replace_or_insert(RecordId(2), bytes(200, 2), Some(RecordId(1)));
+        assert!(!c.contains(RecordId(1)), "old head replaced");
+        assert!(c.contains(RecordId(2)));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), 200);
+    }
+
+    #[test]
+    fn reinsert_updates_content_and_size() {
+        let mut c = SourceRecordCache::new(1000);
+        c.insert(RecordId(1), bytes(400, 1));
+        c.insert(RecordId(1), bytes(100, 9));
+        assert_eq!(c.used_bytes(), 100);
+        assert_eq!(c.get(RecordId(1)).unwrap(), bytes(100, 9));
+    }
+
+    #[test]
+    fn oversized_record_not_cached() {
+        let mut c = SourceRecordCache::new(100);
+        c.insert(RecordId(1), bytes(50, 1));
+        c.insert(RecordId(2), bytes(500, 2));
+        assert!(!c.contains(RecordId(2)));
+        assert!(c.contains(RecordId(1)), "existing entries survive oversized insert");
+    }
+
+    #[test]
+    fn contains_does_not_touch_stats_or_recency() {
+        let mut c = SourceRecordCache::new(200);
+        c.insert(RecordId(1), bytes(100, 1));
+        c.insert(RecordId(2), bytes(100, 2));
+        // `contains` on 1 must not promote it.
+        assert!(c.contains(RecordId(1)));
+        c.insert(RecordId(3), bytes(100, 3));
+        assert!(!c.contains(RecordId(1)), "1 was still LRU and must be evicted");
+        assert_eq!(c.stats().hits + c.stats().misses, 0);
+    }
+
+    #[test]
+    fn remove_frees_budget() {
+        let mut c = SourceRecordCache::new(100);
+        c.insert(RecordId(1), bytes(100, 1));
+        assert!(c.remove(RecordId(1)));
+        assert!(!c.remove(RecordId(1)));
+        assert_eq!(c.used_bytes(), 0);
+        c.insert(RecordId(2), bytes(100, 2));
+        assert!(c.contains(RecordId(2)));
+    }
+}

@@ -1,0 +1,289 @@
+//! The lossy write-back delta cache (§3.3.2).
+//!
+//! Backward encoding turns every insert into *two* writes: the new record
+//! plus the re-encoded source. The second write is special — skipping it
+//! merely leaves the source raw (pure compression loss, zero correctness
+//! loss) — so dbDedup buffers it here and flushes when I/O is idle:
+//!
+//! * entries are prioritized by **absolute space saving** (`raw_len −
+//!   delta_len`); idle flushes drain the most valuable deltas first,
+//! * on overflow the *least* valuable entry is discarded,
+//! * a client update to a record with a queued writeback invalidates the
+//!   entry (the delta would clobber the client's new data, §4.1 Update).
+
+use dbdedup_util::ids::RecordId;
+use std::collections::{BTreeSet, HashMap};
+
+/// A buffered backward-encoding writeback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingWriteback {
+    /// The record to be replaced by a delta.
+    pub target: RecordId,
+    /// The record the delta decodes against.
+    pub base: RecordId,
+    /// The encoded backward delta.
+    pub delta: Vec<u8>,
+    /// Bytes saved by applying this writeback (raw size − delta size).
+    pub space_saving: u64,
+}
+
+/// Counters for Fig. 13b and the storage-vs-network gap of Fig. 11.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WritebackCacheStats {
+    /// Writebacks accepted into the cache.
+    pub inserted: u64,
+    /// Writebacks flushed to storage.
+    pub flushed: u64,
+    /// Writebacks discarded by overflow (lost compression).
+    pub dropped: u64,
+    /// Writebacks invalidated by client updates.
+    pub invalidated: u64,
+    /// Space savings lost to drops, in bytes.
+    pub lost_savings: u64,
+}
+
+/// The lossy, saving-prioritized write-back cache.
+#[derive(Debug, Default)]
+pub struct WritebackCache {
+    entries: HashMap<RecordId, PendingWriteback>,
+    /// (space_saving, target) ordered ascending: first = cheapest to drop,
+    /// last = most valuable to flush.
+    priority: BTreeSet<(u64, RecordId)>,
+    capacity_bytes: usize,
+    used_bytes: usize,
+    stats: WritebackCacheStats,
+}
+
+impl WritebackCache {
+    /// Creates a cache with the given byte budget (the paper uses 8 MiB).
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self { capacity_bytes, ..Default::default() }
+    }
+
+    /// Number of buffered writebacks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes of buffered delta data.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> WritebackCacheStats {
+        self.stats
+    }
+
+    /// Whether a writeback for `target` is queued.
+    pub fn contains(&self, target: RecordId) -> bool {
+        self.entries.contains_key(&target)
+    }
+
+    /// Buffers a writeback. A newer writeback for the same target (e.g. a
+    /// hop upgrade superseding the ordinary delta) replaces the old one.
+    /// May drop the lowest-value entry (possibly the incoming one) to stay
+    /// within budget.
+    pub fn insert(&mut self, wb: PendingWriteback) {
+        self.stats.inserted += 1;
+        self.remove_entry(wb.target);
+        if wb.delta.len() > self.capacity_bytes {
+            // Hopeless: count as an overflow drop.
+            self.stats.dropped += 1;
+            self.stats.lost_savings += wb.space_saving;
+            return;
+        }
+        self.used_bytes += wb.delta.len();
+        self.priority.insert((wb.space_saving, wb.target));
+        self.entries.insert(wb.target, wb);
+        while self.used_bytes > self.capacity_bytes {
+            let &(_, victim) = self.priority.iter().next().expect("over budget implies entries");
+            let e = self.remove_entry(victim).expect("priority and entries agree");
+            self.stats.dropped += 1;
+            self.stats.lost_savings += e.space_saving;
+        }
+    }
+
+    /// Invalidates a queued writeback because the client updated `target`.
+    /// Returns whether an entry existed.
+    pub fn invalidate(&mut self, target: RecordId) -> bool {
+        if self.remove_entry(target).is_some() {
+            self.stats.invalidated += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Invalidates every queued writeback whose *decode base* is `base`.
+    ///
+    /// Required when a record's stored content is replaced in place (a
+    /// client update to an unreferenced record): pending deltas were
+    /// computed against the old content and would decode to garbage once
+    /// flushed against the new bytes. Returns how many entries dropped.
+    pub fn invalidate_by_base(&mut self, base: RecordId) -> usize {
+        let victims: Vec<RecordId> = self
+            .entries
+            .values()
+            .filter(|e| e.base == base)
+            .map(|e| e.target)
+            .collect();
+        for t in &victims {
+            self.remove_entry(*t);
+            self.stats.invalidated += 1;
+        }
+        victims.len()
+    }
+
+    /// Pops the most valuable writeback for flushing (I/O idle path).
+    pub fn pop_most_valuable(&mut self) -> Option<PendingWriteback> {
+        let &(_, target) = self.priority.iter().next_back()?;
+        let e = self.remove_entry(target).expect("priority and entries agree");
+        self.stats.flushed += 1;
+        Some(e)
+    }
+
+    /// Drains up to `max` writebacks in descending value order.
+    pub fn drain_idle(&mut self, max: usize) -> Vec<PendingWriteback> {
+        let mut out = Vec::with_capacity(max.min(self.entries.len()));
+        for _ in 0..max {
+            match self.pop_most_valuable() {
+                Some(e) => out.push(e),
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn remove_entry(&mut self, target: RecordId) -> Option<PendingWriteback> {
+        let e = self.entries.remove(&target)?;
+        self.priority.remove(&(e.space_saving, target));
+        self.used_bytes -= e.delta.len();
+        Some(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wb(target: u64, saving: u64, delta_len: usize) -> PendingWriteback {
+        PendingWriteback {
+            target: RecordId(target),
+            base: RecordId(target + 1),
+            delta: vec![0xd; delta_len],
+            space_saving: saving,
+        }
+    }
+
+    #[test]
+    fn flush_order_is_by_value() {
+        let mut c = WritebackCache::new(1 << 20);
+        c.insert(wb(1, 100, 10));
+        c.insert(wb(2, 900, 10));
+        c.insert(wb(3, 500, 10));
+        let drained = c.drain_idle(10);
+        let order: Vec<u64> = drained.iter().map(|e| e.target.get()).collect();
+        assert_eq!(order, vec![2, 3, 1], "most valuable first");
+        assert_eq!(c.stats().flushed, 3);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_least_valuable() {
+        let mut c = WritebackCache::new(25);
+        c.insert(wb(1, 100, 10));
+        c.insert(wb(2, 900, 10));
+        c.insert(wb(3, 500, 10)); // 30 bytes > 25 → drop target 1
+        assert!(!c.contains(RecordId(1)));
+        assert!(c.contains(RecordId(2)));
+        assert!(c.contains(RecordId(3)));
+        let s = c.stats();
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.lost_savings, 100);
+    }
+
+    #[test]
+    fn incoming_entry_can_be_the_victim() {
+        let mut c = WritebackCache::new(25);
+        c.insert(wb(1, 900, 10));
+        c.insert(wb(2, 800, 10));
+        c.insert(wb(3, 5, 10)); // least valuable is the newcomer
+        assert!(!c.contains(RecordId(3)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn replacement_for_same_target() {
+        let mut c = WritebackCache::new(1 << 20);
+        c.insert(wb(7, 100, 50));
+        c.insert(wb(7, 300, 20)); // hop upgrade supersedes
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), 20);
+        let e = c.pop_most_valuable().unwrap();
+        assert_eq!(e.space_saving, 300);
+    }
+
+    #[test]
+    fn invalidate_on_client_update() {
+        let mut c = WritebackCache::new(1 << 20);
+        c.insert(wb(5, 100, 10));
+        assert!(c.invalidate(RecordId(5)));
+        assert!(!c.invalidate(RecordId(5)));
+        assert!(c.is_empty());
+        assert_eq!(c.stats().invalidated, 1);
+    }
+
+    #[test]
+    fn invalidate_by_base_drops_dependents() {
+        let mut c = WritebackCache::new(1 << 20);
+        c.insert(PendingWriteback {
+            target: RecordId(1),
+            base: RecordId(9),
+            delta: vec![0; 10],
+            space_saving: 100,
+        });
+        c.insert(PendingWriteback {
+            target: RecordId(2),
+            base: RecordId(9),
+            delta: vec![0; 10],
+            space_saving: 200,
+        });
+        c.insert(PendingWriteback {
+            target: RecordId(3),
+            base: RecordId(8),
+            delta: vec![0; 10],
+            space_saving: 300,
+        });
+        assert_eq!(c.invalidate_by_base(RecordId(9)), 2);
+        assert!(!c.contains(RecordId(1)) && !c.contains(RecordId(2)));
+        assert!(c.contains(RecordId(3)), "unrelated base untouched");
+        assert_eq!(c.invalidate_by_base(RecordId(9)), 0);
+    }
+
+    #[test]
+    fn oversized_delta_rejected() {
+        let mut c = WritebackCache::new(100);
+        c.insert(wb(1, 1000, 500));
+        assert!(c.is_empty());
+        assert_eq!(c.stats().dropped, 1);
+    }
+
+    #[test]
+    fn equal_savings_ordering_stable_by_target() {
+        let mut c = WritebackCache::new(1 << 20);
+        c.insert(wb(10, 100, 5));
+        c.insert(wb(20, 100, 5));
+        let d = c.drain_idle(2);
+        assert_eq!(d.len(), 2);
+        // Both must come out exactly once regardless of tie order.
+        let mut t: Vec<u64> = d.iter().map(|e| e.target.get()).collect();
+        t.sort_unstable();
+        assert_eq!(t, vec![10, 20]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Content-defined chunking with Rabin fingerprints.
+//!
+//! A 48-byte window slides over the record; a chunk boundary is declared
+//! wherever the window's Rabin fingerprint matches a fixed bit pattern in
+//! its low `n` bits, yielding an expected chunk size of `2ⁿ` bytes. Minimum
+//! and maximum chunk sizes bound the tail of the geometric length
+//! distribution, exactly as in LBFS-lineage dedup systems.
+
+use dbdedup_util::hash::rabin::{RabinTables, RollingRabin};
+use std::sync::Arc;
+
+/// A chunk's position within its record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// Byte offset of the chunk start.
+    pub offset: usize,
+    /// Chunk length in bytes.
+    pub len: usize,
+}
+
+impl Chunk {
+    /// Borrows this chunk's bytes out of the whole record.
+    pub fn slice<'a>(&self, record: &'a [u8]) -> &'a [u8] {
+        &record[self.offset..self.offset + self.len]
+    }
+}
+
+/// Parameters controlling chunk-size distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkerConfig {
+    /// Target average chunk size; must be a power of two ≥ 16.
+    pub avg_size: usize,
+    /// Minimum chunk size (boundaries before this are suppressed).
+    pub min_size: usize,
+    /// Maximum chunk size (a boundary is forced here).
+    pub max_size: usize,
+    /// Rabin sliding-window width in bytes.
+    pub window: usize,
+}
+
+impl ChunkerConfig {
+    /// The conventional configuration for a given average chunk size:
+    /// `min = avg/4`, `max = avg*4`, 48-byte window (shrunk for tiny chunks).
+    pub fn with_avg(avg_size: usize) -> Self {
+        assert!(avg_size.is_power_of_two() && avg_size >= 16, "avg must be a power of two >= 16");
+        let window = 48.min(avg_size / 2).max(16);
+        Self {
+            avg_size,
+            min_size: (avg_size / 4).max(window),
+            max_size: avg_size * 4,
+            window,
+        }
+    }
+
+    /// dbDedup's default 1 KiB average chunk size.
+    pub fn db_dedup_default() -> Self {
+        Self::with_avg(1024)
+    }
+
+    /// The traditional-dedup default of 4 KiB average chunks.
+    pub fn trad_dedup_default() -> Self {
+        Self::with_avg(4096)
+    }
+
+    fn validate(&self) {
+        assert!(self.avg_size.is_power_of_two(), "avg_size must be a power of two");
+        assert!(self.min_size >= self.window, "min_size must cover the window");
+        assert!(self.max_size >= self.avg_size, "max_size must be >= avg_size");
+        assert!(self.min_size <= self.avg_size, "min_size must be <= avg_size");
+    }
+}
+
+/// A reusable content-defined chunker.
+///
+/// Construction builds the Rabin tables for the configured window, so create
+/// one chunker per configuration and share it (it is `Send + Sync`).
+#[derive(Debug, Clone)]
+pub struct ContentChunker {
+    config: ChunkerConfig,
+    tables: Arc<RabinTables>,
+    mask: u64,
+    magic: u64,
+}
+
+impl ContentChunker {
+    /// Creates a chunker for `config`.
+    pub fn new(config: ChunkerConfig) -> Self {
+        config.validate();
+        let bits = config.avg_size.trailing_zeros();
+        let mask = (1u64 << bits) - 1;
+        // A fixed non-zero pattern: all-zero windows (runs of identical
+        // bytes) hash to 0, so `magic = 0` would degenerate to min-size
+        // chunks on zero-filled regions.
+        let magic = 0x0078_35b1_ab5a_9c27 & mask;
+        Self {
+            tables: Arc::new(RabinTables::new(config.window)),
+            config,
+            mask,
+            magic,
+        }
+    }
+
+    /// The configuration this chunker was built with.
+    pub fn config(&self) -> &ChunkerConfig {
+        &self.config
+    }
+
+    /// Splits `data` into content-defined chunks covering it exactly.
+    ///
+    /// Records shorter than the minimum chunk size yield a single chunk.
+    pub fn chunk(&self, data: &[u8]) -> Vec<Chunk> {
+        let mut out = Vec::with_capacity(data.len() / self.config.avg_size + 1);
+        self.chunk_into(data, &mut out);
+        out
+    }
+
+    /// Like [`Self::chunk`] but reuses an output buffer.
+    pub fn chunk_into(&self, data: &[u8], out: &mut Vec<Chunk>) {
+        out.clear();
+        if data.is_empty() {
+            return;
+        }
+        let mut start = 0usize;
+        let mut roll = RollingRabin::new(&self.tables);
+        let mut pos = 0usize;
+        while pos < data.len() {
+            roll.roll(data[pos]);
+            let chunk_len = pos - start + 1;
+            let at_boundary = chunk_len >= self.config.min_size
+                && roll.window_full()
+                && (roll.hash() & self.mask) == self.magic;
+            if at_boundary || chunk_len >= self.config.max_size {
+                out.push(Chunk { offset: start, len: chunk_len });
+                start = pos + 1;
+                roll.reset();
+            }
+            pos += 1;
+        }
+        if start < data.len() {
+            out.push(Chunk { offset: start, len: data.len() - start });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbdedup_util::dist::SplitMix64;
+
+    fn random_bytes(n: usize, seed: u64) -> Vec<u8> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| (rng.next_u64() & 0xff) as u8).collect()
+    }
+
+    #[test]
+    fn chunks_cover_input_exactly() {
+        let c = ContentChunker::new(ChunkerConfig::with_avg(64));
+        let data = random_bytes(10_000, 1);
+        let chunks = c.chunk(&data);
+        let mut pos = 0;
+        for ch in &chunks {
+            assert_eq!(ch.offset, pos, "chunks must be contiguous");
+            assert!(ch.len > 0);
+            pos += ch.len;
+        }
+        assert_eq!(pos, data.len());
+    }
+
+    #[test]
+    fn size_bounds_respected() {
+        let cfg = ChunkerConfig::with_avg(64);
+        let c = ContentChunker::new(cfg);
+        let data = random_bytes(50_000, 2);
+        let chunks = c.chunk(&data);
+        for (i, ch) in chunks.iter().enumerate() {
+            assert!(ch.len <= cfg.max_size, "chunk {i} too large: {}", ch.len);
+            if i != chunks.len() - 1 {
+                assert!(ch.len >= cfg.min_size, "chunk {i} too small: {}", ch.len);
+            }
+        }
+    }
+
+    #[test]
+    fn average_size_in_expected_range() {
+        let cfg = ChunkerConfig::with_avg(256);
+        let c = ContentChunker::new(cfg);
+        let data = random_bytes(1 << 20, 3);
+        let chunks = c.chunk(&data);
+        let avg = data.len() / chunks.len();
+        // With min/max clamping the realized average sits near (and usually
+        // a bit above) the nominal average on random data.
+        assert!(
+            (cfg.avg_size / 2..cfg.avg_size * 3).contains(&avg),
+            "avg chunk size {avg} for nominal {}",
+            cfg.avg_size
+        );
+    }
+
+    #[test]
+    fn boundaries_are_content_defined() {
+        // Inserting bytes at the front must leave boundaries in the
+        // unmodified tail aligned to the same content.
+        let cfg = ChunkerConfig::with_avg(64);
+        let c = ContentChunker::new(cfg);
+        let tail = random_bytes(20_000, 4);
+        let mut shifted = random_bytes(137, 5);
+        shifted.extend_from_slice(&tail);
+
+        let a = c.chunk(&tail);
+        let b = c.chunk(&shifted);
+        // Collect boundary positions relative to the tail content.
+        let bounds_a: Vec<usize> = a.iter().map(|ch| ch.offset + ch.len).collect();
+        let bounds_b: Vec<usize> = b
+            .iter()
+            .map(|ch| ch.offset + ch.len)
+            .filter(|&e| e > 137 + 1000) // skip the perturbed prefix region
+            .map(|e| e - 137)
+            .collect();
+        // Most tail boundaries should appear in both chunkings.
+        let common = bounds_b.iter().filter(|e| bounds_a.contains(e)).count();
+        assert!(
+            common * 10 >= bounds_b.len() * 8,
+            "only {common}/{} boundaries realigned",
+            bounds_b.len()
+        );
+    }
+
+    #[test]
+    fn zero_filled_data_does_not_degenerate() {
+        let cfg = ChunkerConfig::with_avg(64);
+        let c = ContentChunker::new(cfg);
+        let data = vec![0u8; 100_000];
+        let chunks = c.chunk(&data);
+        // With a non-zero magic, zero regions produce max-size chunks, not
+        // min-size ones.
+        let avg = data.len() / chunks.len();
+        assert!(avg >= cfg.avg_size, "zero data collapsed to avg {avg}");
+    }
+
+    #[test]
+    fn tiny_and_empty_inputs() {
+        let c = ContentChunker::new(ChunkerConfig::with_avg(1024));
+        assert!(c.chunk(&[]).is_empty());
+        let one = c.chunk(&[42]);
+        assert_eq!(one, vec![Chunk { offset: 0, len: 1 }]);
+        let small = c.chunk(&random_bytes(100, 6));
+        assert_eq!(small.len(), 1);
+        assert_eq!(small[0].len, 100);
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = ContentChunker::new(ChunkerConfig::with_avg(128));
+        let data = random_bytes(30_000, 7);
+        assert_eq!(c.chunk(&data), c.chunk(&data));
+    }
+
+    #[test]
+    fn chunk_slice_accessor() {
+        let data = b"hello world".to_vec();
+        let ch = Chunk { offset: 6, len: 5 };
+        assert_eq!(ch.slice(&data), b"world");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_avg_rejected() {
+        let _ = ChunkerConfig::with_avg(1000);
+    }
+}

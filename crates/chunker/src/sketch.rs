@@ -1,0 +1,215 @@
+//! Similarity sketches via consistent sampling of chunk hashes.
+//!
+//! Every chunk gets a 64-bit MurmurHash *feature*; the record's sketch is
+//! the K largest distinct feature values. Because "largest by magnitude" is
+//! a property of the value itself (not of position), two records that share
+//! most content will — with high probability — share most of their top-K
+//! features, which is exactly the min-wise-independent trick behind Broder
+//! resemblance sketches. If two sketches intersect in ≥ 1 feature the
+//! records are considered similar (§3.1.1).
+
+use crate::cdc::{Chunk, ContentChunker};
+use dbdedup_util::hash::murmur3::murmur3_x64_128;
+
+/// Seed for chunk-feature hashing; fixed so sketches are stable across runs
+/// and across the primary/secondary pair.
+const FEATURE_SEED: u64 = 0x7d0d_edb9_51c3_4a2e;
+
+/// A record's similarity sketch: up to K distinct chunk-hash features,
+/// sorted descending (the "top-K by magnitude" consistent sample).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Sketch {
+    features: Vec<u64>,
+}
+
+impl Sketch {
+    /// The features, sorted descending.
+    pub fn features(&self) -> &[u64] {
+        &self.features
+    }
+
+    /// Number of features (≤ K).
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the sketch has no features (empty record).
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of features shared with another sketch.
+    ///
+    /// Both sketches are sorted descending, so this is a linear merge.
+    pub fn overlap(&self, other: &Sketch) -> usize {
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        while i < self.features.len() && j < other.features.len() {
+            match self.features[i].cmp(&other.features[j]) {
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+                // Descending order: advance the side with the larger value.
+                std::cmp::Ordering::Greater => i += 1,
+                std::cmp::Ordering::Less => j += 1,
+            }
+        }
+        n
+    }
+}
+
+/// Extracts sketches: chunk → MurmurHash → top-K consistent sample.
+#[derive(Debug, Clone)]
+pub struct SketchExtractor {
+    chunker: ContentChunker,
+    k: usize,
+}
+
+impl SketchExtractor {
+    /// Creates an extractor; the paper's default is `k = 8`.
+    pub fn new(chunker: ContentChunker, k: usize) -> Self {
+        assert!(k >= 1, "sketch must keep at least one feature");
+        Self { chunker, k }
+    }
+
+    /// The number of features kept per record.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The underlying chunker.
+    pub fn chunker(&self) -> &ContentChunker {
+        &self.chunker
+    }
+
+    /// Computes the feature hash of one chunk.
+    #[inline]
+    pub fn feature_of(&self, chunk_bytes: &[u8]) -> u64 {
+        murmur3_x64_128(chunk_bytes, FEATURE_SEED).0
+    }
+
+    /// Extracts the sketch of `record`.
+    pub fn extract(&self, record: &[u8]) -> Sketch {
+        let mut chunks = Vec::new();
+        self.chunker.chunk_into(record, &mut chunks);
+        self.extract_from_chunks(record, &chunks)
+    }
+
+    /// Extracts a sketch when the chunking is already available (avoids
+    /// re-chunking when the caller also needs per-chunk hashes).
+    pub fn extract_from_chunks(&self, record: &[u8], chunks: &[Chunk]) -> Sketch {
+        if record.is_empty() {
+            return Sketch::default();
+        }
+        let mut feats: Vec<u64> = chunks.iter().map(|c| self.feature_of(c.slice(record))).collect();
+        if feats.is_empty() {
+            feats.push(self.feature_of(record));
+        }
+        feats.sort_unstable_by(|a, b| b.cmp(a));
+        feats.dedup();
+        feats.truncate(self.k);
+        Sketch { features: feats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdc::ChunkerConfig;
+    use dbdedup_util::dist::SplitMix64;
+
+    fn extractor(avg: usize, k: usize) -> SketchExtractor {
+        SketchExtractor::new(ContentChunker::new(ChunkerConfig::with_avg(avg)), k)
+    }
+
+    fn random_bytes(n: usize, seed: u64) -> Vec<u8> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| (rng.next_u64() & 0xff) as u8).collect()
+    }
+
+    #[test]
+    fn sketch_bounded_by_k() {
+        let ex = extractor(64, 8);
+        let data = random_bytes(100_000, 1);
+        let s = ex.extract(&data);
+        assert_eq!(s.len(), 8);
+        // Sorted descending, distinct.
+        for w in s.features().windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn identical_records_identical_sketches() {
+        let ex = extractor(64, 8);
+        let data = random_bytes(20_000, 2);
+        assert_eq!(ex.extract(&data), ex.extract(&data));
+    }
+
+    #[test]
+    fn similar_records_share_features() {
+        let ex = extractor(64, 8);
+        let mut a = random_bytes(50_000, 3);
+        let mut b = a.clone();
+        // A small dispersed edit: overwrite 20 bytes in the middle.
+        for (i, byte) in b.iter_mut().skip(25_000).take(20).enumerate() {
+            *byte = i as u8;
+        }
+        a.truncate(a.len()); // no-op; keep clippy happy about mutability
+        let sa = ex.extract(&a);
+        let sb = ex.extract(&b);
+        assert!(
+            sa.overlap(&sb) >= 6,
+            "similar records overlap only {} of 8 features",
+            sa.overlap(&sb)
+        );
+    }
+
+    #[test]
+    fn unrelated_records_share_nothing() {
+        let ex = extractor(64, 8);
+        let sa = ex.extract(&random_bytes(50_000, 4));
+        let sb = ex.extract(&random_bytes(50_000, 5));
+        assert_eq!(sa.overlap(&sb), 0);
+    }
+
+    #[test]
+    fn tiny_record_gets_whole_record_feature() {
+        let ex = extractor(1024, 8);
+        let s = ex.extract(b"tiny");
+        assert_eq!(s.len(), 1);
+        let s2 = ex.extract(b"tiny");
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn empty_record_empty_sketch() {
+        let ex = extractor(1024, 8);
+        assert!(ex.extract(&[]).is_empty());
+    }
+
+    #[test]
+    fn overlap_is_symmetric() {
+        let ex = extractor(64, 8);
+        let a = ex.extract(&random_bytes(30_000, 6));
+        let mut data = random_bytes(30_000, 6);
+        data.extend_from_slice(&random_bytes(5_000, 7));
+        let b = ex.extract(&data);
+        assert_eq!(a.overlap(&b), b.overlap(&a));
+        assert!(a.overlap(&b) > 0);
+    }
+
+    #[test]
+    fn sketch_insensitive_to_prefix_shift() {
+        // Content-defined chunking should make the sketch robust to data
+        // shifting: prepend 100 bytes, most features survive.
+        let ex = extractor(64, 8);
+        let tail = random_bytes(50_000, 8);
+        let mut shifted = random_bytes(100, 9);
+        shifted.extend_from_slice(&tail);
+        let a = ex.extract(&tail);
+        let b = ex.extract(&shifted);
+        assert!(a.overlap(&b) >= 6, "overlap {} after shift", a.overlap(&b));
+    }
+}

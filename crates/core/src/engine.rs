@@ -1,0 +1,1145 @@
+//! The dbDedup engine: workflow, read path, update/delete semantics, and
+//! write-back flushing (Fig. 3 + §4.1 of the paper).
+
+use crate::config::EngineConfig;
+use crate::filter::SizeFilter;
+use crate::governor::{Governor, GovernorVerdict};
+use crate::metrics::{EngineMetrics, MetricsSnapshot};
+use bytes::Bytes;
+use dbdedup_cache::{PendingWriteback, SourceRecordCache, WritebackCache};
+use dbdedup_chunker::{ChunkerConfig, ContentChunker, SketchExtractor};
+use dbdedup_delta::ops::DeltaError;
+use dbdedup_delta::{reencode, DbDeltaConfig, DbDeltaEncoder, Delta};
+use dbdedup_encoding::{ChainManager, Writeback};
+use dbdedup_index::{CuckooConfig, PartitionedFeatureIndex};
+use dbdedup_storage::oplog::DurableOplog;
+use dbdedup_storage::store::{RecordStore, StorageForm, StoreConfig, StoreError};
+use dbdedup_storage::{IoMeter, Oplog, OplogEntry, OplogKind, OplogPayload};
+use dbdedup_util::hash::fx::FxHashMap;
+use dbdedup_util::ids::RecordId;
+
+/// Errors surfaced by engine operations.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Storage-layer failure.
+    Store(StoreError),
+    /// A stored delta failed to decode (data corruption).
+    Delta(DeltaError),
+    /// The record does not exist (or is deleted).
+    NotFound(RecordId),
+    /// An insert reused an existing record id.
+    DuplicateId(RecordId),
+    /// The durable oplog failed.
+    Oplog(std::io::Error),
+}
+
+/// In-memory or durable oplog, behind one interface.
+enum OplogBackend {
+    Mem(Oplog),
+    Durable(DurableOplog),
+}
+
+impl OplogBackend {
+    fn append(&mut self, kind: OplogKind) -> Result<(u64, usize), EngineError> {
+        match self {
+            OplogBackend::Mem(o) => Ok(o.append(kind)),
+            OplogBackend::Durable(o) => o.append(kind).map_err(EngineError::Oplog),
+        }
+    }
+
+    fn take_batch(&mut self, max_bytes: usize) -> Vec<OplogEntry> {
+        match self {
+            OplogBackend::Mem(o) => o.take_batch(max_bytes),
+            OplogBackend::Durable(o) => o.take_batch(max_bytes),
+        }
+    }
+
+    fn pending(&self) -> usize {
+        match self {
+            OplogBackend::Mem(o) => o.pending(),
+            OplogBackend::Durable(o) => o.pending(),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Store(e) => write!(f, "store: {e}"),
+            EngineError::Delta(e) => write!(f, "delta: {e}"),
+            EngineError::NotFound(id) => write!(f, "record {id} not found"),
+            EngineError::DuplicateId(id) => write!(f, "record {id} already exists"),
+            EngineError::Oplog(e) => write!(f, "oplog: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> Self {
+        EngineError::Store(e)
+    }
+}
+
+impl From<DeltaError> for EngineError {
+    fn from(e: DeltaError) -> Self {
+        EngineError::Delta(e)
+    }
+}
+
+/// What happened to an insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// A similar record was found; the insert was delta-encoded against it.
+    Deduped {
+        /// The selected source record.
+        source: RecordId,
+        /// Encoded forward-delta size in bytes.
+        forward_bytes: usize,
+    },
+    /// No (beneficial) similar record; stored raw.
+    Unique,
+    /// Below the size filter's threshold; dedup skipped.
+    BypassedSize,
+    /// The governor has disabled dedup for this database.
+    BypassedGovernor,
+    /// Dedup disabled in configuration.
+    Disabled,
+}
+
+/// Maps dense 4-byte index slots to record ids (the feature index stores
+/// slots, as the paper's index stores 4-byte record pointers).
+#[derive(Debug, Default)]
+struct SlotTable {
+    slots: Vec<Option<RecordId>>,
+    free: Vec<u32>,
+    by_record: FxHashMap<RecordId, u32>,
+}
+
+impl SlotTable {
+    fn assign(&mut self, id: RecordId) -> u32 {
+        if let Some(&s) = self.by_record.get(&id) {
+            return s;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(id);
+                s
+            }
+            None => {
+                self.slots.push(Some(id));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.by_record.insert(id, slot);
+        slot
+    }
+
+    fn get(&self, slot: u32) -> Option<RecordId> {
+        self.slots.get(slot as usize).copied().flatten()
+    }
+
+    fn release(&mut self, id: RecordId) {
+        if let Some(slot) = self.by_record.remove(&id) {
+            self.slots[slot as usize] = None;
+            self.free.push(slot);
+        }
+    }
+}
+
+/// The dbDedup engine. See module docs.
+pub struct DedupEngine {
+    config: EngineConfig,
+    store: RecordStore,
+    oplog: OplogBackend,
+    extractor: SketchExtractor,
+    encoder: DbDeltaEncoder,
+    index: PartitionedFeatureIndex,
+    chains: ChainManager,
+    source_cache: SourceRecordCache,
+    wb_cache: WritebackCache,
+    io: IoMeter,
+    governor: Governor,
+    filter: SizeFilter,
+    slots: SlotTable,
+    /// Client updates held aside while the old content serves as a decode
+    /// base (§4.1 Update); compacted when the refcount reaches zero.
+    shadow: FxHashMap<RecordId, Bytes>,
+    metrics: EngineMetrics,
+}
+
+impl std::fmt::Debug for DedupEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DedupEngine").field("records", &self.chains.len()).finish_non_exhaustive()
+    }
+}
+
+impl DedupEngine {
+    /// Creates an engine over an existing record store.
+    pub fn new(store: RecordStore, config: EngineConfig) -> Result<Self, EngineError> {
+        let chunker = ContentChunker::new(ChunkerConfig::with_avg(config.chunk_avg_size));
+        let extractor = SketchExtractor::new(chunker, config.sketch_k);
+        let encoder = DbDeltaEncoder::new(DbDeltaConfig::with_interval(config.anchor_interval));
+        let index = PartitionedFeatureIndex::new(CuckooConfig {
+            max_candidates: config.max_candidates_per_feature,
+            ..Default::default()
+        });
+        let oplog = match &config.oplog_path {
+            Some(path) => {
+                OplogBackend::Durable(DurableOplog::open(path).map_err(EngineError::Oplog)?)
+            }
+            None => OplogBackend::Mem(Oplog::new()),
+        };
+        // Restart over an existing store: rebuild chain topology and
+        // reference counts from the on-disk base pointers so deletes, GC
+        // and future encodes behave correctly. (The similarity index is
+        // in-memory by design — as in the paper — so recovered records are
+        // re-discovered only once new similar data arrives.)
+        let mut chains = ChainManager::new(config.encoding);
+        if !store.is_empty() {
+            chains.recover(store.live_forms().into_iter().map(|(id, form)| {
+                let base = match form {
+                    StorageForm::Raw => None,
+                    StorageForm::Delta { base } => Some(base),
+                };
+                (id, base)
+            }));
+        }
+        Ok(Self {
+            extractor,
+            encoder,
+            index,
+            chains,
+            source_cache: SourceRecordCache::new(config.source_cache_bytes),
+            wb_cache: WritebackCache::new(config.writeback_cache_bytes),
+            io: IoMeter::hdd_profile(),
+            governor: Governor::new(config.governor_min_ratio, config.governor_min_inserts),
+            filter: SizeFilter::new(config.filter_refresh_interval, config.filter_quantile),
+            slots: SlotTable::default(),
+            shadow: FxHashMap::default(),
+            metrics: EngineMetrics::default(),
+            oplog,
+            store,
+            config,
+        })
+    }
+
+    /// Creates an engine over a temporary store (tests, benches, examples).
+    pub fn open_temp(config: EngineConfig) -> Result<Self, EngineError> {
+        let store_cfg =
+            StoreConfig { block_compression: config.block_compression, ..Default::default() };
+        Self::new(RecordStore::open_temp(store_cfg)?, config)
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The underlying store (for size accounting in experiments).
+    pub fn store(&self) -> &RecordStore {
+        &self.store
+    }
+
+    // ------------------------------------------------------------------
+    // Insert path (Fig. 3)
+    // ------------------------------------------------------------------
+
+    /// Inserts a new record into logical database `db`.
+    pub fn insert(
+        &mut self,
+        db: &str,
+        id: RecordId,
+        data: &[u8],
+    ) -> Result<InsertOutcome, EngineError> {
+        if self.store.contains(id) {
+            return Err(EngineError::DuplicateId(id));
+        }
+        self.metrics.original_bytes += data.len() as u64;
+
+        if !self.config.dedup_enabled {
+            self.insert_unique(id, data)?;
+            return Ok(InsertOutcome::Disabled);
+        }
+        if self.governor.is_disabled(db) {
+            self.metrics.bypassed_governor += 1;
+            self.insert_unique(id, data)?;
+            return Ok(InsertOutcome::BypassedGovernor);
+        }
+        if self.filter.observe(db, data.len() as u64) {
+            self.metrics.bypassed_size += 1;
+            self.record_governor(db, data.len() as u64, data.len() as u64);
+            self.insert_unique(id, data)?;
+            return Ok(InsertOutcome::BypassedSize);
+        }
+
+        // ① Feature extraction.
+        let sketch = self.extractor.extract(data);
+        // ② Index lookup (and registration of the new record's features).
+        let slot = self.slots.assign(id);
+        let mut counts: FxHashMap<u32, u32> = FxHashMap::default();
+        {
+            let part = self.index.partition_mut(db);
+            for &feature in sketch.features() {
+                for cand in part.lookup_insert(feature, slot) {
+                    if cand != slot {
+                        *counts.entry(cand).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        // ③ Cache-aware source selection (§3.1.3).
+        let mut best: Option<(u32, RecordId)> = None;
+        for (&cand_slot, &feature_score) in &counts {
+            let Some(cand_id) = self.slots.get(cand_slot) else { continue };
+            if self.chains.is_deleted(cand_id) || !self.store.contains(cand_id) {
+                continue;
+            }
+            let mut score = feature_score;
+            if self.source_cache.contains(cand_id) {
+                score += self.config.cache_reward;
+            }
+            let better = match best {
+                None => true,
+                Some((bs, bid)) => score > bs || (score == bs && cand_id > bid),
+            };
+            if better {
+                best = Some((score, cand_id));
+            }
+        }
+        let Some((_, source)) = best else {
+            self.record_governor(db, data.len() as u64, data.len() as u64);
+            self.insert_unique_cached(id, data)?;
+            return Ok(InsertOutcome::Unique);
+        };
+
+        // ④ Delta compression (forward first, then re-encode backward).
+        let src_content = self.fetch_for_encode(source)?;
+        let forward = self.encoder.encode(&src_content, data);
+        let saved = data.len() as i64 - forward.encoded_len() as i64;
+        if saved < self.config.min_benefit_bytes as i64 {
+            self.record_governor(db, data.len() as u64, data.len() as u64);
+            self.insert_unique_cached(id, data)?;
+            return Ok(InsertOutcome::Unique);
+        }
+
+        let forward_bytes = forward.encoded_len();
+        self.record_governor(db, data.len() as u64, forward_bytes as u64);
+        self.apply_dedup_insert(id, source, data, &src_content, &forward, true)?;
+        self.metrics.deduped_inserts += 1;
+        self.metrics.forward_delta_bytes += forward_bytes as u64;
+        Ok(InsertOutcome::Deduped { source, forward_bytes })
+    }
+
+    fn record_governor(&mut self, db: &str, original: u64, stored: u64) {
+        if let GovernorVerdict::DisableNow = self.governor.record_insert(db, original, stored) {
+            self.index.drop_partition(db);
+        }
+    }
+
+    /// Shared dedup-insert machinery used by the primary insert path and by
+    /// the secondary's oplog re-encoder (§4.1): stores the new record raw,
+    /// extends the encoding chain, and queues backward writebacks.
+    /// `emit_oplog` is false on secondaries.
+    fn apply_dedup_insert(
+        &mut self,
+        id: RecordId,
+        source: RecordId,
+        data: &[u8],
+        src_content: &[u8],
+        forward: &Delta,
+        emit_oplog: bool,
+    ) -> Result<(), EngineError> {
+        if emit_oplog {
+            let (_, wire) = self.oplog.append(OplogKind::Insert {
+                id,
+                payload: OplogPayload::Forward {
+                    base: source,
+                    delta: Bytes::from(forward.encode()),
+                },
+            })?;
+            self.metrics.network_bytes += wire as u64;
+        }
+        self.store.put(id, StorageForm::Raw, data)?;
+        self.io.submit(1);
+        self.slots.assign(id);
+
+        let plan = self.chains.append(id, source);
+        for wb in &plan.writebacks {
+            // The selected source's backward delta comes free via
+            // re-encoding; other targets (hop upgrades) need their own pass
+            // against their cached/stored content.
+            let (content, delta) = if wb.target == source {
+                (Bytes::copy_from_slice(src_content), reencode(src_content, forward))
+            } else {
+                let c = self.fetch_for_encode(wb.target)?;
+                let d = self.encoder.encode(data, &c);
+                (c, d)
+            };
+            let enc = delta.encode();
+            let saving = content.len() as i64 - enc.len() as i64;
+            if saving > 0 {
+                if self.config.synchronous_writebacks {
+                    // Fig. 13b ablation: pay the extra write immediately.
+                    self.store.put(wb.target, StorageForm::Delta { base: id }, &enc)?;
+                    self.chains
+                        .commit_writeback(Writeback { target: wb.target, base: id });
+                    self.io.submit(1);
+                } else {
+                    self.wb_cache.insert(PendingWriteback {
+                        target: wb.target,
+                        base: id,
+                        delta: enc,
+                        space_saving: saving as u64,
+                    });
+                }
+            }
+            // An upgraded hop base won't be needed as an encode source
+            // again; release its cache residency.
+            if wb.target != source {
+                self.source_cache.remove(wb.target);
+            }
+        }
+
+        // Cache maintenance (§3.3.1): the new record supersedes the source
+        // as chain head — unless the source is a hop base still awaiting
+        // its upgrade, in which case it stays resident.
+        let src_level = self
+            .chains
+            .chain_index(source)
+            .map(|idx| self.chains.policy().level_of(idx))
+            .unwrap_or(0);
+        let replaces = if src_level >= 1 { None } else { Some(source) };
+        self.source_cache.replace_or_insert(id, Bytes::copy_from_slice(data), replaces);
+        Ok(())
+    }
+
+    fn insert_unique(&mut self, id: RecordId, data: &[u8]) -> Result<(), EngineError> {
+        let (_, wire) = self.oplog.append(OplogKind::Insert {
+            id,
+            payload: OplogPayload::Raw(Bytes::copy_from_slice(data)),
+        })?;
+        self.metrics.network_bytes += wire as u64;
+        self.store.put(id, StorageForm::Raw, data)?;
+        self.io.submit(1);
+        self.chains.start_chain(id);
+        self.metrics.unique_inserts += 1;
+        Ok(())
+    }
+
+    /// Unique insert that also seeds the source cache (a future similar
+    /// record will want this content).
+    fn insert_unique_cached(&mut self, id: RecordId, data: &[u8]) -> Result<(), EngineError> {
+        self.insert_unique(id, data)?;
+        self.source_cache.insert(id, Bytes::copy_from_slice(data));
+        Ok(())
+    }
+
+    /// Fetches a record's full content for use as a delta source: source
+    /// cache first, decode from storage on miss.
+    fn fetch_for_encode(&mut self, id: RecordId) -> Result<Bytes, EngineError> {
+        if let Some(c) = self.source_cache.get(id) {
+            return Ok(c);
+        }
+        self.metrics.source_disk_reads += 1;
+        self.decode_record(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Read path
+    // ------------------------------------------------------------------
+
+    /// Reads a record, decoding through its base chain if necessary, and
+    /// performing read-side GC of deleted bases (§4.1).
+    pub fn read(&mut self, id: RecordId) -> Result<Bytes, EngineError> {
+        if self.chains.is_deleted(id) {
+            return Err(EngineError::NotFound(id));
+        }
+        if let Some(s) = self.shadow.get(&id) {
+            return Ok(s.clone());
+        }
+        let (content, path, contents) = self.decode_with_path(id)?;
+        self.metrics.read_retrievals.record((path.len() - 1) as u64);
+        self.gc_on_path(&path, &contents)?;
+        Ok(content)
+    }
+
+    /// Decodes a record's content without GC or metrics (internal).
+    fn decode_record(&mut self, id: RecordId) -> Result<Bytes, EngineError> {
+        let (content, _, _) = self.decode_with_path(id)?;
+        Ok(content)
+    }
+
+    /// Walks base pointers to a raw record, then applies deltas back down.
+    /// Returns the content, the path `[id, …, raw]`, and each path node's
+    /// decoded content.
+    #[allow(clippy::type_complexity)]
+    fn decode_with_path(
+        &mut self,
+        id: RecordId,
+    ) -> Result<(Bytes, Vec<RecordId>, Vec<Bytes>), EngineError> {
+        let mut path = vec![id];
+        let mut deltas: Vec<Delta> = Vec::new();
+        let tail_content: Bytes;
+        loop {
+            let cur = *path.last().expect("path non-empty");
+            // Decode bases may be served from the source cache (§4.1 Read).
+            if cur != id {
+                if let Some(c) = self.source_cache.get(cur) {
+                    tail_content = c;
+                    break;
+                }
+            }
+            let sr = match self.store.get(cur) {
+                Ok(sr) => sr,
+                Err(StoreError::NotFound(_)) => return Err(EngineError::NotFound(cur)),
+                Err(e) => return Err(e.into()),
+            };
+            self.io.submit(1);
+            match sr.form {
+                StorageForm::Raw => {
+                    tail_content = sr.payload;
+                    break;
+                }
+                StorageForm::Delta { base } => {
+                    deltas.push(Delta::decode(&sr.payload)?);
+                    path.push(base);
+                }
+            }
+        }
+        // Unwind: contents[k] is the content of path[k].
+        let mut contents = vec![Bytes::new(); path.len()];
+        contents[path.len() - 1] = tail_content;
+        for k in (0..path.len() - 1).rev() {
+            let decoded = deltas[k].apply(&contents[k + 1])?;
+            contents[k] = Bytes::from(decoded);
+        }
+        Ok((contents[0].clone(), path, contents))
+    }
+
+    /// Read-side GC (§4.1): splice deleted records out of the decode path
+    /// and physically remove them once unreferenced.
+    fn gc_on_path(&mut self, path: &[RecordId], contents: &[Bytes]) -> Result<(), EngineError> {
+        for k in 1..path.len() {
+            let dead = path[k];
+            if !self.chains.is_deleted(dead) {
+                continue;
+            }
+            let neighbor = path[k - 1];
+            if k + 1 < path.len() {
+                // Re-encode the neighbor against the deleted record's base.
+                let new_base = path[k + 1];
+                let delta = self.encoder.encode(&contents[k + 1], &contents[k - 1]);
+                self.store.put(neighbor, StorageForm::Delta { base: new_base }, &delta.encode())?;
+                self.chains.splice_base(neighbor, new_base);
+            } else {
+                // The deleted record is the terminal raw base: the neighbor
+                // becomes raw itself.
+                self.store.put(neighbor, StorageForm::Raw, &contents[k - 1])?;
+                self.chains.clear_base(neighbor);
+            }
+            self.io.submit(1);
+            self.metrics.gc_spliced += 1;
+            self.try_remove_deleted(dead)?;
+            // The path below `dead` no longer reflects the stored topology;
+            // one splice per read keeps GC amortized (later reads continue).
+            break;
+        }
+        Ok(())
+    }
+
+    /// Physically removes a deleted record if nothing references it, then
+    /// cascades to its base.
+    fn try_remove_deleted(&mut self, id: RecordId) -> Result<(), EngineError> {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            if !self.chains.is_deleted(c) || self.chains.refcount(c) != 0 {
+                break;
+            }
+            let base = self.chains.base_of(c);
+            self.chains.remove(c);
+            self.store.delete(c)?;
+            self.slots.release(c);
+            self.shadow.remove(&c);
+            self.source_cache.remove(c);
+            self.wb_cache.invalidate(c);
+            // Compaction opportunity for a shadowed base whose refcount may
+            // have just dropped to zero; deletion cascade too.
+            if let Some(b) = base {
+                if self.chains.refcount(b) == 0 {
+                    self.compact_shadow(b)?;
+                }
+            }
+            cur = base;
+        }
+        Ok(())
+    }
+
+    /// If `id` holds a client update in the shadow table and is no longer a
+    /// decode base, fold the update into storage (§4.1 Update compaction).
+    fn compact_shadow(&mut self, id: RecordId) -> Result<(), EngineError> {
+        if self.chains.refcount(id) != 0 {
+            return Ok(());
+        }
+        if let Some(data) = self.shadow.remove(&id) {
+            // Same hazard as an in-place update: the stored content is
+            // about to change, so deltas based on the old bytes must go.
+            self.wb_cache.invalidate_by_base(id);
+            self.store.put(id, StorageForm::Raw, &data)?;
+            self.chains.clear_base(id);
+            self.io.submit(1);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Update / delete (§4.1)
+    // ------------------------------------------------------------------
+
+    /// Replaces a record's content.
+    pub fn update(&mut self, id: RecordId, data: &[u8]) -> Result<(), EngineError> {
+        self.apply_update(id, data, true)
+    }
+
+    fn apply_update(&mut self, id: RecordId, data: &[u8], emit_oplog: bool) -> Result<(), EngineError> {
+        if !self.store.contains(id) || self.chains.is_deleted(id) {
+            return Err(EngineError::NotFound(id));
+        }
+        // A queued writeback would clobber this update — invalidate (§4.1).
+        self.wb_cache.invalidate(id);
+        self.source_cache.remove(id);
+        if emit_oplog {
+            let (_, wire) = self.oplog.append(OplogKind::Update {
+                id,
+                payload: OplogPayload::Raw(Bytes::copy_from_slice(data)),
+            })?;
+            self.metrics.network_bytes += wire as u64;
+        }
+        self.metrics.original_bytes += data.len() as u64;
+        if self.chains.refcount(id) == 0 {
+            // In-place rewrite: queued deltas computed against the OLD
+            // content of this record (as their decode base) are now bogus.
+            self.wb_cache.invalidate_by_base(id);
+            self.store.put(id, StorageForm::Raw, data)?;
+            self.chains.clear_base(id);
+            self.shadow.remove(&id);
+            self.io.submit(1);
+        } else {
+            // Old content must survive as a decode base; hold the update
+            // aside until the refcount drains.
+            self.shadow.insert(id, Bytes::copy_from_slice(data));
+        }
+        Ok(())
+    }
+
+    /// Deletes a record. Content lingers (invisibly) while other records
+    /// decode through it.
+    pub fn delete(&mut self, id: RecordId) -> Result<(), EngineError> {
+        self.apply_delete(id, true)
+    }
+
+    fn apply_delete(&mut self, id: RecordId, emit_oplog: bool) -> Result<(), EngineError> {
+        if !self.store.contains(id) || self.chains.is_deleted(id) {
+            return Err(EngineError::NotFound(id));
+        }
+        self.wb_cache.invalidate(id);
+        self.source_cache.remove(id);
+        if emit_oplog {
+            let (_, wire) = self.oplog.append(OplogKind::Delete { id })?;
+            self.metrics.network_bytes += wire as u64;
+        }
+        self.chains.mark_deleted(id);
+        self.try_remove_deleted(id)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Write-back flushing (§3.3.2)
+    // ------------------------------------------------------------------
+
+    /// Advances the I/O clock by `seconds` and flushes writebacks while the
+    /// device is idle (up to `max` of them). Returns how many flushed.
+    pub fn pump(&mut self, seconds: f64, max: usize) -> Result<usize, EngineError> {
+        self.io.tick(seconds);
+        let mut n = 0;
+        while n < max && self.io.is_idle() {
+            if !self.flush_one_writeback()? {
+                break;
+            }
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Forces every queued writeback to disk (end-of-run accounting).
+    pub fn flush_all_writebacks(&mut self) -> Result<usize, EngineError> {
+        let mut n = 0;
+        while self.flush_one_writeback()? {
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Number of writebacks currently queued.
+    pub fn pending_writebacks(&self) -> usize {
+        self.wb_cache.len()
+    }
+
+    fn flush_one_writeback(&mut self) -> Result<bool, EngineError> {
+        let Some(wb) = self.wb_cache.pop_most_valuable() else {
+            return Ok(false);
+        };
+        // The world may have moved since this was queued.
+        if !self.store.contains(wb.target) || !self.store.contains(wb.base) {
+            return Ok(true);
+        }
+        self.store.put(wb.target, StorageForm::Delta { base: wb.base }, &wb.delta)?;
+        self.chains.commit_writeback(Writeback { target: wb.target, base: wb.base });
+        self.io.submit(1);
+        Ok(true)
+    }
+
+    // ------------------------------------------------------------------
+    // Replication plumbing
+    // ------------------------------------------------------------------
+
+    /// Takes a batch of unshipped oplog entries (primary side).
+    pub fn take_oplog_batch(&mut self, max_bytes: usize) -> Vec<OplogEntry> {
+        self.oplog.take_batch(max_bytes)
+    }
+
+    /// Unshipped oplog entries.
+    pub fn oplog_pending(&self) -> usize {
+        self.oplog.pending()
+    }
+
+    /// Applies one replicated oplog entry (secondary side, §4.1): decodes
+    /// forward-encoded inserts against local data and regenerates the same
+    /// backward deltas the primary stores.
+    pub fn apply_oplog_entry(&mut self, entry: &OplogEntry) -> Result<(), EngineError> {
+        match &entry.kind {
+            OplogKind::Insert { id, payload: OplogPayload::Raw(data) } => {
+                self.metrics.original_bytes += data.len() as u64;
+                self.store.put(*id, StorageForm::Raw, data)?;
+                self.io.submit(1);
+                self.chains.start_chain(*id);
+                self.metrics.unique_inserts += 1;
+                self.source_cache.insert(*id, data.clone());
+                Ok(())
+            }
+            OplogKind::Insert { id, payload: OplogPayload::Forward { base, delta } } => {
+                let src_content = self.fetch_for_encode(*base)?;
+                let forward = Delta::decode(delta)?;
+                let data = forward.apply(&src_content)?;
+                self.metrics.original_bytes += data.len() as u64;
+                self.metrics.deduped_inserts += 1;
+                self.apply_dedup_insert(*id, *base, &data, &src_content, &forward, false)
+            }
+            OplogKind::Update { id, payload } => {
+                let data = match payload {
+                    OplogPayload::Raw(d) => d.clone(),
+                    OplogPayload::Forward { base, delta } => {
+                        let src = self.fetch_for_encode(*base)?;
+                        Bytes::from(Delta::decode(delta)?.apply(&src)?)
+                    }
+                };
+                self.apply_update(*id, &data, false)
+            }
+            OplogKind::Delete { id } => self.apply_delete(*id, false),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Current compression ratio reported by the governor for `db`.
+    pub fn governor_ratio(&self, db: &str) -> f64 {
+        self.governor.ratio(db)
+    }
+
+    /// Whether the governor disabled `db`.
+    pub fn governor_disabled(&self, db: &str) -> bool {
+        self.governor.is_disabled(db)
+    }
+
+    /// The size filter's current threshold for `db`.
+    pub fn filter_threshold(&self, db: &str) -> u64 {
+        self.filter.threshold(db)
+    }
+
+    /// Current modeled I/O queue length (testing/diagnostics).
+    pub fn io_queue_len(&self) -> f64 {
+        self.io.queue_len()
+    }
+
+    /// Decode retrievals a read of `id` would need right now.
+    pub fn retrievals_for(&self, id: RecordId) -> Option<usize> {
+        self.chains.retrievals_for(id)
+    }
+
+    /// The chain manager (read-only; used by experiment harnesses).
+    pub fn chains(&self) -> &ChainManager {
+        &self.chains
+    }
+
+    /// A consistent snapshot of every figure-relevant metric.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            original_bytes: self.metrics.original_bytes,
+            stored_bytes: self.store.stored_payload_bytes(),
+            stored_uncompressed_bytes: self.store.stored_uncompressed_bytes(),
+            network_bytes: self.metrics.network_bytes,
+            index_bytes: self.index.accounted_bytes(),
+            deduped_inserts: self.metrics.deduped_inserts,
+            unique_inserts: self.metrics.unique_inserts,
+            bypassed_size: self.metrics.bypassed_size,
+            bypassed_governor: self.metrics.bypassed_governor,
+            source_cache: self.source_cache.stats(),
+            writeback_cache: self.wb_cache.stats(),
+            max_read_retrievals: self.metrics.read_retrievals.max(),
+            mean_read_retrievals: self.metrics.read_retrievals.mean(),
+            gc_spliced: self.metrics.gc_spliced,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbdedup_util::dist::SplitMix64;
+
+    fn engine() -> DedupEngine {
+        let mut cfg = EngineConfig::default();
+        cfg.min_benefit_bytes = 16;
+        DedupEngine::open_temp(cfg).expect("temp engine")
+    }
+
+    fn versioned_docs(n: usize, seed: u64) -> Vec<Vec<u8>> {
+        // A chain of revisions: each edit mutates a small dispersed region.
+        let mut rng = SplitMix64::new(seed);
+        let mut doc: Vec<u8> = (0..12_000).map(|_| (rng.next_u64() % 26 + 97) as u8).collect();
+        let mut out = vec![doc.clone()];
+        for _ in 1..n {
+            for _ in 0..5 {
+                let at = rng.next_index(doc.len() - 50);
+                for b in doc.iter_mut().skip(at).take(40) {
+                    *b = (rng.next_u64() % 26 + 97) as u8;
+                }
+            }
+            out.push(doc.clone());
+        }
+        out
+    }
+
+    #[test]
+    fn first_insert_is_unique() {
+        let mut e = engine();
+        let out = e.insert("db", RecordId(1), &versioned_docs(1, 1)[0]).unwrap();
+        assert_eq!(out, InsertOutcome::Unique);
+        assert_eq!(e.metrics().unique_inserts, 1);
+    }
+
+    #[test]
+    fn revision_dedups_against_predecessor() {
+        let mut e = engine();
+        let docs = versioned_docs(3, 2);
+        e.insert("db", RecordId(1), &docs[0]).unwrap();
+        let out = e.insert("db", RecordId(2), &docs[1]).unwrap();
+        match out {
+            InsertOutcome::Deduped { source, forward_bytes } => {
+                assert_eq!(source, RecordId(1));
+                assert!(forward_bytes < docs[1].len() / 10, "forward {} bytes", forward_bytes);
+            }
+            o => panic!("expected dedup, got {o:?}"),
+        }
+        let out = e.insert("db", RecordId(3), &docs[2]).unwrap();
+        assert!(matches!(out, InsertOutcome::Deduped { source: RecordId(2), .. }), "{out:?}");
+    }
+
+    #[test]
+    fn reads_return_exact_content_at_every_version() {
+        let mut e = engine();
+        let docs = versioned_docs(10, 3);
+        for (i, d) in docs.iter().enumerate() {
+            e.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        e.flush_all_writebacks().unwrap();
+        for (i, d) in docs.iter().enumerate() {
+            assert_eq!(&e.read(RecordId(i as u64)).unwrap()[..], &d[..], "version {i}");
+        }
+    }
+
+    #[test]
+    fn latest_version_reads_without_decoding() {
+        let mut e = engine();
+        let docs = versioned_docs(5, 4);
+        for (i, d) in docs.iter().enumerate() {
+            e.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        e.flush_all_writebacks().unwrap();
+        assert_eq!(e.retrievals_for(RecordId(4)), Some(0), "chain head stays raw");
+        assert!(e.retrievals_for(RecordId(0)).unwrap() > 0);
+    }
+
+    #[test]
+    fn storage_and_network_shrink() {
+        let mut e = engine();
+        let docs = versioned_docs(20, 5);
+        for (i, d) in docs.iter().enumerate() {
+            e.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        e.flush_all_writebacks().unwrap();
+        let m = e.metrics();
+        assert!(m.storage_ratio() > 5.0, "storage ratio {}", m.storage_ratio());
+        assert!(m.network_ratio() > 5.0, "network ratio {}", m.network_ratio());
+        assert_eq!(m.deduped_inserts, 19);
+    }
+
+    #[test]
+    fn unrelated_records_stay_unique() {
+        let mut e = engine();
+        let mut rng = SplitMix64::new(6);
+        for i in 0..5u64 {
+            let data: Vec<u8> = (0..20_000).map(|_| (rng.next_u64() & 0xff) as u8).collect();
+            let out = e.insert("db", RecordId(i), &data).unwrap();
+            assert_eq!(out, InsertOutcome::Unique, "record {i}");
+        }
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let mut e = engine();
+        e.insert("db", RecordId(1), b"some content long enough").unwrap();
+        assert!(matches!(
+            e.insert("db", RecordId(1), b"again"),
+            Err(EngineError::DuplicateId(RecordId(1)))
+        ));
+    }
+
+    #[test]
+    fn update_with_zero_refcount_applies_in_place() {
+        let mut e = engine();
+        let docs = versioned_docs(2, 7);
+        e.insert("db", RecordId(1), &docs[0]).unwrap();
+        e.insert("db", RecordId(2), &docs[1]).unwrap();
+        e.flush_all_writebacks().unwrap();
+        // Record 1 is encoded against 2; record 1 has refcount 0.
+        e.update(RecordId(1), b"fresh content").unwrap();
+        assert_eq!(&e.read(RecordId(1)).unwrap()[..], b"fresh content");
+        assert_eq!(&e.read(RecordId(2)).unwrap()[..], &docs[1][..]);
+    }
+
+    #[test]
+    fn update_with_references_shadows_until_compaction() {
+        let mut e = engine();
+        let docs = versioned_docs(2, 8);
+        e.insert("db", RecordId(1), &docs[0]).unwrap();
+        e.insert("db", RecordId(2), &docs[1]).unwrap();
+        e.flush_all_writebacks().unwrap();
+        // Record 2 is the decode base of record 1 (refcount 1).
+        e.update(RecordId(2), b"updated head").unwrap();
+        assert_eq!(&e.read(RecordId(2)).unwrap()[..], b"updated head");
+        // Record 1 still decodes to its original content.
+        assert_eq!(&e.read(RecordId(1)).unwrap()[..], &docs[0][..]);
+    }
+
+    #[test]
+    fn delete_unreferenced_removes_immediately() {
+        let mut e = engine();
+        e.insert("db", RecordId(1), &versioned_docs(1, 9)[0]).unwrap();
+        e.delete(RecordId(1)).unwrap();
+        assert!(matches!(e.read(RecordId(1)), Err(EngineError::NotFound(_))));
+        assert_eq!(e.store().len(), 0);
+    }
+
+    #[test]
+    fn delete_referenced_lingers_then_gc_on_read() {
+        let mut e = engine();
+        let docs = versioned_docs(3, 10);
+        for (i, d) in docs.iter().enumerate() {
+            e.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        e.flush_all_writebacks().unwrap();
+        // Chain: 0 ← 1 ← 2(raw). Delete 1 (it is 0's decode base).
+        e.delete(RecordId(1)).unwrap();
+        assert!(matches!(e.read(RecordId(1)), Err(EngineError::NotFound(_))));
+        // Reading 0 still works and triggers the splice.
+        assert_eq!(&e.read(RecordId(0)).unwrap()[..], &docs[0][..]);
+        assert!(e.metrics().gc_spliced >= 1);
+        // After the splice the deleted record is physically gone.
+        assert!(!e.store().contains(RecordId(1)));
+        // And record 0 still reads correctly through its new base.
+        assert_eq!(&e.read(RecordId(0)).unwrap()[..], &docs[0][..]);
+    }
+
+    #[test]
+    fn writebacks_flush_only_when_idle() {
+        let mut e = engine();
+        // Enough inserts that their own I/O keeps the queue above the
+        // idleness threshold.
+        let docs = versioned_docs(8, 11);
+        for (i, d) in docs.iter().enumerate() {
+            e.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        assert!(e.pending_writebacks() > 0);
+        assert!(e.io_queue_len() > 4.0, "insert I/O must leave the device busy");
+        // No time passes: the inserts' own I/O keeps the device busy.
+        let flushed = e.pump(0.0, 100).unwrap();
+        assert_eq!(flushed, 0, "busy device must defer writebacks");
+        // Idle period: flushing drains — and throttles itself, since each
+        // flushed writeback is itself I/O; repeated idle pumps finish it.
+        let flushed = e.pump(10.0, 100).unwrap();
+        assert!(flushed > 0);
+        let mut guard = 0;
+        while e.pending_writebacks() > 0 && guard < 100 {
+            e.pump(1.0, 100).unwrap();
+            guard += 1;
+        }
+        assert_eq!(e.pending_writebacks(), 0);
+    }
+
+    #[test]
+    fn dropped_writebacks_cost_only_compression() {
+        let mut cfg = EngineConfig::default();
+        cfg.min_benefit_bytes = 16;
+        cfg.writeback_cache_bytes = 1; // effectively drop everything
+        let mut e = DedupEngine::open_temp(cfg).unwrap();
+        let docs = versioned_docs(5, 12);
+        for (i, d) in docs.iter().enumerate() {
+            e.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        // All writebacks were dropped: every record still readable, raw.
+        for (i, d) in docs.iter().enumerate() {
+            assert_eq!(&e.read(RecordId(i as u64)).unwrap()[..], &d[..]);
+            assert_eq!(e.retrievals_for(RecordId(i as u64)), Some(0));
+        }
+        assert!(e.metrics().writeback_cache.dropped > 0);
+    }
+
+    #[test]
+    fn governor_disables_incompressible_db() {
+        let mut cfg = EngineConfig::default();
+        cfg.governor_min_inserts = 10;
+        cfg.filter_quantile = 0.0;
+        let mut e = DedupEngine::open_temp(cfg).unwrap();
+        let mut rng = SplitMix64::new(13);
+        let mut disabled_at = None;
+        for i in 0..20u64 {
+            let data: Vec<u8> = (0..5_000).map(|_| (rng.next_u64() & 0xff) as u8).collect();
+            let out = e.insert("rand", RecordId(i), &data).unwrap();
+            if out == InsertOutcome::BypassedGovernor && disabled_at.is_none() {
+                disabled_at = Some(i);
+            }
+        }
+        assert!(e.governor_disabled("rand"));
+        assert!(disabled_at.is_some(), "later inserts must bypass");
+        assert_eq!(e.metrics().index_bytes, 0, "partition dropped");
+    }
+
+    #[test]
+    fn size_filter_bypasses_small_records() {
+        let mut cfg = EngineConfig::default();
+        cfg.filter_refresh_interval = 10;
+        let mut e = DedupEngine::open_temp(cfg).unwrap();
+        let docs = versioned_docs(1, 14);
+        // Mix of large and tiny records to train the filter.
+        for i in 0..10u64 {
+            if i % 2 == 0 {
+                e.insert("db", RecordId(i), &docs[0]).unwrap();
+            } else {
+                e.insert("db", RecordId(i), b"tiny").unwrap();
+            }
+        }
+        // The trained threshold equals the tiny-record size (4 B); only
+        // records strictly below it bypass.
+        let out = e.insert("db", RecordId(100), b"x").unwrap();
+        assert_eq!(out, InsertOutcome::BypassedSize);
+        assert!(e.metrics().bypassed_size >= 1);
+    }
+
+    #[test]
+    fn inplace_update_invalidates_dependent_writebacks() {
+        // Regression: record N is inserted (queuing a writeback that
+        // re-encodes N-1 against N), then N is client-updated in place
+        // while the writeback is still queued. Flushing the stale delta
+        // against N's new content would corrupt N-1.
+        let mut e = engine();
+        let docs = versioned_docs(2, 99);
+        e.insert("db", RecordId(0), &docs[0]).unwrap();
+        e.insert("db", RecordId(1), &docs[1]).unwrap();
+        assert!(e.pending_writebacks() > 0, "writeback for record 0 queued");
+        // Record 1 has refcount 0 (nothing committed yet): in-place update.
+        e.update(RecordId(1), b"completely new content").unwrap();
+        e.flush_all_writebacks().unwrap();
+        // Record 0 must still decode to its original bytes.
+        assert_eq!(&e.read(RecordId(0)).unwrap()[..], &docs[0][..]);
+        assert_eq!(&e.read(RecordId(1)).unwrap()[..], b"completely new content");
+        assert!(e.metrics().writeback_cache.invalidated >= 1);
+    }
+
+    #[test]
+    fn secondary_replays_oplog_to_identical_content() {
+        let mut primary = engine();
+        let mut secondary = engine();
+        let docs = versioned_docs(10, 15);
+        for (i, d) in docs.iter().enumerate() {
+            primary.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        primary.update(RecordId(9), b"updated on primary").unwrap();
+        primary.delete(RecordId(0)).unwrap();
+        let batch = primary.take_oplog_batch(usize::MAX);
+        for entry in &batch {
+            secondary.apply_oplog_entry(entry).unwrap();
+        }
+        primary.flush_all_writebacks().unwrap();
+        secondary.flush_all_writebacks().unwrap();
+        for i in 1..9u64 {
+            assert_eq!(
+                &secondary.read(RecordId(i)).unwrap()[..],
+                &primary.read(RecordId(i)).unwrap()[..],
+                "record {i}"
+            );
+        }
+        assert_eq!(&secondary.read(RecordId(9)).unwrap()[..], b"updated on primary");
+        assert!(matches!(secondary.read(RecordId(0)), Err(EngineError::NotFound(_))));
+        // Storage footprints converge (same deltas, same raw heads).
+        assert_eq!(
+            primary.store().stored_payload_bytes(),
+            secondary.store().stored_payload_bytes()
+        );
+    }
+
+    #[test]
+    fn no_dedup_mode_stores_raw() {
+        let mut e = DedupEngine::open_temp(EngineConfig::no_dedup()).unwrap();
+        let docs = versioned_docs(5, 16);
+        for (i, d) in docs.iter().enumerate() {
+            assert_eq!(e.insert("db", RecordId(i as u64), d).unwrap(), InsertOutcome::Disabled);
+        }
+        let m = e.metrics();
+        assert!(m.storage_ratio() < 1.05, "no compression expected");
+        for (i, d) in docs.iter().enumerate() {
+            assert_eq!(&e.read(RecordId(i as u64)).unwrap()[..], &d[..]);
+        }
+    }
+
+    #[test]
+    fn hop_encoding_bounds_decode_depth() {
+        let mut cfg = EngineConfig::default();
+        cfg.min_benefit_bytes = 16;
+        cfg.encoding = dbdedup_encoding::EncodingPolicy::Hop { distance: 4, max_levels: 2 };
+        let mut e = DedupEngine::open_temp(cfg).unwrap();
+        let docs = versioned_docs(40, 17);
+        for (i, d) in docs.iter().enumerate() {
+            e.insert("db", RecordId(i as u64), d).unwrap();
+            e.flush_all_writebacks().unwrap();
+        }
+        let worst = (0..40u64).map(|i| e.retrievals_for(RecordId(i)).unwrap()).max().unwrap();
+        assert!(worst < 39, "hop encoding must beat the full backward walk: {worst}");
+        for (i, d) in docs.iter().enumerate() {
+            assert_eq!(&e.read(RecordId(i as u64)).unwrap()[..], &d[..], "version {i}");
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! The automatic deduplication governor (§3.4.1).
+//!
+//! Tracks the realized compression ratio per logical database. When a
+//! database has absorbed enough inserts and its ratio remains under the
+//! threshold, dedup is permanently disabled for it: future records bypass
+//! the workflow entirely and the database's feature-index partition is
+//! dropped. Already-encoded data stays intact, and a disabled database is
+//! never re-enabled (the paper observes per-workload redundancy to be
+//! stationary).
+
+use std::collections::HashMap;
+
+/// Per-database ingest accounting.
+#[derive(Debug, Default, Clone, Copy)]
+struct DbState {
+    original_bytes: u64,
+    stored_bytes: u64,
+    inserts: u64,
+    disabled: bool,
+}
+
+/// Decision produced after an insert is accounted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GovernorVerdict {
+    /// Keep deduplicating this database.
+    KeepGoing,
+    /// This insert tripped the disable condition: the caller should drop
+    /// the database's index partition.
+    DisableNow,
+    /// The database was already disabled.
+    AlreadyDisabled,
+}
+
+/// See module docs.
+#[derive(Debug)]
+pub struct Governor {
+    dbs: HashMap<String, DbState>,
+    min_ratio: f64,
+    min_inserts: u64,
+}
+
+impl Governor {
+    /// Creates a governor that disables a database whose ratio is below
+    /// `min_ratio` after `min_inserts` insertions.
+    pub fn new(min_ratio: f64, min_inserts: u64) -> Self {
+        Self { dbs: HashMap::new(), min_ratio, min_inserts }
+    }
+
+    /// Whether dedup is disabled for `db`.
+    pub fn is_disabled(&self, db: &str) -> bool {
+        self.dbs.get(db).is_some_and(|s| s.disabled)
+    }
+
+    /// The observed compression ratio for `db` (1.0 if unknown).
+    pub fn ratio(&self, db: &str) -> f64 {
+        match self.dbs.get(db) {
+            Some(s) if s.stored_bytes > 0 => s.original_bytes as f64 / s.stored_bytes as f64,
+            _ => 1.0,
+        }
+    }
+
+    /// Accounts one insert: `original` bytes arrived, `stored` bytes were
+    /// actually written (post-dedup). Returns the verdict.
+    pub fn record_insert(&mut self, db: &str, original: u64, stored: u64) -> GovernorVerdict {
+        let s = self.dbs.entry(db.to_string()).or_default();
+        if s.disabled {
+            return GovernorVerdict::AlreadyDisabled;
+        }
+        s.original_bytes += original;
+        s.stored_bytes += stored;
+        s.inserts += 1;
+        if s.inserts >= self.min_inserts {
+            let ratio = if s.stored_bytes == 0 {
+                f64::INFINITY
+            } else {
+                s.original_bytes as f64 / s.stored_bytes as f64
+            };
+            if ratio < self.min_ratio {
+                s.disabled = true;
+                return GovernorVerdict::DisableNow;
+            }
+        }
+        GovernorVerdict::KeepGoing
+    }
+
+    /// Inserts recorded for `db`.
+    pub fn inserts(&self, db: &str) -> u64 {
+        self.dbs.get(db).map_or(0, |s| s.inserts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disables_incompressible_database() {
+        let mut g = Governor::new(1.1, 10);
+        for i in 0..9 {
+            assert_eq!(g.record_insert("junk", 100, 100), GovernorVerdict::KeepGoing, "insert {i}");
+        }
+        assert_eq!(g.record_insert("junk", 100, 100), GovernorVerdict::DisableNow);
+        assert!(g.is_disabled("junk"));
+        assert_eq!(g.record_insert("junk", 100, 100), GovernorVerdict::AlreadyDisabled);
+    }
+
+    #[test]
+    fn keeps_compressible_database() {
+        let mut g = Governor::new(1.1, 5);
+        for _ in 0..100 {
+            assert_eq!(g.record_insert("wiki", 1000, 50), GovernorVerdict::KeepGoing);
+        }
+        assert!(!g.is_disabled("wiki"));
+        assert!((g.ratio("wiki") - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn databases_judged_independently() {
+        let mut g = Governor::new(1.1, 3);
+        g.record_insert("good", 1000, 100);
+        g.record_insert("bad", 100, 100);
+        g.record_insert("bad", 100, 100);
+        assert_eq!(g.record_insert("bad", 100, 100), GovernorVerdict::DisableNow);
+        assert!(!g.is_disabled("good"));
+    }
+
+    #[test]
+    fn ratio_exactly_at_threshold_survives() {
+        let mut g = Governor::new(1.1, 2);
+        g.record_insert("edge", 110, 100);
+        assert_eq!(g.record_insert("edge", 110, 100), GovernorVerdict::KeepGoing);
+        assert!(!g.is_disabled("edge"));
+    }
+
+    #[test]
+    fn unknown_db_defaults() {
+        let g = Governor::new(1.1, 10);
+        assert!(!g.is_disabled("nope"));
+        assert_eq!(g.ratio("nope"), 1.0);
+        assert_eq!(g.inserts("nope"), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Engine metrics: everything the paper's figures report.
+
+use dbdedup_cache::{SourceCacheStats, WritebackCacheStats};
+use dbdedup_util::stats::LogHistogram;
+
+/// Running counters maintained by the engine.
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    /// Original (pre-dedup, pre-compression) bytes ingested.
+    pub original_bytes: u64,
+    /// Bytes appended to the oplog wire format (network transfer volume).
+    pub network_bytes: u64,
+    /// Inserts that found a similar record and were delta-encoded.
+    pub deduped_inserts: u64,
+    /// Inserts stored raw because no (beneficial) similar record existed.
+    pub unique_inserts: u64,
+    /// Inserts bypassed by the size filter.
+    pub bypassed_size: u64,
+    /// Inserts bypassed because the governor disabled the database.
+    pub bypassed_governor: u64,
+    /// Total forward-delta bytes produced.
+    pub forward_delta_bytes: u64,
+    /// Source-record retrievals that needed a store read (cache misses are
+    /// also visible in `source_cache`).
+    pub source_disk_reads: u64,
+    /// Distribution of decode retrievals per read.
+    pub read_retrievals: LogHistogram,
+    /// Records garbage-collected on the read path.
+    pub gc_spliced: u64,
+}
+
+/// A point-in-time copy of every metric the figures need, combining engine
+/// counters with cache and store statistics.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Original bytes ingested.
+    pub original_bytes: u64,
+    /// Live stored payload bytes (post-dedup, post-compression).
+    pub stored_bytes: u64,
+    /// Live stored payload bytes before block compression.
+    pub stored_uncompressed_bytes: u64,
+    /// Oplog wire bytes (network transfer).
+    pub network_bytes: u64,
+    /// Feature-index memory (accounted, paper-style).
+    pub index_bytes: usize,
+    /// Deduped inserts.
+    pub deduped_inserts: u64,
+    /// Unique inserts.
+    pub unique_inserts: u64,
+    /// Size-filter bypasses.
+    pub bypassed_size: u64,
+    /// Governor bypasses.
+    pub bypassed_governor: u64,
+    /// Source cache statistics.
+    pub source_cache: SourceCacheStats,
+    /// Write-back cache statistics.
+    pub writeback_cache: WritebackCacheStats,
+    /// Worst decode retrievals observed on reads.
+    pub max_read_retrievals: u64,
+    /// Mean decode retrievals observed on reads.
+    pub mean_read_retrievals: f64,
+    /// Read-path GC splices performed.
+    pub gc_spliced: u64,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a JSON object (hand-rolled — every field is
+    /// numeric, so no escaping is needed). Handy for piping harness output
+    /// into plotting scripts.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"original_bytes\":{},\"stored_bytes\":{},",
+                "\"stored_uncompressed_bytes\":{},\"network_bytes\":{},",
+                "\"index_bytes\":{},\"deduped_inserts\":{},\"unique_inserts\":{},",
+                "\"bypassed_size\":{},\"bypassed_governor\":{},",
+                "\"storage_ratio\":{:.4},\"network_ratio\":{:.4},",
+                "\"dedup_only_ratio\":{:.4},\"source_cache_miss_ratio\":{:.4},",
+                "\"writebacks_flushed\":{},\"writebacks_dropped\":{},",
+                "\"max_read_retrievals\":{},\"mean_read_retrievals\":{:.4},",
+                "\"gc_spliced\":{}}}"
+            ),
+            self.original_bytes,
+            self.stored_bytes,
+            self.stored_uncompressed_bytes,
+            self.network_bytes,
+            self.index_bytes,
+            self.deduped_inserts,
+            self.unique_inserts,
+            self.bypassed_size,
+            self.bypassed_governor,
+            self.storage_ratio(),
+            self.network_ratio(),
+            self.dedup_only_ratio(),
+            self.source_cache.miss_ratio(),
+            self.writeback_cache.flushed,
+            self.writeback_cache.dropped,
+            self.max_read_retrievals,
+            self.mean_read_retrievals,
+            self.gc_spliced,
+        )
+    }
+
+    /// Storage compression ratio: original / stored.
+    pub fn storage_ratio(&self) -> f64 {
+        if self.stored_bytes == 0 {
+            1.0
+        } else {
+            self.original_bytes as f64 / self.stored_bytes as f64
+        }
+    }
+
+    /// Storage compression from dedup alone (before block compression).
+    pub fn dedup_only_ratio(&self) -> f64 {
+        if self.stored_uncompressed_bytes == 0 {
+            1.0
+        } else {
+            self.original_bytes as f64 / self.stored_uncompressed_bytes as f64
+        }
+    }
+
+    /// Network compression ratio: original / transferred.
+    pub fn network_ratio(&self) -> f64 {
+        if self.network_bytes == 0 {
+            1.0
+        } else {
+            self.original_bytes as f64 / self.network_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> MetricsSnapshot {
+        MetricsSnapshot {
+            original_bytes: 1000,
+            stored_bytes: 100,
+            stored_uncompressed_bytes: 200,
+            network_bytes: 50,
+            index_bytes: 48,
+            deduped_inserts: 9,
+            unique_inserts: 1,
+            bypassed_size: 0,
+            bypassed_governor: 0,
+            source_cache: SourceCacheStats::default(),
+            writeback_cache: WritebackCacheStats::default(),
+            max_read_retrievals: 0,
+            mean_read_retrievals: 0.0,
+            gc_spliced: 0,
+        }
+    }
+
+    #[test]
+    fn ratios() {
+        let s = snap();
+        assert!((s.storage_ratio() - 10.0).abs() < 1e-9);
+        assert!((s.dedup_only_ratio() - 5.0).abs() < 1e-9);
+        assert!((s.network_ratio() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let mut s = snap();
+        s.stored_bytes = 0;
+        s.network_bytes = 0;
+        s.stored_uncompressed_bytes = 0;
+        assert_eq!(s.storage_ratio(), 1.0);
+        assert_eq!(s.network_ratio(), 1.0);
+        assert_eq!(s.dedup_only_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,350 @@
+//! The COPY/INSERT instruction model and its wire format.
+//!
+//! A delta reconstructs a *target* byte string from a *source*: COPY
+//! instructions reference `(offset, len)` ranges of the source, INSERT
+//! instructions carry literal bytes. The wire format is deliberately lean —
+//! its framing overhead competes byte-for-byte against the space savings
+//! dedup produces:
+//!
+//! ```text
+//! delta     := varint(target_len) op*
+//! op        := 0x01 varint(src_off) varint(len)        ; COPY
+//!            | 0x00 varint(len) byte{len}              ; INSERT
+//! ```
+
+use dbdedup_util::codec::{varint_len, ByteReader, ByteWriter, CodecError};
+
+/// Minimum COPY length worth emitting: below this the instruction framing
+/// outweighs the bytes saved, so encoders fold short copies into the
+/// neighbouring INSERT.
+pub const MIN_COPY_LEN: usize = 8;
+
+/// One delta instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Copy `len` bytes starting at `src_off` in the source.
+    Copy {
+        /// Offset into the source record.
+        src_off: usize,
+        /// Number of bytes to copy.
+        len: usize,
+    },
+    /// Append literal bytes to the target.
+    Insert(Vec<u8>),
+}
+
+impl DeltaOp {
+    /// Bytes of target output this op produces.
+    pub fn output_len(&self) -> usize {
+        match self {
+            DeltaOp::Copy { len, .. } => *len,
+            DeltaOp::Insert(d) => d.len(),
+        }
+    }
+
+    /// Encoded size of this op on the wire.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            DeltaOp::Copy { src_off, len } => 1 + varint_len(*src_off as u64) + varint_len(*len as u64),
+            DeltaOp::Insert(d) => 1 + varint_len(d.len() as u64) + d.len(),
+        }
+    }
+}
+
+/// A complete delta: the instruction stream plus the expected target length.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Delta {
+    ops: Vec<DeltaOp>,
+    target_len: usize,
+}
+
+/// Errors surfaced when applying or decoding a delta.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// A COPY range fell outside the provided source.
+    CopyOutOfBounds {
+        /// Offset requested.
+        src_off: usize,
+        /// Length requested.
+        len: usize,
+        /// Actual source length.
+        src_len: usize,
+    },
+    /// The reconstructed target length did not match the header.
+    LengthMismatch {
+        /// Length declared in the delta header.
+        expected: usize,
+        /// Length actually produced.
+        actual: usize,
+    },
+    /// The wire bytes were malformed.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::CopyOutOfBounds { src_off, len, src_len } => {
+                write!(f, "COPY [{src_off}, {src_off}+{len}) out of bounds for source of {src_len} bytes")
+            }
+            DeltaError::LengthMismatch { expected, actual } => {
+                write!(f, "delta produced {actual} bytes, header declared {expected}")
+            }
+            DeltaError::Codec(e) => write!(f, "malformed delta: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl From<CodecError> for DeltaError {
+    fn from(e: CodecError) -> Self {
+        DeltaError::Codec(e)
+    }
+}
+
+impl Delta {
+    /// Builds a delta from raw ops, normalizing as it goes:
+    /// * adjacent INSERTs are merged,
+    /// * adjacent COPYs contiguous in the source are merged,
+    /// * COPYs shorter than [`MIN_COPY_LEN`] are *not* rewritten here (the
+    ///   encoders handle that — they have the target bytes at hand).
+    pub fn from_ops(ops: Vec<DeltaOp>) -> Self {
+        let mut norm: Vec<DeltaOp> = Vec::with_capacity(ops.len());
+        let mut target_len = 0usize;
+        for op in ops {
+            if op.output_len() == 0 {
+                continue;
+            }
+            target_len += op.output_len();
+            match (norm.last_mut(), op) {
+                (Some(DeltaOp::Insert(prev)), DeltaOp::Insert(data)) => {
+                    prev.extend_from_slice(&data);
+                }
+                (
+                    Some(DeltaOp::Copy { src_off: po, len: pl }),
+                    DeltaOp::Copy { src_off, len },
+                ) if *po + *pl == src_off => {
+                    *pl += len;
+                }
+                (_, op) => norm.push(op),
+            }
+        }
+        Self { ops: norm, target_len }
+    }
+
+    /// A delta that is a single literal INSERT (no source reference).
+    ///
+    /// Used when no similar record is found but the caller still wants a
+    /// uniform representation.
+    pub fn literal(data: &[u8]) -> Self {
+        if data.is_empty() {
+            return Self::default();
+        }
+        Self { ops: vec![DeltaOp::Insert(data.to_vec())], target_len: data.len() }
+    }
+
+    /// The instructions.
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.ops
+    }
+
+    /// Length of the target this delta reconstructs.
+    pub fn target_len(&self) -> usize {
+        self.target_len
+    }
+
+    /// Total bytes produced by COPY instructions (the "matched" volume).
+    pub fn copied_len(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                DeltaOp::Copy { len, .. } => *len,
+                DeltaOp::Insert(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Size of this delta on the wire.
+    pub fn encoded_len(&self) -> usize {
+        varint_len(self.target_len as u64) + self.ops.iter().map(DeltaOp::encoded_len).sum::<usize>()
+    }
+
+    /// Serializes to the wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(self.encoded_len());
+        w.put_varint(self.target_len as u64);
+        for op in &self.ops {
+            match op {
+                DeltaOp::Copy { src_off, len } => {
+                    w.put_u8(0x01);
+                    w.put_varint(*src_off as u64);
+                    w.put_varint(*len as u64);
+                }
+                DeltaOp::Insert(data) => {
+                    w.put_u8(0x00);
+                    w.put_len_prefixed(data);
+                }
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Parses the wire format.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DeltaError> {
+        let mut r = ByteReader::new(bytes);
+        let target_len = r.get_varint()? as usize;
+        let mut ops = Vec::new();
+        let mut produced = 0usize;
+        while !r.is_empty() {
+            match r.get_u8()? {
+                0x01 => {
+                    let src_off = r.get_varint()? as usize;
+                    let len = r.get_varint()? as usize;
+                    produced += len;
+                    ops.push(DeltaOp::Copy { src_off, len });
+                }
+                0x00 => {
+                    let data = r.get_len_prefixed()?;
+                    produced += data.len();
+                    ops.push(DeltaOp::Insert(data.to_vec()));
+                }
+                t => return Err(CodecError::InvalidTag(t).into()),
+            }
+        }
+        if produced != target_len {
+            return Err(DeltaError::LengthMismatch { expected: target_len, actual: produced });
+        }
+        Ok(Self { ops, target_len })
+    }
+
+    /// Reconstructs the target from `source`.
+    pub fn apply(&self, source: &[u8]) -> Result<Vec<u8>, DeltaError> {
+        // `target_len` may come from an untrusted wire header; cap the
+        // pre-allocation and let growth follow actual output.
+        let mut out = Vec::with_capacity(self.target_len.min(1 << 20));
+        for op in &self.ops {
+            match op {
+                DeltaOp::Copy { src_off, len } => {
+                    let end = src_off.checked_add(*len).filter(|&e| e <= source.len()).ok_or(
+                        DeltaError::CopyOutOfBounds { src_off: *src_off, len: *len, src_len: source.len() },
+                    )?;
+                    out.extend_from_slice(&source[*src_off..end]);
+                }
+                DeltaOp::Insert(data) => out.extend_from_slice(data),
+            }
+        }
+        if out.len() != self.target_len {
+            return Err(DeltaError::LengthMismatch { expected: self.target_len, actual: out.len() });
+        }
+        Ok(out)
+    }
+
+    /// Fraction of the target covered by COPYs, in `[0, 1]`.
+    pub fn copy_fraction(&self) -> f64 {
+        if self.target_len == 0 {
+            return 0.0;
+        }
+        self.copied_len() as f64 / self.target_len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_roundtrip() {
+        let d = Delta::literal(b"hello world");
+        assert_eq!(d.apply(b"ignored source").unwrap(), b"hello world");
+        let d2 = Delta::decode(&d.encode()).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn copy_and_insert_apply() {
+        let src = b"abcdefghij";
+        let d = Delta::from_ops(vec![
+            DeltaOp::Copy { src_off: 0, len: 5 },
+            DeltaOp::Insert(b"XYZ".to_vec()),
+            DeltaOp::Copy { src_off: 5, len: 5 },
+        ]);
+        assert_eq!(d.apply(src).unwrap(), b"abcdeXYZfghij");
+        assert_eq!(d.target_len(), 13);
+        assert_eq!(d.copied_len(), 10);
+    }
+
+    #[test]
+    fn normalization_merges_adjacent() {
+        let d = Delta::from_ops(vec![
+            DeltaOp::Insert(b"ab".to_vec()),
+            DeltaOp::Insert(b"cd".to_vec()),
+            DeltaOp::Copy { src_off: 0, len: 4 },
+            DeltaOp::Copy { src_off: 4, len: 4 },
+            DeltaOp::Copy { src_off: 20, len: 4 },
+            DeltaOp::Insert(Vec::new()),
+        ]);
+        assert_eq!(
+            d.ops(),
+            &[
+                DeltaOp::Insert(b"abcd".to_vec()),
+                DeltaOp::Copy { src_off: 0, len: 8 },
+                DeltaOp::Copy { src_off: 20, len: 4 },
+            ]
+        );
+    }
+
+    #[test]
+    fn copy_out_of_bounds_detected() {
+        let d = Delta::from_ops(vec![DeltaOp::Copy { src_off: 5, len: 10 }]);
+        let err = d.apply(b"short").unwrap_err();
+        assert!(matches!(err, DeltaError::CopyOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn decode_rejects_bad_tag() {
+        let mut bytes = Delta::literal(b"x").encode();
+        bytes.push(0x7f);
+        assert!(matches!(Delta::decode(&bytes), Err(DeltaError::Codec(CodecError::InvalidTag(0x7f)))));
+    }
+
+    #[test]
+    fn decode_rejects_length_mismatch() {
+        let mut w = ByteWriter::new();
+        w.put_varint(100); // claims 100 bytes
+        w.put_u8(0x00);
+        w.put_len_prefixed(b"only five"); // produces 9
+        assert!(matches!(
+            Delta::decode(w.as_slice()),
+            Err(DeltaError::LengthMismatch { expected: 100, actual: 9 })
+        ));
+    }
+
+    #[test]
+    fn empty_delta() {
+        let d = Delta::default();
+        assert_eq!(d.apply(b"src").unwrap(), Vec::<u8>::new());
+        assert_eq!(Delta::decode(&d.encode()).unwrap(), d);
+        assert_eq!(d.copy_fraction(), 0.0);
+    }
+
+    #[test]
+    fn encoded_len_is_exact() {
+        let d = Delta::from_ops(vec![
+            DeltaOp::Copy { src_off: 1_000_000, len: 300 },
+            DeltaOp::Insert(vec![7; 200]),
+        ]);
+        assert_eq!(d.encoded_len(), d.encode().len());
+    }
+
+    #[test]
+    fn overlapping_copies_allowed() {
+        // COPY ranges may overlap in the source — each is independent.
+        let src = b"abcdef";
+        let d = Delta::from_ops(vec![
+            DeltaOp::Copy { src_off: 0, len: 4 },
+            DeltaOp::Copy { src_off: 2, len: 4 },
+        ]);
+        assert_eq!(d.apply(src).unwrap(), b"abcdcdef");
+    }
+}

@@ -1,0 +1,126 @@
+//! Encoding policies and hop-level arithmetic.
+
+/// How an encoding chain lays out deltas on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodingPolicy {
+    /// Standard backward encoding: each record is encoded against its
+    /// immediate successor; only the chain head is raw.
+    Backward,
+    /// Hop encoding (§3.2.2): records at chain index divisible by
+    /// `distance^ℓ` are level-ℓ hop bases, encoded against the next record
+    /// of level ≥ ℓ. `max_levels` caps the number of hop levels (the paper
+    /// observes ≤ 3 in practice).
+    Hop {
+        /// Minimum interval between hop bases (H).
+        distance: u64,
+        /// Number of hop levels above level 0.
+        max_levels: u32,
+    },
+    /// Version jumping (prior art): chains are cut into clusters of
+    /// `cluster` records; the last record of each cluster (the *reference
+    /// version*) stays raw, the rest are backward-encoded.
+    VersionJumping {
+        /// Cluster size (H in the paper's comparison).
+        cluster: u64,
+    },
+}
+
+impl EncodingPolicy {
+    /// The paper's default: hop encoding with distance 16, three levels.
+    pub fn default_hop() -> Self {
+        EncodingPolicy::Hop { distance: 16, max_levels: 3 }
+    }
+
+    /// Number of pending-slot levels this policy needs (level 0 plus hop
+    /// levels).
+    pub fn levels(&self) -> usize {
+        match self {
+            EncodingPolicy::Backward | EncodingPolicy::VersionJumping { .. } => 1,
+            EncodingPolicy::Hop { max_levels, .. } => *max_levels as usize + 1,
+        }
+    }
+
+    /// The hop level of chain index `idx` under this policy.
+    ///
+    /// Level 0 for ordinary records; under hop encoding, the largest
+    /// `ℓ ≤ max_levels` such that `distance^ℓ` divides `idx`. Index 0 (the
+    /// chain's first record) gets the maximum level — it is the ultimate
+    /// ancestor and should only be re-encoded against a top-level base.
+    pub fn level_of(&self, idx: u64) -> u32 {
+        match self {
+            EncodingPolicy::Backward | EncodingPolicy::VersionJumping { .. } => 0,
+            EncodingPolicy::Hop { distance, max_levels } => {
+                if idx == 0 {
+                    return *max_levels;
+                }
+                let mut level = 0;
+                let mut step = *distance;
+                while level < *max_levels && idx.is_multiple_of(step) {
+                    level += 1;
+                    step = step.saturating_mul(*distance);
+                }
+                level
+            }
+        }
+    }
+
+    /// Whether a record at chain index `idx` is a version-jumping reference
+    /// version (stored raw permanently).
+    pub fn is_reference_version(&self, idx: u64) -> bool {
+        match self {
+            EncodingPolicy::VersionJumping { cluster } => idx % cluster == cluster - 1,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_levels_match_fig6() {
+        // Fig 6: chain R0..R16, H = 4. Expected levels:
+        // R0 → max, R4/R8/R12 → 1, R16 → 2, others → 0.
+        let p = EncodingPolicy::Hop { distance: 4, max_levels: 2 };
+        assert_eq!(p.level_of(0), 2);
+        for i in [1u64, 2, 3, 5, 6, 7, 9, 15] {
+            assert_eq!(p.level_of(i), 0, "index {i}");
+        }
+        for i in [4u64, 8, 12] {
+            assert_eq!(p.level_of(i), 1, "index {i}");
+        }
+        assert_eq!(p.level_of(16), 2);
+        assert_eq!(p.level_of(32), 2);
+        assert_eq!(p.level_of(64), 2, "levels capped at max_levels");
+    }
+
+    #[test]
+    fn backward_is_flat() {
+        let p = EncodingPolicy::Backward;
+        assert_eq!(p.levels(), 1);
+        assert_eq!(p.level_of(0), 0);
+        assert_eq!(p.level_of(100), 0);
+    }
+
+    #[test]
+    fn version_jumping_references() {
+        let p = EncodingPolicy::VersionJumping { cluster: 4 };
+        assert!(!p.is_reference_version(0));
+        assert!(p.is_reference_version(3));
+        assert!(p.is_reference_version(7));
+        assert!(!p.is_reference_version(8));
+        assert!(!EncodingPolicy::default_hop().is_reference_version(15));
+    }
+
+    #[test]
+    fn default_hop_parameters() {
+        match EncodingPolicy::default_hop() {
+            EncodingPolicy::Hop { distance, max_levels } => {
+                assert_eq!(distance, 16);
+                assert_eq!(max_levels, 3);
+            }
+            _ => panic!("wrong default"),
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests over chain-manager invariants under arbitrary
+//! append/commit/delete interleavings.
+
+use dbdedup_encoding::{ChainManager, EncodingPolicy};
+use dbdedup_util::ids::RecordId;
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = EncodingPolicy> {
+    prop_oneof![
+        Just(EncodingPolicy::Backward),
+        (2u64..6, 1u32..4).prop_map(|(d, l)| EncodingPolicy::Hop { distance: d, max_levels: l }),
+        (2u64..9).prop_map(|c| EncodingPolicy::VersionJumping { cluster: c }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Build a chain of arbitrary length under an arbitrary policy,
+    /// committing an arbitrary subset of writebacks. Invariants:
+    /// decode paths terminate; the head is always raw; refcounts equal the
+    /// number of committed base pointers; every record decodes.
+    #[test]
+    fn chain_invariants(policy in arb_policy(), n in 1u64..120, commit_mask in any::<u64>()) {
+        let mut m = ChainManager::new(policy);
+        let mut plans = vec![m.start_chain(RecordId(0))];
+        for i in 1..n {
+            plans.push(m.append(RecordId(i), RecordId(i - 1)));
+        }
+        let mut committed = 0u64;
+        for (k, p) in plans.into_iter().enumerate() {
+            if commit_mask >> (k % 64) & 1 == 1 {
+                for wb in p.writebacks {
+                    m.commit_writeback(wb);
+                    committed += 1;
+                }
+            }
+        }
+        // Head raw.
+        prop_assert_eq!(m.base_of(RecordId(n - 1)), None);
+        // Refcount bookkeeping: total refcounts == live base pointers.
+        let total_bases = (0..n).filter(|&i| m.base_of(RecordId(i)).is_some()).count() as u32;
+        let total_refs: u32 = (0..n).map(|i| m.refcount(RecordId(i))).sum();
+        prop_assert_eq!(total_refs, total_bases);
+        // Every decode path terminates at a raw record.
+        for i in 0..n {
+            let path = m.decode_path(RecordId(i)).expect("tracked");
+            let last = *path.last().unwrap();
+            prop_assert_eq!(m.base_of(last), None, "path of {} ends raw", i);
+            // Paths only move to newer records (acyclic by construction).
+            for w in path.windows(2) {
+                prop_assert!(w[1] > w[0]);
+            }
+        }
+        // Note: some committed writebacks may have been superseded by hop
+        // upgrades re-pointing the same target, so committed >= total_bases.
+        prop_assert!(committed >= u64::from(total_bases));
+    }
+
+    /// Deleting from the tail inward with removal cascades never breaks
+    /// surviving records' decode paths.
+    #[test]
+    fn delete_cascade_safety(n in 2u64..60, delete_from in 0u64..60) {
+        let mut m = ChainManager::new(EncodingPolicy::default_hop());
+        let mut plans = vec![m.start_chain(RecordId(0))];
+        for i in 1..n {
+            plans.push(m.append(RecordId(i), RecordId(i - 1)));
+        }
+        for p in plans {
+            for wb in p.writebacks {
+                m.commit_writeback(wb);
+            }
+        }
+        let start = delete_from.min(n - 1);
+        // Mark a suffix deleted; physically remove those with refcount 0,
+        // in reverse order (as GC would).
+        for i in (0..=start).rev() {
+            let id = RecordId(i);
+            if m.refcount(id) == 0 && !m.is_deleted(id) {
+                m.mark_deleted(id);
+                m.remove(id);
+            }
+        }
+        // All remaining records still decode to a raw terminus.
+        for i in 0..n {
+            if m.decode_path(RecordId(i)).is_none() {
+                continue; // removed
+            }
+            let path = m.decode_path(RecordId(i)).unwrap();
+            prop_assert_eq!(m.base_of(*path.last().unwrap()), None);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! The exact-match chunk index used by the traditional-dedup baseline.
+//!
+//! Exact dedup must index **every unique chunk** under a
+//! collision-resistant identity: a collision silently substitutes one
+//! chunk's bytes for another's, so SHA-1's 20 bytes cannot be shrunk the
+//! way dbDedup shrinks features to 2-byte checksums. The resulting memory
+//! curve — linear in unique chunks, exploding as chunk size drops — is the
+//! counterpoint in Figs. 1 and 10.
+
+use dbdedup_util::hash::fx::FxHashMap;
+use dbdedup_util::hash::sha1::Sha1Digest;
+
+/// Accounted bytes per index entry: 20-byte SHA-1 key + 8-byte location.
+pub const ENTRY_ACCOUNTED_BYTES: usize = 28;
+
+/// Where a previously stored chunk lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkLocation {
+    /// The record that first contained the chunk.
+    pub record: u64,
+    /// Byte offset of the chunk within that record.
+    pub offset: u32,
+    /// Chunk length.
+    pub len: u32,
+}
+
+/// Global chunk-hash index: SHA-1 → first-seen location.
+#[derive(Debug, Default, Clone)]
+pub struct ExactChunkIndex {
+    map: FxHashMap<Sha1Digest, ChunkLocation>,
+}
+
+impl ExactChunkIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of unique chunks indexed.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no chunks are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Accounted index memory: unique chunks × 28 bytes.
+    pub fn accounted_bytes(&self) -> usize {
+        self.map.len() * ENTRY_ACCOUNTED_BYTES
+    }
+
+    /// Checks whether `digest` is a known chunk; if not, registers it at
+    /// `location`. Returns the prior location for duplicates, `None` for
+    /// unique chunks.
+    pub fn check_insert(&mut self, digest: Sha1Digest, location: ChunkLocation) -> Option<ChunkLocation> {
+        match self.map.entry(digest) {
+            std::collections::hash_map::Entry::Occupied(e) => Some(*e.get()),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(location);
+                None
+            }
+        }
+    }
+
+    /// Read-only duplicate probe.
+    pub fn get(&self, digest: &Sha1Digest) -> Option<ChunkLocation> {
+        self.map.get(digest).copied()
+    }
+
+    /// Drops every entry (used when the governor disables a database).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.map.shrink_to_fit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbdedup_util::hash::sha1::sha1;
+
+    fn loc(r: u64) -> ChunkLocation {
+        ChunkLocation { record: r, offset: 0, len: 64 }
+    }
+
+    #[test]
+    fn unique_then_duplicate() {
+        let mut idx = ExactChunkIndex::new();
+        let d = sha1(b"some chunk content");
+        assert_eq!(idx.check_insert(d, loc(1)), None);
+        assert_eq!(idx.check_insert(d, loc(2)), Some(loc(1)));
+        assert_eq!(idx.len(), 1, "duplicate must not add an entry");
+    }
+
+    #[test]
+    fn different_chunks_coexist() {
+        let mut idx = ExactChunkIndex::new();
+        for i in 0..1000u32 {
+            let d = sha1(&i.to_le_bytes());
+            assert_eq!(idx.check_insert(d, loc(u64::from(i))), None);
+        }
+        assert_eq!(idx.len(), 1000);
+        assert_eq!(idx.accounted_bytes(), 1000 * ENTRY_ACCOUNTED_BYTES);
+    }
+
+    #[test]
+    fn get_is_readonly() {
+        let mut idx = ExactChunkIndex::new();
+        let d = sha1(b"x");
+        assert_eq!(idx.get(&d), None);
+        idx.check_insert(d, loc(9));
+        assert_eq!(idx.get(&d), Some(loc(9)));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn clear_releases() {
+        let mut idx = ExactChunkIndex::new();
+        idx.check_insert(sha1(b"a"), loc(1));
+        idx.clear();
+        assert!(idx.is_empty());
+        assert_eq!(idx.accounted_bytes(), 0);
+    }
+}

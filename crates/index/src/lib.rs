@@ -1,0 +1,31 @@
+//! # dbdedup-index
+//!
+//! The in-memory indexes that make dedup candidate lookup fast — step ② of
+//! the dbDedup workflow.
+//!
+//! * [`cuckoo`] — dbDedup's feature index: a cuckoo hash table whose entries
+//!   are a 2-byte feature checksum plus a 4-byte record pointer. Multiple
+//!   hash functions give constant-bounded lookups at high load factors, and
+//!   an LRU-style eviction policy bounds both memory and the number of
+//!   candidates examined per feature (§3.1.2). Because candidates are always
+//!   verified by byte-level delta compression downstream, the index may
+//!   return false positives and may drop entries freely — neither affects
+//!   correctness, only the compression ratio.
+//! * [`partitioned`] — the per-database partitioning used by the dedup
+//!   governor: duplication rarely crosses database boundaries, so each
+//!   database gets its own partition which the governor can drop wholesale
+//!   (§3.4.1).
+//! * [`exact`] — the full chunk-hash index of the traditional exact-match
+//!   dedup baseline: every unique chunk keyed by its 20-byte SHA-1. Its
+//!   memory accounting is what Figs. 1 and 10 compare against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cuckoo;
+pub mod exact;
+pub mod partitioned;
+
+pub use cuckoo::{CuckooConfig, CuckooFeatureIndex};
+pub use exact::ExactChunkIndex;
+pub use partitioned::PartitionedFeatureIndex;

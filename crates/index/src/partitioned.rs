@@ -1,0 +1,103 @@
+//! Per-database partitioning of the feature index (§3.4.1).
+//!
+//! Duplication in operational workloads almost never crosses logical
+//! database boundaries — a wiki's revisions don't overlap an email corpus —
+//! so indexing them together buys nothing and costs memory. dbDedup
+//! therefore keeps one feature-index partition per database; when the dedup
+//! governor disables a database, its entire partition is deleted in O(1)
+//! and the memory returns to the system.
+
+use crate::cuckoo::{CuckooConfig, CuckooFeatureIndex};
+use std::collections::HashMap;
+
+/// A set of per-database cuckoo feature indexes.
+#[derive(Debug, Default)]
+pub struct PartitionedFeatureIndex {
+    partitions: HashMap<String, CuckooFeatureIndex>,
+    config: CuckooConfig,
+}
+
+impl PartitionedFeatureIndex {
+    /// Creates an empty partition set; new partitions use `config`.
+    pub fn new(config: CuckooConfig) -> Self {
+        Self { partitions: HashMap::new(), config }
+    }
+
+    /// The partition for `db`, created on first use.
+    pub fn partition_mut(&mut self, db: &str) -> &mut CuckooFeatureIndex {
+        if !self.partitions.contains_key(db) {
+            self.partitions.insert(db.to_string(), CuckooFeatureIndex::new(self.config));
+        }
+        self.partitions.get_mut(db).expect("just inserted")
+    }
+
+    /// Read-only access to a partition, if it exists.
+    pub fn partition(&self, db: &str) -> Option<&CuckooFeatureIndex> {
+        self.partitions.get(db)
+    }
+
+    /// Deletes a database's partition outright (governor disable path).
+    /// Returns whether a partition existed.
+    pub fn drop_partition(&mut self, db: &str) -> bool {
+        self.partitions.remove(db).is_some()
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total accounted memory across all partitions.
+    pub fn accounted_bytes(&self) -> usize {
+        self.partitions.values().map(|p| p.accounted_bytes()).sum()
+    }
+
+    /// Total live entries across all partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.values().map(|p| p.len()).sum()
+    }
+
+    /// Whether every partition is empty (or none exist).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_are_isolated() {
+        let mut p = PartitionedFeatureIndex::new(CuckooConfig::default());
+        p.partition_mut("wiki").lookup_insert(0xaaaa_0000_0000_0001, 1);
+        p.partition_mut("mail").lookup_insert(0xaaaa_0000_0000_0001, 2);
+        assert_eq!(p.partition("wiki").unwrap().lookup(0xaaaa_0000_0000_0001), vec![1]);
+        assert_eq!(p.partition("mail").unwrap().lookup(0xaaaa_0000_0000_0001), vec![2]);
+        assert_eq!(p.partition_count(), 2);
+    }
+
+    #[test]
+    fn drop_partition_frees_memory() {
+        let mut p = PartitionedFeatureIndex::new(CuckooConfig::default());
+        for i in 0..100u64 {
+            p.partition_mut("wiki").lookup_insert(i << 32 | 0xff00_0000_0000_0000, i as u32);
+        }
+        let before = p.accounted_bytes();
+        assert!(before > 0);
+        assert!(p.drop_partition("wiki"));
+        assert!(!p.drop_partition("wiki"), "second drop is a no-op");
+        assert_eq!(p.accounted_bytes(), 0);
+        assert_eq!(p.partition("wiki").map(|x| x.len()), None);
+    }
+
+    #[test]
+    fn totals_aggregate() {
+        let mut p = PartitionedFeatureIndex::new(CuckooConfig::default());
+        p.partition_mut("a").lookup_insert(1 << 50, 1);
+        p.partition_mut("b").lookup_insert(2 << 50, 2);
+        p.partition_mut("b").lookup_insert(3 << 50, 3);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! Property tests for the cuckoo feature index: advisory semantics mean
+//! entries may be dropped, but the structure must never lie about what it
+//! holds, never exceed its candidate cap, and never panic.
+
+use dbdedup_index::{CuckooConfig, CuckooFeatureIndex};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn never_panics_and_caps_candidates(
+        features in prop::collection::vec(any::<u64>(), 1..500),
+        max_candidates in 1usize..8,
+    ) {
+        let mut idx = CuckooFeatureIndex::new(CuckooConfig {
+            initial_buckets: 16,
+            max_candidates,
+            ..Default::default()
+        });
+        for (i, &f) in features.iter().enumerate() {
+            let cands = idx.lookup_insert(f, i as u32);
+            prop_assert!(cands.len() <= max_candidates);
+        }
+        prop_assert!(idx.len() <= features.len());
+        prop_assert_eq!(idx.accounted_bytes(), idx.len() * 6);
+    }
+
+    /// Immediately after inserting a feature, a lookup finds the slot —
+    /// unless the structure reported pressure (evictions).
+    #[test]
+    fn freshly_inserted_is_findable(features in prop::collection::vec(any::<u64>(), 1..200)) {
+        let mut idx = CuckooFeatureIndex::default();
+        for (i, &f) in features.iter().enumerate() {
+            idx.lookup_insert(f, i as u32);
+            let found = idx.lookup(f).contains(&(i as u32));
+            prop_assert!(
+                found || idx.evictions() > 0,
+                "fresh entry for feature {:#x} lost without any eviction", f
+            );
+        }
+    }
+
+    /// Lookup is read-only: repeated probes return the same result.
+    #[test]
+    fn lookup_is_stable(features in prop::collection::vec(any::<u64>(), 1..100)) {
+        let mut idx = CuckooFeatureIndex::default();
+        for (i, &f) in features.iter().enumerate() {
+            idx.lookup_insert(f, i as u32);
+        }
+        for &f in &features {
+            prop_assert_eq!(idx.lookup(f), idx.lookup(f));
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # dbdedup-repl
+//!
+//! Primary/secondary replication over the dedup-aware oplog (Fig. 8 of the
+//! paper).
+//!
+//! The primary appends forward-encoded oplog entries; the syncer ships
+//! them in batches over a byte-counted transport; the secondary's
+//! re-encoder decodes each forward delta against its local copy of the
+//! base record, stores the new record raw, and regenerates the *same*
+//! backward deltas the primary stores — so both replicas converge to
+//! byte-identical storage while only the small forward delta crosses the
+//! network.
+//!
+//! Two drivers are provided:
+//!
+//! * [`pair::ReplicaPair`] — synchronous, deterministic; used by the
+//!   experiment harnesses (network-byte accounting for Fig. 11).
+//! * [`asynch::AsyncReplicator`] — a crossbeam-channel pipeline with the
+//!   secondary applying batches on its own thread, mirroring the paper's
+//!   asynchronous push model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asynch;
+pub mod pair;
+pub mod set;
+
+pub use asynch::AsyncReplicator;
+pub use pair::{NetworkStats, ReplicaPair};
+pub use set::ReplicaSet;

@@ -1,0 +1,209 @@
+//! A byte-budgeted block cache for segment reads — the stand-in for the
+//! buffer pool / page cache every real DBMS puts between queries and the
+//! disk (WiredTiger's cache in the paper's setup).
+//!
+//! Entries in the log-structured store are immutable once written (updates
+//! append new entries at new locations), so the cache needs no
+//! invalidation: a (segment, offset) key always names the same bytes.
+//! Superseded entries simply age out via LRU.
+
+use dbdedup_util::hash::fx::FxHashMap;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Cache key: a physical location in the segment files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockKey {
+    /// Segment index.
+    pub seg: u32,
+    /// Byte offset of the entry frame.
+    pub off: u64,
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BlockCacheStats {
+    /// Reads served from the cache.
+    pub hits: u64,
+    /// Reads that had to touch the file.
+    pub misses: u64,
+    /// Entries evicted for space.
+    pub evictions: u64,
+}
+
+impl BlockCacheStats {
+    /// Hit fraction in `[0, 1]`.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Slot {
+    data: Arc<Vec<u8>>,
+    tick: u64,
+}
+
+/// Byte-budgeted LRU cache of immutable entry frames.
+pub struct BlockCache {
+    map: FxHashMap<BlockKey, Slot>,
+    order: BTreeMap<u64, BlockKey>,
+    capacity: usize,
+    used: usize,
+    clock: u64,
+    stats: BlockCacheStats,
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockCache")
+            .field("entries", &self.map.len())
+            .field("used", &self.used)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BlockCache {
+    /// Creates a cache with a byte budget (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: FxHashMap::default(),
+            order: BTreeMap::new(),
+            capacity,
+            used: 0,
+            clock: 0,
+            stats: BlockCacheStats::default(),
+        }
+    }
+
+    /// Fetches a block, promoting it to most-recently-used.
+    pub fn get(&mut self, key: BlockKey) -> Option<Arc<Vec<u8>>> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.map.get_mut(&key) {
+            Some(slot) => {
+                self.order.remove(&slot.tick);
+                slot.tick = clock;
+                self.order.insert(clock, key);
+                self.stats.hits += 1;
+                Some(Arc::clone(&slot.data))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly read block.
+    pub fn insert(&mut self, key: BlockKey, data: Arc<Vec<u8>>) {
+        if data.len() > self.capacity {
+            return;
+        }
+        if let Some(old) = self.map.remove(&key) {
+            self.order.remove(&old.tick);
+            self.used -= old.data.len();
+        }
+        while self.used + data.len() > self.capacity {
+            let Some((&tick, &victim)) = self.order.iter().next() else { break };
+            self.order.remove(&tick);
+            let s = self.map.remove(&victim).expect("order and map agree");
+            self.used -= s.data.len();
+            self.stats.evictions += 1;
+        }
+        self.clock += 1;
+        self.used += data.len();
+        self.order.insert(self.clock, key);
+        self.map.insert(key, Slot { data, tick: self.clock });
+    }
+
+    /// Cached bytes.
+    pub fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> BlockCacheStats {
+        self.stats
+    }
+
+    /// Drops everything (compaction relocates all entries).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seg: u32, off: u64) -> BlockKey {
+        BlockKey { seg, off }
+    }
+
+    fn block(n: usize, fill: u8) -> Arc<Vec<u8>> {
+        Arc::new(vec![fill; n])
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = BlockCache::new(1024);
+        assert!(c.get(key(0, 0)).is_none());
+        c.insert(key(0, 0), block(100, 1));
+        assert_eq!(c.get(key(0, 0)).unwrap().len(), 100);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = BlockCache::new(250);
+        c.insert(key(0, 0), block(100, 1));
+        c.insert(key(0, 100), block(100, 2));
+        let _ = c.get(key(0, 0)); // promote
+        c.insert(key(0, 200), block(100, 3));
+        assert!(c.get(key(0, 0)).is_some());
+        assert!(c.get(key(0, 100)).is_none(), "LRU evicted");
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_block_skipped() {
+        let mut c = BlockCache::new(50);
+        c.insert(key(1, 0), block(100, 1));
+        assert!(c.get(key(1, 0)).is_none());
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_same_key_replaces() {
+        let mut c = BlockCache::new(1000);
+        c.insert(key(2, 0), block(400, 1));
+        c.insert(key(2, 0), block(100, 2));
+        assert_eq!(c.used_bytes(), 100);
+        assert_eq!(c.get(key(2, 0)).unwrap()[0], 2);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = BlockCache::new(1000);
+        c.insert(key(0, 0), block(10, 1));
+        c.clear();
+        assert_eq!(c.used_bytes(), 0);
+        assert!(c.get(key(0, 0)).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = BlockCache::new(0);
+        c.insert(key(0, 0), block(1, 1));
+        assert!(c.get(key(0, 0)).is_none());
+    }
+}

@@ -1,0 +1,37 @@
+//! # dbdedup-storage
+//!
+//! The storage substrate dbDedup integrates into — our stand-in for
+//! MongoDB + WiredTiger in the paper's evaluation (§4.1, Fig. 8). dbDedup
+//! needs four things from its host DBMS, and this crate provides exactly
+//! those:
+//!
+//! * [`store`] — a log-structured, disk-backed **record store**: records
+//!   are appended to segment files and located through an in-memory
+//!   directory; updates append a new version and re-point the directory
+//!   (compaction reclaims dead space). Records are stored either raw or as
+//!   a backward delta referencing a base record.
+//! * [`blockz`] — a from-scratch LZ77 **block compressor** standing in for
+//!   Snappy: byte-oriented literal/copy format, greedy hash-chain matching,
+//!   the same "fast, intra-block-only" profile. Dedup's gains compose with
+//!   it (Fig. 1, Fig. 10).
+//! * [`oplog`] — the **operation log** that drives asynchronous
+//!   replication: insert/update/delete entries carrying either raw record
+//!   payloads or forward-encoded deltas, batched for shipping.
+//! * [`iometer`] — a deterministic **I/O activity meter** exposing the
+//!   queue-length idleness signal the lossy write-back cache keys off
+//!   (§3.3.2).
+//! * [`blockcache`] — a byte-budgeted LRU block cache in front of segment
+//!   reads, standing in for the DBMS buffer pool (WiredTiger's cache).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blockcache;
+pub mod blockz;
+pub mod iometer;
+pub mod oplog;
+pub mod store;
+
+pub use iometer::IoMeter;
+pub use oplog::{Oplog, OplogEntry, OplogKind, OplogPayload};
+pub use store::{RecordStore, StorageForm, StoreConfig, StoreError, StoredRecord};

@@ -1,0 +1,319 @@
+//! Compact binary serialization helpers.
+//!
+//! dbDedup hand-rolls its wire formats (delta instructions, oplog entries,
+//! record store segments) instead of pulling in a serialization framework.
+//! Everything is little-endian; variable-length integers use unsigned LEB128,
+//! which keeps small COPY/INSERT offsets at one byte — important because the
+//! delta format's overhead competes directly against the space savings it
+//! produces.
+
+use std::fmt;
+
+/// Error produced when decoding malformed binary data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended in the middle of a value.
+    UnexpectedEof {
+        /// How many bytes were wanted.
+        wanted: usize,
+        /// How many bytes remained.
+        remaining: usize,
+    },
+    /// A varint ran over the maximum encodable width (10 bytes for u64).
+    VarintOverflow,
+    /// A declared length prefix exceeds the remaining input.
+    BadLength {
+        /// The declared length.
+        declared: u64,
+        /// How many bytes actually remained.
+        remaining: usize,
+    },
+    /// A tag byte had no defined meaning in the enclosing format.
+    InvalidTag(u8),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { wanted, remaining } => {
+                write!(f, "unexpected eof: wanted {wanted} bytes, {remaining} remaining")
+            }
+            CodecError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            CodecError::BadLength { declared, remaining } => {
+                write!(f, "length prefix {declared} exceeds remaining {remaining} bytes")
+            }
+            CodecError::InvalidTag(t) => write!(f, "invalid tag byte {t:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only byte buffer with typed `put_*` helpers.
+///
+/// A thin wrapper over `Vec<u8>` so call sites read declaratively.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Creates a writer with `cap` bytes of pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an unsigned LEB128 varint.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Appends raw bytes with no framing.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends a varint length prefix followed by the bytes.
+    pub fn put_len_prefixed(&mut self, b: &[u8]) {
+        self.put_varint(b.len() as u64);
+        self.put_bytes(b);
+    }
+
+    /// Consumes the writer and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrows the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Cursor-style reader over a byte slice with typed `get_*` helpers.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the reader is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current byte offset from the start of the input.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof { wanted: n, remaining: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, CodecError> {
+        let s = self.take(2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes(s.try_into().expect("len 8")))
+    }
+
+    /// Reads an unsigned LEB128 varint.
+    pub fn get_varint(&mut self) -> Result<u64, CodecError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(CodecError::VarintOverflow);
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(CodecError::VarintOverflow);
+            }
+        }
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
+    }
+
+    /// Reads a varint length prefix followed by that many bytes.
+    pub fn get_len_prefixed(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.get_varint()?;
+        if len > self.remaining() as u64 {
+            return Err(CodecError::BadLength { declared: len, remaining: self.remaining() });
+        }
+        self.take(len as usize)
+    }
+}
+
+/// Returns the encoded size in bytes of `v` as an unsigned LEB128 varint.
+pub fn varint_len(v: u64) -> usize {
+    if v == 0 {
+        return 1;
+    }
+    (64 - v.leading_zeros() as usize).div_ceil(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_edges() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &cases {
+            let mut w = ByteWriter::new();
+            w.put_varint(v);
+            assert_eq!(w.len(), varint_len(v), "encoded length of {v}");
+            let mut r = ByteReader::new(w.as_slice());
+            assert_eq!(r.get_varint().unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_overflow_detected() {
+        // Eleven continuation bytes can never be a valid u64.
+        let bad = [0xff; 11];
+        let mut r = ByteReader::new(&bad);
+        assert_eq!(r.get_varint(), Err(CodecError::VarintOverflow));
+    }
+
+    #[test]
+    fn fixed_width_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xab);
+        w.put_u16(0xbeef);
+        w.put_u32(0xdead_beef);
+        w.put_u64(0x0123_4567_89ab_cdef);
+        let mut r = ByteReader::new(w.as_slice());
+        assert_eq!(r.get_u8().unwrap(), 0xab);
+        assert_eq!(r.get_u16().unwrap(), 0xbeef);
+        assert_eq!(r.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn len_prefixed_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_len_prefixed(b"hello");
+        w.put_len_prefixed(b"");
+        w.put_len_prefixed(&[0u8; 300]);
+        let mut r = ByteReader::new(w.as_slice());
+        assert_eq!(r.get_len_prefixed().unwrap(), b"hello");
+        assert_eq!(r.get_len_prefixed().unwrap(), b"");
+        assert_eq!(r.get_len_prefixed().unwrap().len(), 300);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn len_prefix_beyond_input_is_error() {
+        let mut w = ByteWriter::new();
+        w.put_varint(100);
+        w.put_bytes(b"short");
+        let mut r = ByteReader::new(w.as_slice());
+        assert!(matches!(r.get_len_prefixed(), Err(CodecError::BadLength { declared: 100, .. })));
+    }
+
+    #[test]
+    fn eof_reports_sizes() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert_eq!(
+            r.get_u32(),
+            Err(CodecError::UnexpectedEof { wanted: 4, remaining: 2 })
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! Deterministic random samplers for workload synthesis.
+//!
+//! The workload generators need repeatable draws from skewed distributions:
+//! Zipf for article/thread popularity, log-normal for record sizes. To keep
+//! experiments reproducible byte-for-byte across runs and platforms, the
+//! crate provides its own small PRNG ([`SplitMix64`]) and samplers rather
+//! than depending on distribution crates whose output may change between
+//! versions.
+
+/// SplitMix64 — a tiny, high-quality, splittable PRNG.
+///
+/// Passes BigCrush when used as a 64-bit generator; statistically more than
+/// adequate for workload synthesis, and its one-line state makes generator
+/// streams trivially reproducible.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be nonzero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Lemire's multiply-shift rejection method.
+        let mut x = self.next_u64();
+        let mut m = u128::from(x) * u128::from(bound);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = u128::from(x) * u128::from(bound);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform usize index in `[0, bound)`.
+    #[inline]
+    pub fn next_index(&mut self, bound: usize) -> usize {
+        self.next_below(bound as u64) as usize
+    }
+
+    /// Random boolean that is true with probability `p`.
+    #[inline]
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Forks an independent generator stream.
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+
+    /// Standard normal draw via Box–Muller.
+    pub fn next_gaussian(&mut self) -> f64 {
+        // Avoid ln(0) by nudging u1 away from zero.
+        let u1 = (self.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Zipf-distributed sampler over ranks `0..n`.
+///
+/// Rank 0 is the most popular item. Uses the precomputed-CDF + binary search
+/// method: exact, O(n) memory at construction, O(log n) per draw — fine for
+/// the ≤ 10⁶-item populations the workloads use.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `s` (typically ~1).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf population must be non-empty");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Population size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (population is non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Log-normal sampler, parameterized by the *median* and the shape `sigma`.
+///
+/// Record sizes in the paper's datasets span 10² – 10⁷ bytes (Fig. 7); a
+/// log-normal with a heavy shape reproduces that spread.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a sampler whose median is `median` with log-space std `sigma`.
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0 && sigma >= 0.0);
+        Self { mu: median.ln(), sigma }
+    }
+
+    /// Draws one value.
+    pub fn sample(&self, rng: &mut SplitMix64) -> f64 {
+        (self.mu + self.sigma * rng.next_gaussian()).exp()
+    }
+
+    /// Draws one value clamped to `[lo, hi]` and rounded to u64.
+    pub fn sample_clamped(&self, rng: &mut SplitMix64, lo: u64, hi: u64) -> u64 {
+        (self.sample(rng) as u64).clamp(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_known_first_value() {
+        // Reference value from the canonical splitmix64.c with seed 0.
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xe220_a839_7b1d_cdaf);
+    }
+
+    #[test]
+    fn uniform_bound_respected() {
+        let mut r = SplitMix64::new(1);
+        for _ in 0..10_000 {
+            assert!(r.next_below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(2);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zipf_rank0_most_popular() {
+        let z = Zipf::new(1000, 1.0);
+        let mut r = SplitMix64::new(3);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[999] * 5);
+        // Rough shape check: P(rank 0) ≈ 1/H_1000 ≈ 0.133.
+        let p0 = counts[0] as f64 / 100_000.0;
+        assert!((0.10..0.17).contains(&p0), "p0 = {p0}");
+    }
+
+    #[test]
+    fn zipf_single_item() {
+        let z = Zipf::new(1, 1.0);
+        let mut r = SplitMix64::new(4);
+        assert_eq!(z.sample(&mut r), 0);
+    }
+
+    #[test]
+    fn lognormal_median_approx() {
+        let ln = LogNormal::from_median(4096.0, 1.0);
+        let mut r = SplitMix64::new(5);
+        let mut vals: Vec<f64> = (0..20_001).map(|_| ln.sample(&mut r)).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let median = vals[vals.len() / 2];
+        assert!((median / 4096.0 - 1.0).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn lognormal_clamped() {
+        let ln = LogNormal::from_median(1000.0, 2.0);
+        let mut r = SplitMix64::new(6);
+        for _ in 0..1000 {
+            let v = ln.sample_clamped(&mut r, 100, 10_000);
+            assert!((100..=10_000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = SplitMix64::new(8);
+        let n = 50_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let g = r.next_gaussian();
+            sum += g;
+            sq += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn fork_streams_diverge() {
+        let mut a = SplitMix64::new(9);
+        let mut b = a.fork();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

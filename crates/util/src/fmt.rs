@@ -1,0 +1,74 @@
+//! Human-readable formatting for experiment output.
+
+/// Formats a byte count with binary units, e.g. `1536` → `"1.5 KiB"`.
+pub fn format_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 7] = ["B", "KiB", "MiB", "GiB", "TiB", "PiB", "EiB"];
+    if bytes < 1024 {
+        return format!("{bytes} B");
+    }
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if value >= 100.0 {
+        format!("{value:.0} {}", UNITS[unit])
+    } else if value >= 10.0 {
+        format!("{value:.1} {}", UNITS[unit])
+    } else {
+        format!("{value:.2} {}", UNITS[unit])
+    }
+}
+
+/// Formats a ratio like `36.73` → `"36.7x"`.
+pub fn format_ratio(ratio: f64) -> String {
+    if ratio.is_infinite() {
+        "inf".to_string()
+    } else if ratio >= 10.0 {
+        format!("{ratio:.1}x")
+    } else {
+        format!("{ratio:.2}x")
+    }
+}
+
+/// Formats an operations-per-second figure.
+pub fn format_ops(ops_per_sec: f64) -> String {
+    if ops_per_sec >= 1_000_000.0 {
+        format!("{:.2} Mops/s", ops_per_sec / 1_000_000.0)
+    } else if ops_per_sec >= 1_000.0 {
+        format!("{:.1} Kops/s", ops_per_sec / 1_000.0)
+    } else {
+        format!("{ops_per_sec:.0} ops/s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_rounding() {
+        assert_eq!(format_bytes(0), "0 B");
+        assert_eq!(format_bytes(1023), "1023 B");
+        assert_eq!(format_bytes(1024), "1.00 KiB");
+        assert_eq!(format_bytes(1536), "1.50 KiB");
+        assert_eq!(format_bytes(10 * 1024 * 1024), "10.0 MiB");
+        assert_eq!(format_bytes(200 * 1024 * 1024), "200 MiB");
+        assert!(format_bytes(u64::MAX).contains("EiB"));
+    }
+
+    #[test]
+    fn ratios() {
+        assert_eq!(format_ratio(1.6), "1.60x");
+        assert_eq!(format_ratio(36.73), "36.7x");
+        assert_eq!(format_ratio(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn ops() {
+        assert_eq!(format_ops(500.0), "500 ops/s");
+        assert_eq!(format_ops(2500.0), "2.5 Kops/s");
+        assert_eq!(format_ops(3_000_000.0), "3.00 Mops/s");
+    }
+}

@@ -1,0 +1,160 @@
+//! Adler-32 checksums, including the rolling variant used by xDelta-style
+//! delta compressors.
+//!
+//! Adler-32 (RFC 1950) maintains two sums modulo 65521: `a`, the byte sum
+//! plus one, and `b`, the running sum of `a`. Because both sums are linear in
+//! the window contents, the checksum of a window slid one byte to the right
+//! can be computed in O(1) — which is exactly why gzip-family tools and the
+//! classic xDelta algorithm use it to scan a target stream for candidate
+//! block matches.
+
+const MOD: u32 = 65_521;
+
+/// Computes the Adler-32 checksum of `data` (RFC 1950 semantics).
+pub fn adler32(data: &[u8]) -> u32 {
+    let mut a: u32 = 1;
+    let mut b: u32 = 0;
+    // Process in runs short enough that the u32 sums cannot overflow before
+    // reduction: 5552 is the standard bound (from zlib).
+    for chunk in data.chunks(5552) {
+        for &byte in chunk {
+            a += u32::from(byte);
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    (b << 16) | a
+}
+
+/// A rolling Adler-32 over a fixed-size window.
+///
+/// After `window` bytes have been fed, [`RollingAdler32::hash`] equals
+/// [`adler32`] of the last `window` bytes. Rolling one byte costs two
+/// additions, two subtractions and two conditional reductions.
+#[derive(Debug, Clone)]
+pub struct RollingAdler32 {
+    a: u32,
+    b: u32,
+    ring: Vec<u8>,
+    head: usize,
+    fed: usize,
+}
+
+impl RollingAdler32 {
+    /// Creates a rolling checksum for windows of `window` bytes (≥ 1).
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "adler window must be at least one byte");
+        assert!(
+            window < MOD as usize,
+            "rolling adler window must be smaller than the modulus"
+        );
+        Self { a: 1, b: 0, ring: vec![0; window], head: 0, fed: 0 }
+    }
+
+    /// The window size.
+    pub fn window(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether a full window has been consumed.
+    pub fn window_full(&self) -> bool {
+        self.fed >= self.ring.len()
+    }
+
+    /// Feeds one byte, expiring the oldest when the window is full.
+    #[inline]
+    pub fn roll(&mut self, byte: u8) {
+        let w = self.ring.len() as u32;
+        if self.window_full() {
+            let out = u32::from(self.ring[self.head]);
+            // a' = a - out ; b' = b - w*out - 1 (the "+1" seed travels with a)
+            self.a = (self.a + MOD - out % MOD) % MOD;
+            self.b = (self.b + MOD * 2 - (w * out) % MOD - 1) % MOD;
+        }
+        self.a = (self.a + u32::from(byte)) % MOD;
+        self.b = (self.b + self.a) % MOD;
+        self.ring[self.head] = byte;
+        self.head = (self.head + 1) % self.ring.len();
+        self.fed += 1;
+    }
+
+    /// The checksum of the current window.
+    #[inline]
+    pub fn hash(&self) -> u32 {
+        (self.b << 16) | self.a
+    }
+
+    /// Resets to the empty state.
+    pub fn reset(&mut self) {
+        self.a = 1;
+        self.b = 0;
+        self.head = 0;
+        self.fed = 0;
+        self.ring.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Reference values from the zlib implementation.
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"a"), 0x0062_0062);
+        assert_eq!(adler32(b"abc"), 0x024d_0127);
+        // Hand-checkable: a = 1 + Σbytes("Wikipedia") = 1 + 919 = 0x398.
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn large_input_reduction() {
+        // Exercise the chunked reduction path (> 5552 bytes).
+        let data = vec![0xffu8; 20_000];
+        let slow = {
+            let (mut a, mut b) = (1u64, 0u64);
+            for &x in &data {
+                a = (a + u64::from(x)) % u64::from(MOD);
+                b = (b + a) % u64::from(MOD);
+            }
+            ((b as u32) << 16) | a as u32
+        };
+        assert_eq!(adler32(&data), slow);
+    }
+
+    #[test]
+    fn rolling_matches_direct() {
+        let data: Vec<u8> = (0..500u32).map(|i| (i * 7 % 256) as u8).collect();
+        for window in [1usize, 4, 16, 48] {
+            let mut roll = RollingAdler32::new(window);
+            for (i, &b) in data.iter().enumerate() {
+                roll.roll(b);
+                if i + 1 >= window {
+                    let direct = adler32(&data[i + 1 - window..=i]);
+                    assert_eq!(roll.hash(), direct, "window {window} ending at {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_reset() {
+        let mut roll = RollingAdler32::new(4);
+        for b in b"abcdef" {
+            roll.roll(*b);
+        }
+        roll.reset();
+        for b in b"wxyz" {
+            roll.roll(*b);
+        }
+        assert_eq!(roll.hash(), adler32(b"wxyz"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one byte")]
+    fn zero_window_rejected() {
+        let _ = RollingAdler32::new(0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Rabin fingerprinting by random (irreducible) polynomials.
+//!
+//! A Rabin fingerprint treats a byte string as a polynomial over GF(2) and
+//! reduces it modulo a fixed irreducible polynomial `P` of degree `K`. Two
+//! properties make it the standard tool for content-defined chunking and for
+//! dbDedup's anchor selection:
+//!
+//! 1. **Appending is constant time** — `h' = (h·x⁸ + b) mod P` via one table
+//!    lookup.
+//! 2. **Sliding a fixed window is constant time** — the contribution of the
+//!    outgoing byte can be subtracted with a second table because polynomial
+//!    addition over GF(2) is XOR.
+//!
+//! This implementation uses the degree-53 irreducible polynomial popularized
+//! by LBFS, so fingerprints fit comfortably in a `u64` with headroom for the
+//! 8-bit append step.
+
+/// The degree of the modulus polynomial.
+pub const POLY_DEGREE: u32 = 53;
+
+/// The LBFS degree-53 irreducible polynomial, *without* its leading x⁵³ term.
+/// (The leading term is implicit in the reduction logic.)
+pub const POLY: u64 = 0x003D_A335_8B4D_C173;
+
+const MASK: u64 = (1u64 << POLY_DEGREE) - 1;
+
+/// Multiplies the residue `h` (degree < 53) by `x` modulo `P`.
+#[inline]
+fn mul_x_mod(h: u64) -> u64 {
+    let shifted = h << 1;
+    if shifted & (1u64 << POLY_DEGREE) != 0 {
+        (shifted ^ POLY) & MASK
+    } else {
+        shifted & MASK
+    }
+}
+
+/// Multiplies the residue `h` by `x⁸` modulo `P`, bit by bit.
+///
+/// Only used to build the lookup tables; the hot path uses the tables.
+fn mul_x8_mod_slow(mut h: u64) -> u64 {
+    for _ in 0..8 {
+        h = mul_x_mod(h);
+    }
+    h
+}
+
+/// Precomputed reduction tables for a specific sliding-window size.
+///
+/// * `push[t]` = `(t · x⁵³) mod P` for each possible 8-bit overflow `t`,
+///   used when appending a byte.
+/// * `pop[b]` = `(b · x^(8·(w−1))) mod P` for each byte value `b`, used when
+///   expiring the oldest byte of a `w`-byte window.
+///
+/// Building the tables costs a few microseconds; share one instance per
+/// window size (they are immutable and `Sync`).
+#[derive(Debug, Clone)]
+pub struct RabinTables {
+    push: [u64; 256],
+    pop: [u64; 256],
+    window: usize,
+}
+
+impl RabinTables {
+    /// Builds tables for windows of `window` bytes (must be ≥ 1).
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "rabin window must be at least one byte");
+        let mut push = [0u64; 256];
+        for (t, entry) in push.iter_mut().enumerate() {
+            // t · x^53 mod P: start with the residue of x^53 (= POLY) scaled
+            // bit-by-bit. Equivalently reduce the 8-bit value shifted to the
+            // top: compute ((t as poly) · x^53) mod P by repeated doubling.
+            let mut acc = 0u64;
+            for bit in (0..8).rev() {
+                acc = mul_x_mod(acc);
+                if (t >> bit) & 1 == 1 {
+                    // add x^53 mod P = POLY
+                    acc ^= POLY & MASK;
+                }
+            }
+            *entry = acc;
+        }
+        // b · x^(8(w-1)) mod P: take residue of b, multiply by x^8, (w-1) times.
+        let mut pop = [0u64; 256];
+        for (b, entry) in pop.iter_mut().enumerate() {
+            let mut acc = b as u64;
+            for _ in 0..window - 1 {
+                acc = mul_x8_mod_slow(acc);
+            }
+            *entry = acc;
+        }
+        Self { push, pop, window }
+    }
+
+    /// The window size these tables were built for.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Appends one byte to residue `h`: `(h·x⁸ + b) mod P`.
+    #[inline(always)]
+    pub fn append(&self, h: u64, b: u8) -> u64 {
+        let top = (h >> (POLY_DEGREE - 8)) as usize & 0xff;
+        (((h << 8) & MASK) ^ self.push[top]) ^ u64::from(b)
+    }
+
+    /// Removes the oldest byte `out` from a full-window residue `h`.
+    #[inline(always)]
+    pub fn expire(&self, h: u64, out: u8) -> u64 {
+        h ^ self.pop[out as usize]
+    }
+
+    /// Fingerprint of an entire byte slice (no windowing).
+    pub fn fingerprint(&self, data: &[u8]) -> u64 {
+        let mut h = 0u64;
+        for &b in data {
+            h = self.append(h, b);
+        }
+        h
+    }
+}
+
+/// A rolling Rabin hash over a fixed-size window.
+///
+/// Feed bytes with [`RollingRabin::roll`]; once at least `window` bytes have
+/// been consumed, [`RollingRabin::hash`] is the fingerprint of exactly the
+/// last `window` bytes. The ring buffer lives inline so the struct is cheap
+/// to reset between records.
+#[derive(Debug, Clone)]
+pub struct RollingRabin<'t> {
+    tables: &'t RabinTables,
+    ring: Vec<u8>,
+    head: usize,
+    fed: usize,
+    hash: u64,
+}
+
+impl<'t> RollingRabin<'t> {
+    /// Creates a rolling hasher bound to precomputed `tables`.
+    pub fn new(tables: &'t RabinTables) -> Self {
+        Self { tables, ring: vec![0; tables.window], head: 0, fed: 0, hash: 0 }
+    }
+
+    /// Consumes one byte, expiring the oldest once the window is full.
+    #[inline(always)]
+    pub fn roll(&mut self, b: u8) {
+        if self.fed >= self.ring.len() {
+            let out = self.ring[self.head];
+            self.hash = self.tables.expire(self.hash, out);
+        }
+        self.hash = self.tables.append(self.hash, b);
+        self.ring[self.head] = b;
+        // Conditional wrap beats a modulo on the hot path.
+        self.head += 1;
+        if self.head == self.ring.len() {
+            self.head = 0;
+        }
+        self.fed += 1;
+    }
+
+    /// The fingerprint of the current window contents.
+    #[inline]
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Whether a full window has been consumed yet.
+    #[inline]
+    pub fn window_full(&self) -> bool {
+        self.fed >= self.ring.len()
+    }
+
+    /// Resets to the empty state, keeping the table binding.
+    pub fn reset(&mut self) {
+        self.head = 0;
+        self.fed = 0;
+        self.hash = 0;
+        self.ring.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_matches_slow_reduction() {
+        // Cross-check the table-driven append against bit-by-bit math.
+        let t = RabinTables::new(16);
+        let data = b"rabin fingerprints over GF(2)";
+        let mut fast = 0u64;
+        let mut slow = 0u64;
+        for &b in data.iter() {
+            fast = t.append(fast, b);
+            slow = mul_x8_mod_slow(slow) ^ u64::from(b);
+            assert_eq!(fast, slow);
+        }
+        assert!(fast <= MASK);
+    }
+
+    #[test]
+    fn sliding_window_equals_direct_fingerprint() {
+        let t = RabinTables::new(8);
+        let data: Vec<u8> = (0..200u16).map(|i| (i.wrapping_mul(31) % 251) as u8).collect();
+        let mut roll = RollingRabin::new(&t);
+        for (i, &b) in data.iter().enumerate() {
+            roll.roll(b);
+            if i + 1 >= 8 {
+                let direct = t.fingerprint(&data[i + 1 - 8..=i]);
+                assert_eq!(roll.hash(), direct, "window ending at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn window_detection() {
+        let t = RabinTables::new(4);
+        let mut roll = RollingRabin::new(&t);
+        for b in [1u8, 2, 3] {
+            roll.roll(b);
+            assert!(!roll.window_full());
+        }
+        roll.roll(4);
+        assert!(roll.window_full());
+    }
+
+    #[test]
+    fn distinct_windows_usually_distinct_hashes() {
+        let t = RabinTables::new(16);
+        let a = t.fingerprint(b"0123456789abcdef");
+        let b = t.fingerprint(b"0123456789abcdeg");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let t = RabinTables::new(4);
+        let mut roll = RollingRabin::new(&t);
+        for b in b"abcdefgh" {
+            roll.roll(*b);
+        }
+        roll.reset();
+        assert!(!roll.window_full());
+        assert_eq!(roll.hash(), 0);
+        let mut fresh = RollingRabin::new(&t);
+        for b in b"wxyz" {
+            roll.roll(*b);
+            fresh.roll(*b);
+        }
+        assert_eq!(roll.hash(), fresh.hash());
+    }
+
+    #[test]
+    fn fingerprint_is_position_sensitive() {
+        let t = RabinTables::new(16);
+        assert_ne!(t.fingerprint(b"ab"), t.fingerprint(b"ba"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Identifier newtypes shared across the workspace.
+
+use std::fmt;
+
+/// A record's stable identity within the DBMS.
+///
+/// The feature index stores records as dense 4-byte slots (the paper's
+/// "pointer to the database location"); the mapping slot → `RecordId` lives
+/// beside the index in the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId(pub u64);
+
+impl RecordId {
+    /// The raw id value.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u64> for RecordId {
+    fn from(v: u64) -> Self {
+        RecordId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let id: RecordId = 42u64.into();
+        assert_eq!(id.to_string(), "r42");
+        assert_eq!(id.get(), 42);
+    }
+
+    #[test]
+    fn ordering_follows_value() {
+        assert!(RecordId(1) < RecordId(2));
+    }
+}

@@ -1,0 +1,197 @@
+//! The Enron-like workload: email threads with reply/forward inclusion.
+//!
+//! The paper's Enron trace derives its redundancy from replies and
+//! forwards that quote the previous message's body (§5.1). Each reply here
+//! is a fresh record: new headers, new prose, then the quoted previous
+//! body — so quoted content nests and grows along the thread, exactly the
+//! inclusion-chain structure the paper describes. The access pattern is
+//! read-after-insert (1 : 1), modelling a mail client fetching each
+//! message once.
+
+use crate::op::{Op, Workload};
+use crate::text::TextGen;
+use dbdedup_util::dist::SplitMix64;
+use dbdedup_util::ids::RecordId;
+use std::collections::VecDeque;
+
+struct Thread {
+    subject: String,
+    last_body: String,
+    messages: usize,
+}
+
+/// See module docs.
+pub struct Enron {
+    rng: SplitMix64,
+    text: TextGen,
+    threads: Vec<Thread>,
+    next_id: u64,
+    writes_left: usize,
+    read_after_insert: bool,
+    pending: VecDeque<Op>,
+}
+
+impl Enron {
+    const NEW_THREAD_PROB: f64 = 1.0 / 6.0;
+    const MAX_BODY: usize = 200 << 10;
+
+    /// Insert-only trace (compression experiments).
+    pub fn insert_only(inserts: usize, seed: u64) -> Self {
+        Self::build(inserts, false, seed)
+    }
+
+    /// The paper's trace: each insert followed by a read of that message.
+    pub fn mixed(inserts: usize, seed: u64) -> Self {
+        Self::build(inserts, true, seed)
+    }
+
+    fn build(inserts: usize, read_after_insert: bool, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0xe4a0_11fb_2299_d0c3);
+        let text = TextGen::new(&mut rng, 900);
+        Self {
+            text,
+            threads: Vec::new(),
+            next_id: 0,
+            writes_left: inserts,
+            read_after_insert,
+            pending: VecDeque::new(),
+            rng,
+        }
+    }
+
+    fn headers(&mut self, subject: &str, reply: bool) -> String {
+        let from = self.rng.next_index(150);
+        let to = self.rng.next_index(150);
+        let prefix = if reply { "Re: " } else { "" };
+        format!(
+            "From: user{from}@enron.com\nTo: user{to}@enron.com\nSubject: {prefix}{subject}\nDate: 2001-{:02}-{:02}\n\n",
+            1 + self.rng.next_index(12),
+            1 + self.rng.next_index(28),
+        )
+    }
+
+    fn next_insert(&mut self) -> Op {
+        self.writes_left -= 1;
+        let id = RecordId(self.next_id);
+        self.next_id += 1;
+
+        let new_thread = self.threads.is_empty() || self.rng.next_bool(Self::NEW_THREAD_PROB);
+        let data = if new_thread {
+            let subject = format!("topic {} discussion", self.threads.len());
+            let size = 500 + self.rng.next_index(3_500);
+            let body = self.text.text(&mut self.rng, size);
+            let msg = format!("{}{}", self.headers(&subject, false), body);
+            self.threads.push(Thread { subject, last_body: body, messages: 1 });
+            msg
+        } else {
+            // Reply or forward on a recent thread. Forwards include the
+            // previous body verbatim; replies quote it with "> " prefixes.
+            // Verbatim inclusion dominates in real mail corpora (every
+            // client's forward path, plus top-posting replies that leave
+            // the original untouched below the signature).
+            let start = self.threads.len().saturating_sub(40);
+            let k = start + self.rng.next_index(self.threads.len() - start);
+            let fresh_len = 200 + self.rng.next_index(1_800);
+            let fresh = self.text.text(&mut self.rng, fresh_len);
+            let included = if self.rng.next_bool(0.65) {
+                self.threads[k].last_body.clone()
+            } else {
+                self.text.quote(&self.threads[k].last_body, usize::MAX)
+            };
+            let mut body = format!("{fresh}\n---- Original message ----\n{included}");
+            body.truncate(Self::MAX_BODY);
+            let header = self.headers(&self.threads[k].subject.clone(), true);
+            let msg = format!("{header}{body}");
+            let t = &mut self.threads[k];
+            t.last_body = body;
+            t.messages += 1;
+            msg
+        };
+        if self.read_after_insert {
+            self.pending.push_back(Op::Read { id });
+        }
+        Op::Insert { id, data: data.into_bytes() }
+    }
+}
+
+impl Iterator for Enron {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        if let Some(op) = self.pending.pop_front() {
+            return Some(op);
+        }
+        if self.writes_left == 0 {
+            return None;
+        }
+        Some(self.next_insert())
+    }
+}
+
+impl Workload for Enron {
+    fn db(&self) -> &'static str {
+        "enron"
+    }
+
+    fn name(&self) -> &'static str {
+        "Enron"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_only_counts() {
+        let ops: Vec<Op> = Enron::insert_only(100, 1).collect();
+        assert_eq!(ops.len(), 100);
+        assert!(ops.iter().all(Op::is_write));
+    }
+
+    #[test]
+    fn mixed_is_one_to_one_read_after_insert() {
+        let ops: Vec<Op> = Enron::mixed(50, 2).collect();
+        assert_eq!(ops.len(), 100);
+        for pair in ops.chunks(2) {
+            assert!(pair[0].is_write());
+            assert!(!pair[1].is_write());
+            assert_eq!(pair[0].id(), pair[1].id(), "read follows its own insert");
+        }
+    }
+
+    #[test]
+    fn replies_quote_previous_messages() {
+        let ops: Vec<Op> = Enron::insert_only(200, 3).collect();
+        let quoted = ops
+            .iter()
+            .filter(|o| match o {
+                Op::Insert { data, .. } => data.windows(2).any(|w| w == b"> "),
+                _ => false,
+            })
+            .count();
+        assert!(quoted > 100, "most messages are replies with quotes: {quoted}");
+    }
+
+    #[test]
+    fn bodies_grow_along_threads_but_are_capped() {
+        let ops: Vec<Op> = Enron::insert_only(500, 4).collect();
+        let max = ops
+            .iter()
+            .map(|o| match o {
+                Op::Insert { data, .. } => data.len(),
+                _ => 0,
+            })
+            .max()
+            .unwrap();
+        assert!(max > 10_000, "nested quoting should grow messages: max {max}");
+        assert!(max <= Enron::MAX_BODY + 512);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<Op> = Enron::insert_only(60, 9).collect();
+        let b: Vec<Op> = Enron::insert_only(60, 9).collect();
+        assert_eq!(a, b);
+    }
+}

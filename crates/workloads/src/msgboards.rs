@@ -1,0 +1,182 @@
+//! The message-boards workload: vBulletin-style forums with quoting.
+//!
+//! Duplication comes from users quoting each other's comments in their
+//! posts (§5.1). Each insert is a post carrying forum/thread metadata,
+//! fresh prose, and with high probability one or two quoted earlier posts
+//! from the same thread. The read pattern is the paper's "thread read":
+//! fetching a thread retrieves all its previous posts; the number of
+//! thread reads per insertion derives from the thread's view count.
+
+use crate::op::{Op, Workload};
+use crate::text::TextGen;
+use dbdedup_util::dist::SplitMix64;
+use dbdedup_util::ids::RecordId;
+use std::collections::VecDeque;
+
+struct Thread {
+    posts: Vec<(RecordId, String)>,
+}
+
+/// See module docs.
+pub struct MessageBoards {
+    rng: SplitMix64,
+    text: TextGen,
+    threads: Vec<Thread>,
+    next_id: u64,
+    writes_left: usize,
+    thread_reads_per_insert: f64,
+    pending: VecDeque<Op>,
+}
+
+impl MessageBoards {
+    const NEW_THREAD_PROB: f64 = 0.1;
+    const QUOTE_PROB: f64 = 0.7;
+
+    /// Insert-only trace.
+    pub fn insert_only(inserts: usize, seed: u64) -> Self {
+        Self::build(inserts, 0.0, seed)
+    }
+
+    /// The paper's trace: after each post insertion, the containing thread
+    /// is read `thread_reads_per_insert` times (all previous posts).
+    pub fn mixed(inserts: usize, thread_reads_per_insert: f64, seed: u64) -> Self {
+        Self::build(inserts, thread_reads_per_insert, seed)
+    }
+
+    fn build(inserts: usize, thread_reads_per_insert: f64, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0xf0b4_7271_8cc3_55da);
+        let text = TextGen::new(&mut rng, 800);
+        Self {
+            text,
+            threads: Vec::new(),
+            next_id: 0,
+            writes_left: inserts,
+            thread_reads_per_insert,
+            pending: VecDeque::new(),
+            rng,
+        }
+    }
+
+    fn next_insert(&mut self) -> Op {
+        self.writes_left -= 1;
+        let id = RecordId(self.next_id);
+        self.next_id += 1;
+
+        let new_thread = self.threads.is_empty() || self.rng.next_bool(Self::NEW_THREAD_PROB);
+        let k = if new_thread {
+            self.threads.push(Thread { posts: Vec::new() });
+            self.threads.len() - 1
+        } else {
+            // Activity concentrates on recent threads.
+            let start = self.threads.len().saturating_sub(25);
+            start + self.rng.next_index(self.threads.len() - start)
+        };
+
+        let size = 200 + self.rng.next_index(2_800);
+        let mut body = self.text.text(&mut self.rng, size);
+        if !self.threads[k].posts.is_empty() && self.rng.next_bool(Self::QUOTE_PROB) {
+            let quotes = 1 + self.rng.next_index(2);
+            for _ in 0..quotes {
+                let q = self.rng.next_index(self.threads[k].posts.len());
+                let quoted = self.text.quote(&self.threads[k].posts[q].1, 40);
+                body = format!("[quote]\n{quoted}[/quote]\n{body}");
+            }
+        }
+        let data = format!(
+            "forum: cars\nthread: {k}\npost: {}\nuser: member{:04}\n\n{body}",
+            self.threads[k].posts.len(),
+            self.rng.next_index(5_000),
+        );
+        self.threads[k].posts.push((id, body));
+
+        // Thread reads: fetch all previous posts of this thread.
+        let mut reads = self.thread_reads_per_insert;
+        while reads >= 1.0 || (reads > 0.0 && self.rng.next_bool(reads)) {
+            for &(pid, _) in &self.threads[k].posts {
+                self.pending.push_back(Op::Read { id: pid });
+            }
+            reads -= 1.0;
+            if reads <= 0.0 {
+                break;
+            }
+        }
+        Op::Insert { id, data: data.into_bytes() }
+    }
+}
+
+impl Iterator for MessageBoards {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        if let Some(op) = self.pending.pop_front() {
+            return Some(op);
+        }
+        if self.writes_left == 0 {
+            return None;
+        }
+        Some(self.next_insert())
+    }
+}
+
+impl Workload for MessageBoards {
+    fn db(&self) -> &'static str {
+        "msgboards"
+    }
+
+    fn name(&self) -> &'static str {
+        "Message Boards"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_only_counts() {
+        let ops: Vec<Op> = MessageBoards::insert_only(120, 1).collect();
+        assert_eq!(ops.len(), 120);
+        assert!(ops.iter().all(Op::is_write));
+    }
+
+    #[test]
+    fn posts_quote_thread_content() {
+        let ops: Vec<Op> = MessageBoards::insert_only(300, 2).collect();
+        let quoted = ops
+            .iter()
+            .filter(|o| match o {
+                Op::Insert { data, .. } => data.windows(7).any(|w| w == b"[quote]"),
+                _ => false,
+            })
+            .count();
+        assert!(quoted > 100, "quoting should be common: {quoted}");
+    }
+
+    #[test]
+    fn thread_reads_cover_previous_posts() {
+        let ops: Vec<Op> = MessageBoards::mixed(30, 1.0, 3).collect();
+        let mut inserted = std::collections::HashSet::new();
+        let mut reads = 0usize;
+        for op in &ops {
+            match op {
+                Op::Insert { id, .. } => {
+                    inserted.insert(*id);
+                }
+                Op::Read { id } => {
+                    assert!(inserted.contains(id));
+                    reads += 1;
+                }
+            }
+        }
+        // Each insert triggers a whole-thread read, so reads grow
+        // super-linearly with posts per thread.
+        assert!(reads >= 30, "thread reads missing: {reads}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<Op> = MessageBoards::insert_only(70, 5).collect();
+        let b: Vec<Op> = MessageBoards::insert_only(70, 5).collect();
+        assert_eq!(a, b);
+    }
+}

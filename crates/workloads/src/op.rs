@@ -1,0 +1,57 @@
+//! The operation model shared by all workload generators.
+
+use dbdedup_util::ids::RecordId;
+
+/// One client operation against the DBMS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Insert a new record.
+    Insert {
+        /// The record's id (unique within the workload).
+        id: RecordId,
+        /// Record content.
+        data: Vec<u8>,
+    },
+    /// Read a record.
+    Read {
+        /// The record to read.
+        id: RecordId,
+    },
+}
+
+impl Op {
+    /// Whether this is a write.
+    pub fn is_write(&self) -> bool {
+        matches!(self, Op::Insert { .. })
+    }
+
+    /// The record this op touches.
+    pub fn id(&self) -> RecordId {
+        match self {
+            Op::Insert { id, .. } | Op::Read { id } => *id,
+        }
+    }
+}
+
+/// A workload: a named, seeded, lazily generated operation stream.
+pub trait Workload: Iterator<Item = Op> {
+    /// The logical database name (the governor and index partition key).
+    fn db(&self) -> &'static str;
+    /// Human-readable dataset name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_accessors() {
+        let w = Op::Insert { id: RecordId(1), data: vec![1] };
+        let r = Op::Read { id: RecordId(2) };
+        assert!(w.is_write());
+        assert!(!r.is_write());
+        assert_eq!(w.id(), RecordId(1));
+        assert_eq!(r.id(), RecordId(2));
+    }
+}

@@ -1,0 +1,211 @@
+//! The Stack-Exchange-like workload: post revisions and answer copying.
+//!
+//! The paper attributes this dataset's duplication to "users revising
+//! their own posts and copying answers from other discussion threads"
+//! (§5.1). Writes are a mix of fresh questions, answers (some of which
+//! copy paragraphs from existing answers), and revisions (a new record
+//! containing an edited copy of an existing post). Reads are weighted by
+//! view count — approximated with Zipf popularity over posts — at the
+//! paper's 99.9 : 0.1 ratio.
+
+use crate::op::{Op, Workload};
+use crate::text::TextGen;
+use dbdedup_util::dist::SplitMix64;
+use dbdedup_util::ids::RecordId;
+use std::collections::VecDeque;
+
+struct Post {
+    id: RecordId,
+    body: String,
+    revisions: usize,
+}
+
+/// See module docs.
+pub struct StackExchange {
+    rng: SplitMix64,
+    text: TextGen,
+    posts: Vec<Post>,
+    next_id: u64,
+    writes_left: usize,
+    reads_left: usize,
+    read_fraction: f64,
+    pending: VecDeque<Op>,
+}
+
+impl StackExchange {
+    const REVISION_PROB: f64 = 0.25;
+    const COPY_PROB: f64 = 0.15;
+
+    /// Insert-only trace.
+    pub fn insert_only(inserts: usize, seed: u64) -> Self {
+        Self::build(inserts, 0.0, seed)
+    }
+
+    /// Mixed trace with view-count-weighted reads.
+    pub fn mixed(writes: usize, read_fraction: f64, seed: u64) -> Self {
+        Self::build(writes, read_fraction, seed)
+    }
+
+    fn build(writes: usize, read_fraction: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&read_fraction));
+        let mut rng = SplitMix64::new(seed ^ 0x57ac_e8c4_19bd_2261);
+        let text = TextGen::new(&mut rng, 1000);
+        let reads = if read_fraction == 0.0 {
+            0
+        } else {
+            (writes as f64 * read_fraction / (1.0 - read_fraction)) as usize
+        };
+        Self {
+            text,
+            posts: Vec::new(),
+            next_id: 0,
+            writes_left: writes,
+            reads_left: reads,
+            read_fraction,
+            pending: VecDeque::new(),
+            rng,
+        }
+    }
+
+    fn render(&self, tags: &str, body: &str) -> Vec<u8> {
+        format!("tags: {tags}\nscore: 0\n\n{body}").into_bytes()
+    }
+
+    fn next_write(&mut self) -> Op {
+        self.writes_left -= 1;
+        let id = RecordId(self.next_id);
+        self.next_id += 1;
+
+        let revise = !self.posts.is_empty() && self.rng.next_bool(Self::REVISION_PROB);
+        let body = if revise {
+            // Revise an existing post: a new record with edited content —
+            // application-level versioning, invisible to the DBMS.
+            let k = self.rng.next_index(self.posts.len());
+            let mut b = self.posts[k].body.clone();
+            let edits = 1 + self.rng.next_index(4);
+            self.text.edit(&mut self.rng, &mut b, edits);
+            self.posts[k].revisions += 1;
+            self.posts[k].body = b.clone();
+            b
+        } else {
+            let size = 300 + self.rng.next_index(5_000);
+            let mut b = self.text.text(&mut self.rng, size);
+            // Some answers copy paragraphs from other threads.
+            if !self.posts.is_empty() && self.rng.next_bool(Self::COPY_PROB) {
+                let k = self.rng.next_index(self.posts.len());
+                let donor = &self.posts[k].body;
+                let take = donor.len().min(500 + self.rng.next_index(2_000));
+                let mut cut = take;
+                while cut > 0 && !donor.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                b.push_str("\nQuoted answer:\n");
+                b.push_str(&donor[..cut]);
+            }
+            b
+        };
+        let data = self.render("rust,databases", &body);
+        self.posts.push(Post { id, body, revisions: 0 });
+        Op::Insert { id, data }
+    }
+
+    fn next_read(&mut self) -> Op {
+        self.reads_left -= 1;
+        // View counts are heavy-tailed: square a uniform draw to bias
+        // toward early (long-lived, popular) posts.
+        let u = self.rng.next_f64();
+        let k = ((u * u) * self.posts.len() as f64) as usize;
+        Op::Read { id: self.posts[k.min(self.posts.len() - 1)].id }
+    }
+}
+
+impl Iterator for StackExchange {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        if let Some(op) = self.pending.pop_front() {
+            return Some(op);
+        }
+        if self.writes_left == 0 && self.reads_left == 0 {
+            return None;
+        }
+        if self.posts.is_empty() || self.reads_left == 0 {
+            if self.writes_left == 0 {
+                return Some(self.next_read());
+            }
+            return Some(self.next_write());
+        }
+        if self.writes_left > 0 && !self.rng.next_bool(self.read_fraction) {
+            Some(self.next_write())
+        } else {
+            Some(self.next_read())
+        }
+    }
+}
+
+impl Workload for StackExchange {
+    fn db(&self) -> &'static str {
+        "stackexchange"
+    }
+
+    fn name(&self) -> &'static str {
+        "Stack Exchange"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_only_counts() {
+        let ops: Vec<Op> = StackExchange::insert_only(150, 1).collect();
+        assert_eq!(ops.len(), 150);
+        assert!(ops.iter().all(Op::is_write));
+    }
+
+    #[test]
+    fn contains_copied_answers() {
+        let ops: Vec<Op> = StackExchange::insert_only(300, 2).collect();
+        let with_quotes = ops
+            .iter()
+            .filter(|o| match o {
+                Op::Insert { data, .. } => {
+                    data.windows(14).any(|w| w == b"Quoted answer:")
+                }
+                _ => false,
+            })
+            .count();
+        assert!(with_quotes > 10, "answer copying must appear: {with_quotes}");
+    }
+
+    #[test]
+    fn reads_valid_and_biased_to_popular() {
+        let ops: Vec<Op> = StackExchange::mixed(40, 0.9, 3).collect();
+        let mut inserted = std::collections::HashSet::new();
+        let mut read_ids = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Insert { id, .. } => {
+                    inserted.insert(*id);
+                }
+                Op::Read { id } => {
+                    assert!(inserted.contains(id));
+                    read_ids.push(id.get());
+                }
+            }
+        }
+        assert!(!read_ids.is_empty());
+        // Bias check: median read id should be in the earlier half.
+        read_ids.sort_unstable();
+        let median = read_ids[read_ids.len() / 2];
+        assert!(median < 30, "reads should favour early posts, median {median}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<Op> = StackExchange::insert_only(80, 7).collect();
+        let b: Vec<Op> = StackExchange::insert_only(80, 7).collect();
+        assert_eq!(a, b);
+    }
+}

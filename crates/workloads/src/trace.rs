@@ -1,0 +1,156 @@
+//! Trace capture and replay.
+//!
+//! The paper evaluates against *traces* (sorted dataset writes plus
+//! synthesized reads). This module serializes any [`Op`] stream to a
+//! compact binary file and replays it later — so an expensive generator
+//! run (or, for users with access to the real corpora, a converter from
+//! the original dumps) can be captured once and replayed byte-identically
+//! across engines and configurations.
+//!
+//! ```text
+//! trace  := entry*
+//! entry  := u32(frame_len) frame
+//! frame  := 0x01 varint(id) varint(len) byte{len}   ; insert
+//!         | 0x02 varint(id)                          ; read
+//! ```
+
+use crate::op::Op;
+use dbdedup_util::codec::{ByteReader, ByteWriter};
+use dbdedup_util::ids::RecordId;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Writes `ops` to `path`. Returns the number of operations written.
+pub fn save_trace(
+    path: impl AsRef<Path>,
+    ops: impl Iterator<Item = Op>,
+) -> std::io::Result<u64> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    let mut n = 0u64;
+    for op in ops {
+        let mut w = ByteWriter::new();
+        match &op {
+            Op::Insert { id, data } => {
+                w.put_u8(0x01);
+                w.put_varint(id.get());
+                w.put_len_prefixed(data);
+            }
+            Op::Read { id } => {
+                w.put_u8(0x02);
+                w.put_varint(id.get());
+            }
+        }
+        out.write_all(&(w.len() as u32).to_le_bytes())?;
+        out.write_all(w.as_slice())?;
+        n += 1;
+    }
+    out.flush()?;
+    Ok(n)
+}
+
+/// Streaming reader over a saved trace.
+pub struct TraceReader {
+    input: BufReader<std::fs::File>,
+    finished: bool,
+}
+
+impl TraceReader {
+    /// Opens a trace file for replay.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self { input: BufReader::new(std::fs::File::open(path)?), finished: false })
+    }
+
+    fn read_one(&mut self) -> std::io::Result<Option<Op>> {
+        let mut len4 = [0u8; 4];
+        match self.input.read_exact(&mut len4) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        let len = u32::from_le_bytes(len4) as usize;
+        let mut frame = vec![0u8; len];
+        self.input.read_exact(&mut frame)?;
+        let mut r = ByteReader::new(&frame);
+        let bad =
+            |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        match r.get_u8().map_err(|_| bad("empty frame"))? {
+            0x01 => {
+                let id = RecordId(r.get_varint().map_err(|_| bad("bad id"))?);
+                let data = r.get_len_prefixed().map_err(|_| bad("bad payload"))?.to_vec();
+                Ok(Some(Op::Insert { id, data }))
+            }
+            0x02 => {
+                let id = RecordId(r.get_varint().map_err(|_| bad("bad id"))?);
+                Ok(Some(Op::Read { id }))
+            }
+            _ => Err(bad("unknown op tag")),
+        }
+    }
+}
+
+impl Iterator for TraceReader {
+    type Item = std::io::Result<Op>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.finished {
+            return None;
+        }
+        match self.read_one() {
+            Ok(Some(op)) => Some(Ok(op)),
+            Ok(None) => {
+                self.finished = true;
+                None
+            }
+            Err(e) => {
+                self.finished = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wikipedia::Wikipedia;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dbdedup-trace-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_mixed_trace() {
+        let path = tmp("roundtrip");
+        let ops: Vec<Op> = Wikipedia::mixed(30, 0.8, 5).collect();
+        let n = save_trace(&path, ops.clone().into_iter()).unwrap();
+        assert_eq!(n as usize, ops.len());
+        let replayed: Vec<Op> =
+            TraceReader::open(&path).unwrap().collect::<std::io::Result<_>>().unwrap();
+        assert_eq!(replayed, ops);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let path = tmp("empty");
+        save_trace(&path, std::iter::empty()).unwrap();
+        let replayed: Vec<_> = TraceReader::open(&path).unwrap().collect();
+        assert!(replayed.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_trace_surfaces_error() {
+        let path = tmp("corrupt");
+        save_trace(&path, Wikipedia::insert_only(3, 6)).unwrap();
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[3, 0, 0, 0, 0xff, 0xff, 0xff]).unwrap(); // bad tag
+        }
+        let results: Vec<_> = TraceReader::open(&path).unwrap().collect();
+        assert_eq!(results.len(), 4);
+        assert!(results[3].is_err(), "corrupt tail must error, not panic");
+        let _ = std::fs::remove_file(&path);
+    }
+}

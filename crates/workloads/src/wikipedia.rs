@@ -1,0 +1,279 @@
+//! The Wikipedia-like workload: application-level versioning of articles.
+//!
+//! Mirrors the paper's trace (§5.1): articles receive incremental
+//! revisions — each a full new record containing metadata plus the whole
+//! updated article text. Article popularity is Zipfian; >95% of revisions
+//! build on the article's latest version (the rest edit an older one,
+//! exercising overlapped encoding, §3.2.1 / Fig. 5); reads are 99.9 : 0.1
+//! against writes with 99.7% of them to an article's latest revision.
+
+use crate::op::{Op, Workload};
+use crate::text::TextGen;
+use dbdedup_util::dist::{LogNormal, SplitMix64, Zipf};
+use dbdedup_util::ids::RecordId;
+use std::collections::VecDeque;
+
+/// Generates one article's full revision chain directly: `len` versions,
+/// each an incremental edit of the previous. Used by the hop-encoding and
+/// delta-compression experiments (Figs. 14, 15), which need one long chain
+/// rather than a mixed trace.
+pub fn revision_chain(len: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SplitMix64::new(seed ^ 0x3c71_90aa_d00d_f00d);
+    let text = TextGen::new(&mut rng, 1200);
+    // A popular article: large body, tiny per-revision churn (real wiki
+    // edits touch ~0.1% of a big article), so even distant revisions stay
+    // highly similar — the regime hop encoding's long-range deltas rely on.
+    let mut body = text.text(&mut rng, 100_000);
+    let mut out = Vec::with_capacity(len);
+    out.push(body.clone().into_bytes());
+    for _ in 1..len {
+        let edits = 1 + rng.next_index(2);
+        text.edit(&mut rng, &mut body, edits);
+        out.push(body.clone().into_bytes());
+    }
+    out
+}
+
+struct Article {
+    title: String,
+    latest_text: String,
+    prev_text: Option<String>,
+    revision_ids: Vec<RecordId>,
+}
+
+/// See module docs.
+pub struct Wikipedia {
+    rng: SplitMix64,
+    text: TextGen,
+    articles: Vec<Article>,
+    popularity: Zipf,
+    sizes: LogNormal,
+    next_id: u64,
+    writes_left: usize,
+    reads_left: usize,
+    read_fraction: f64,
+    pending: VecDeque<Op>,
+}
+
+impl Wikipedia {
+    const REVISIONS_PER_ARTICLE: usize = 40;
+    const STALE_BASE_PROB: f64 = 0.03;
+    const READ_LATEST_PROB: f64 = 0.997;
+
+    /// Insert-only trace of `inserts` revisions (compression experiments).
+    pub fn insert_only(inserts: usize, seed: u64) -> Self {
+        Self::build(inserts, 0.0, seed)
+    }
+
+    /// Mixed trace: `writes` inserts interleaved with reads at
+    /// `read_fraction` (the paper's trace uses 0.999).
+    pub fn mixed(writes: usize, read_fraction: f64, seed: u64) -> Self {
+        Self::build(writes, read_fraction, seed)
+    }
+
+    fn build(writes: usize, read_fraction: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&read_fraction));
+        let mut rng = SplitMix64::new(seed ^ 0x819a_51c3_77ab_01f4);
+        let text = TextGen::new(&mut rng, 1200);
+        let n_articles = (writes / Self::REVISIONS_PER_ARTICLE).max(4);
+        let reads = if read_fraction == 0.0 {
+            0
+        } else {
+            (writes as f64 * read_fraction / (1.0 - read_fraction)) as usize
+        };
+        Self {
+            text,
+            articles: Vec::with_capacity(n_articles),
+            popularity: Zipf::new(n_articles, 1.0),
+            // Heavy-tailed like the real corpus (Fig 7 spans 100 B - 10 MB):
+            // records below the 40th size percentile hold only a few percent
+            // of total bytes, so the size filter costs little compression.
+            sizes: LogNormal::from_median(4_000.0, 1.8),
+            next_id: 0,
+            writes_left: writes,
+            reads_left: reads,
+            read_fraction,
+            pending: VecDeque::new(),
+            rng,
+        }
+    }
+
+    fn render(&self, title: &str, rev: usize, body: &str) -> Vec<u8> {
+        format!(
+            "title: {title}\nrevision: {rev}\nauthor: user{:05}\ncomment: edit pass {rev}\n\n{body}",
+            rev * 7919 % 100_000
+        )
+        .into_bytes()
+    }
+
+    fn next_write(&mut self) -> Op {
+        self.writes_left -= 1;
+        let id = RecordId(self.next_id);
+        self.next_id += 1;
+
+        let want_new_article = self.articles.len() < self.popularity.len()
+            && (self.articles.is_empty()
+                || self.rng.next_bool(1.0 / Self::REVISIONS_PER_ARTICLE as f64));
+        if want_new_article {
+            let size = self.sizes.sample_clamped(&mut self.rng, 256, 2 << 20) as usize;
+            let title = format!("Article_{}", self.articles.len());
+            let body = self.text.text(&mut self.rng, size);
+            let data = self.render(&title, 0, &body);
+            self.articles.push(Article {
+                title,
+                latest_text: body,
+                prev_text: None,
+                revision_ids: vec![id],
+            });
+            return Op::Insert { id, data };
+        }
+
+        // Revise an existing (Zipf-popular) article.
+        let k = self.popularity.sample(&mut self.rng).min(self.articles.len() - 1);
+        let stale = self.rng.next_bool(Self::STALE_BASE_PROB);
+        let mut body = {
+            let art = &self.articles[k];
+            match (&art.prev_text, stale) {
+                (Some(prev), true) => prev.clone(),
+                _ => art.latest_text.clone(),
+            }
+        };
+        // Wiki edits are small relative to article size: a handful of
+        // dispersed modifications (typo fixes, sentence tweaks), not a
+        // rewrite — this is what makes real Wikipedia dedup at 26-37x.
+        let edits = 1 + self.rng.next_index(4);
+        self.text.edit(&mut self.rng, &mut body, edits);
+        let rev = self.articles[k].revision_ids.len();
+        let title = self.articles[k].title.clone();
+        let data = self.render(&title, rev, &body);
+        let art = &mut self.articles[k];
+        art.prev_text = Some(std::mem::replace(&mut art.latest_text, body));
+        art.revision_ids.push(id);
+        Op::Insert { id, data }
+    }
+
+    fn next_read(&mut self) -> Op {
+        self.reads_left -= 1;
+        let k = self.popularity.sample(&mut self.rng).min(self.articles.len() - 1);
+        let art = &self.articles[k];
+        let id = if self.rng.next_bool(Self::READ_LATEST_PROB) {
+            *art.revision_ids.last().expect("articles have revisions")
+        } else {
+            art.revision_ids[self.rng.next_index(art.revision_ids.len())]
+        };
+        Op::Read { id }
+    }
+}
+
+impl Iterator for Wikipedia {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        if let Some(op) = self.pending.pop_front() {
+            return Some(op);
+        }
+        if self.writes_left == 0 && self.reads_left == 0 {
+            return None;
+        }
+        // Nothing to read before the first write.
+        if self.articles.is_empty() || self.reads_left == 0 {
+            if self.writes_left == 0 {
+                // Only reads remain.
+                return Some(self.next_read());
+            }
+            return Some(self.next_write());
+        }
+        if self.writes_left > 0 && !self.rng.next_bool(self.read_fraction) {
+            Some(self.next_write())
+        } else {
+            Some(self.next_read())
+        }
+    }
+}
+
+impl Workload for Wikipedia {
+    fn db(&self) -> &'static str {
+        "wikipedia"
+    }
+
+    fn name(&self) -> &'static str {
+        "Wikipedia"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_only_produces_exact_count() {
+        let ops: Vec<Op> = Wikipedia::insert_only(200, 1).collect();
+        assert_eq!(ops.len(), 200);
+        assert!(ops.iter().all(Op::is_write));
+        // Ids are unique and dense.
+        let mut ids: Vec<u64> = ops.iter().map(|o| o.id().get()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 200);
+    }
+
+    #[test]
+    fn revisions_are_similar_to_predecessors() {
+        let ops: Vec<Op> = Wikipedia::insert_only(50, 2).collect();
+        // Find two consecutive revisions of the same article by title line.
+        let title_of = |d: &[u8]| {
+            let s = std::str::from_utf8(d).unwrap();
+            s.lines().next().unwrap().to_string()
+        };
+        let mut by_title: std::collections::HashMap<String, Vec<&Vec<u8>>> = Default::default();
+        for op in &ops {
+            if let Op::Insert { data, .. } = op {
+                by_title.entry(title_of(data)).or_default().push(data);
+            }
+        }
+        let chain = by_title.values().find(|v| v.len() >= 3).expect("some article has revisions");
+        // Consecutive revisions share most content. Aligned-block
+        // comparison would fall to the boundary-shift problem, so index
+        // every 64-byte window of the predecessor and probe the
+        // successor's (unaligned) blocks against it.
+        let (a, b) = (chain[chain.len() - 2], chain[chain.len() - 1]);
+        let windows: std::collections::HashSet<&[u8]> = a.windows(64).collect();
+        let blocks: Vec<&[u8]> = b.chunks(64).filter(|c| c.len() == 64).collect();
+        let common = blocks.iter().filter(|c| windows.contains(*c)).count();
+        assert!(
+            common * 3 > blocks.len() * 2,
+            "revisions should share content: {common}/{}",
+            blocks.len()
+        );
+    }
+
+    #[test]
+    fn mixed_trace_has_paper_read_ratio() {
+        let ops: Vec<Op> = Wikipedia::mixed(20, 0.95, 3).collect();
+        let writes = ops.iter().filter(|o| o.is_write()).count();
+        let reads = ops.len() - writes;
+        assert_eq!(writes, 20);
+        assert!(reads > writes * 10, "reads {reads} vs writes {writes}");
+        assert!(ops[0].is_write(), "first op must be a write");
+    }
+
+    #[test]
+    fn reads_reference_inserted_ids() {
+        let mut inserted = std::collections::HashSet::new();
+        for op in Wikipedia::mixed(30, 0.9, 4) {
+            match op {
+                Op::Insert { id, .. } => {
+                    inserted.insert(id);
+                }
+                Op::Read { id } => assert!(inserted.contains(&id), "read of uninserted {id}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<Op> = Wikipedia::insert_only(50, 9).collect();
+        let b: Vec<Op> = Wikipedia::insert_only(50, 9).collect();
+        assert_eq!(a, b);
+    }
+}

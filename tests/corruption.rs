@@ -1,0 +1,112 @@
+//! Failure injection: on-disk corruption must surface as clean errors,
+//! never as panics or silently wrong data.
+
+use dbdedup::storage::store::{RecordStore, StorageForm, StoreConfig, StoreError};
+use dbdedup::util::ids::RecordId;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbdedup-corrupt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Flips a byte inside the segment file at `offset_from_end`.
+fn flip_byte(dir: &Path, offset_from_end: u64) {
+    let seg = dir.join("seg000000.dat");
+    let mut f = std::fs::OpenOptions::new().read(true).write(true).open(&seg).expect("open");
+    let len = f.metadata().expect("meta").len();
+    let pos = len.saturating_sub(offset_from_end);
+    f.seek(SeekFrom::Start(pos)).expect("seek");
+    let mut b = [0u8; 1];
+    f.read_exact(&mut b).expect("read");
+    f.seek(SeekFrom::Start(pos)).expect("seek");
+    f.write_all(&[b[0] ^ 0xff]).expect("write");
+}
+
+#[test]
+fn corrupted_compressed_payload_is_detected() {
+    let dir = temp_dir("payload");
+    {
+        let store = RecordStore::open(&dir, StoreConfig { block_compression: true, ..Default::default() })
+            .expect("open");
+        let text = "a compressible record body, repeated and repeated. ".repeat(100);
+        store.put(RecordId(1), StorageForm::Raw, text.as_bytes()).expect("put");
+        // Corrupt the payload mid-entry.
+        flip_byte(&dir, 100);
+        match store.get(RecordId(1)) {
+            Err(StoreError::Corrupt(_)) => {} // detected
+            Ok(r) => {
+                // A literal-run byte flip can decompress "successfully";
+                // the payload must then still be the right length (the
+                // framing was intact) — no panic either way.
+                assert_eq!(r.payload.len(), text.len());
+            }
+            Err(e) => panic!("unexpected error kind: {e}"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_tail_is_dropped_on_recovery() {
+    let dir = temp_dir("tail");
+    {
+        let store = RecordStore::open(&dir, StoreConfig::default()).expect("open");
+        store.put(RecordId(1), StorageForm::Raw, b"intact record one").expect("put");
+        store.put(RecordId(2), StorageForm::Raw, b"intact record two").expect("put");
+    }
+    // Simulate a torn final write: append a frame header claiming more
+    // bytes than exist.
+    {
+        let seg = dir.join("seg000000.dat");
+        let mut f = std::fs::OpenOptions::new().append(true).open(&seg).expect("open");
+        f.write_all(&[255, 0, 0, 0, 1, 2, 3]).expect("write");
+    }
+    {
+        let store = RecordStore::open(&dir, StoreConfig::default()).expect("recover");
+        assert_eq!(store.len(), 2, "intact records survive");
+        assert_eq!(&store.get(RecordId(1)).unwrap().payload[..], b"intact record one");
+        assert_eq!(&store.get(RecordId(2)).unwrap().payload[..], b"intact record two");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_delta_payload_fails_decode_cleanly() {
+    use dbdedup::{DedupEngine, EngineConfig};
+    let dir = temp_dir("delta");
+    let chain = dbdedup::workloads::wikipedia::revision_chain(5, 9);
+    {
+        let store = RecordStore::open(&dir, StoreConfig::default()).expect("open");
+        let mut cfg = EngineConfig::default();
+        cfg.min_benefit_bytes = 16;
+        let mut e = DedupEngine::new(store, cfg).expect("engine");
+        for (i, rev) in chain.iter().enumerate() {
+            e.insert("wikipedia", RecordId(i as u64), rev).expect("insert");
+        }
+        e.flush_all_writebacks().expect("flush");
+    }
+    // Corrupt bytes near the end of the segment (the last writeback's
+    // delta payload lives there).
+    for off in [40u64, 60, 80] {
+        flip_byte(&dir, off);
+    }
+    {
+        let store = RecordStore::open(&dir, StoreConfig::default()).expect("recover");
+        let mut cfg = EngineConfig::default();
+        cfg.min_benefit_bytes = 16;
+        let mut e = DedupEngine::new(store, cfg).expect("engine");
+        // Reads must either succeed with *some* result (the corruption may
+        // have hit slack space) or fail with a structured error — never
+        // panic. The head revision is raw and must always be readable
+        // unless the corruption hit it directly.
+        for i in 0..chain.len() {
+            match e.read(RecordId(i as u64)) {
+                Ok(_) | Err(_) => {}
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

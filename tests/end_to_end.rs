@@ -1,0 +1,164 @@
+//! End-to-end integration: every workload through the full engine, with
+//! correctness of all reads and the paper's qualitative compression
+//! ordering.
+
+use dbdedup::workloads::{standard_suite, Enron, MessageBoards, Op, StackExchange, Wikipedia};
+use dbdedup::{DedupEngine, EngineConfig, RecordId};
+use std::collections::HashMap;
+
+fn engine() -> DedupEngine {
+    let mut cfg = EngineConfig::default();
+    cfg.min_benefit_bytes = 16;
+    DedupEngine::open_temp(cfg).expect("engine")
+}
+
+/// Runs a workload through an engine, remembering every inserted payload,
+/// then verifies every record decodes to exactly its original bytes.
+fn ingest_and_verify(ops: impl Iterator<Item = Op>, db: &str) -> (DedupEngine, u64) {
+    let mut e = engine();
+    let mut truth: HashMap<RecordId, Vec<u8>> = HashMap::new();
+    for op in ops {
+        match op {
+            Op::Insert { id, data } => {
+                e.insert(db, id, &data).expect("insert");
+                truth.insert(id, data);
+            }
+            Op::Read { id } => {
+                let got = e.read(id).expect("read");
+                assert_eq!(&got[..], &truth[&id][..], "read of {id} diverged mid-run");
+            }
+        }
+    }
+    e.flush_all_writebacks().expect("flush");
+    let mut checked = 0u64;
+    for (id, data) in &truth {
+        assert_eq!(&e.read(*id).expect("read")[..], &data[..], "record {id} corrupt at end");
+        checked += 1;
+    }
+    (e, checked)
+}
+
+#[test]
+fn wikipedia_end_to_end() {
+    let (e, n) = ingest_and_verify(Wikipedia::mixed(150, 0.5, 1), "wikipedia");
+    assert_eq!(n, 150);
+    let m = e.metrics();
+    assert!(m.storage_ratio() > 3.0, "wikipedia must compress well: {}", m.storage_ratio());
+    assert!(m.deduped_inserts > 100);
+}
+
+#[test]
+fn enron_end_to_end() {
+    let (e, _) = ingest_and_verify(Enron::mixed(200, 2), "enron");
+    let m = e.metrics();
+    assert!(m.storage_ratio() > 1.5, "enron quoting compresses: {}", m.storage_ratio());
+}
+
+#[test]
+fn stackexchange_end_to_end() {
+    let (e, _) = ingest_and_verify(StackExchange::mixed(200, 0.5, 3), "stackexchange");
+    assert!(e.metrics().storage_ratio() > 1.05);
+}
+
+#[test]
+fn msgboards_end_to_end() {
+    let (e, _) = ingest_and_verify(MessageBoards::mixed(200, 0.5, 4), "msgboards");
+    assert!(e.metrics().storage_ratio() > 1.05);
+}
+
+#[test]
+fn compression_ordering_matches_paper() {
+    // Fig 10's qualitative result: Wikipedia ≫ Enron > forums.
+    let mut ratios = Vec::new();
+    for mut wl in standard_suite(250, 42) {
+        let mut e = engine();
+        let db = wl.db();
+        for op in &mut wl {
+            if let Op::Insert { id, data } = op {
+                e.insert(db, id, &data).expect("insert");
+            }
+        }
+        e.flush_all_writebacks().expect("flush");
+        ratios.push((wl.name(), e.metrics().storage_ratio()));
+    }
+    let get = |name: &str| ratios.iter().find(|(n, _)| *n == name).expect("present").1;
+    let wiki = get("Wikipedia");
+    let enron = get("Enron");
+    let stack = get("Stack Exchange");
+    let boards = get("Message Boards");
+    assert!(wiki > enron, "wikipedia {wiki} vs enron {enron}");
+    assert!(enron > 1.3, "enron {enron}");
+    assert!(stack > 1.02 && boards > 1.02, "forums compress modestly: {stack} {boards}");
+    assert!(wiki > stack && wiki > boards);
+}
+
+#[test]
+fn dedup_vs_plain_storage_is_strictly_smaller() {
+    let mut plain = DedupEngine::open_temp(EngineConfig::no_dedup()).expect("engine");
+    let mut dedup = engine();
+    for op in Wikipedia::insert_only(120, 9) {
+        if let Op::Insert { id, data } = op {
+            plain.insert("wikipedia", id, &data).expect("insert");
+            dedup.insert("wikipedia", id, &data).expect("insert");
+        }
+    }
+    dedup.flush_all_writebacks().expect("flush");
+    assert!(
+        dedup.store().stored_payload_bytes() * 2 < plain.store().stored_payload_bytes(),
+        "dedup {} vs plain {}",
+        dedup.store().stored_payload_bytes(),
+        plain.store().stored_payload_bytes()
+    );
+}
+
+#[test]
+fn block_compression_composes_with_dedup() {
+    let mut cfg = EngineConfig::default();
+    cfg.min_benefit_bytes = 16;
+    let mut dedup_only = DedupEngine::open_temp(cfg.clone()).expect("engine");
+    cfg.block_compression = true;
+    let mut both = DedupEngine::open_temp(cfg).expect("engine");
+    for op in Wikipedia::insert_only(120, 10) {
+        if let Op::Insert { id, data } = op {
+            dedup_only.insert("wikipedia", id, &data).expect("insert");
+            both.insert("wikipedia", id, &data).expect("insert");
+        }
+    }
+    dedup_only.flush_all_writebacks().expect("flush");
+    both.flush_all_writebacks().expect("flush");
+    let a = dedup_only.metrics().storage_ratio();
+    let b = both.metrics().storage_ratio();
+    assert!(b > a * 1.2, "blockz must add on top of dedup: {a} -> {b}");
+    // And reads still return originals.
+    assert!(both.read(RecordId(0)).is_ok());
+}
+
+#[test]
+fn mixed_update_delete_workflow() {
+    let mut e = engine();
+    let docs: Vec<Vec<u8>> = Wikipedia::insert_only(30, 11)
+        .filter_map(|op| match op {
+            Op::Insert { data, .. } => Some(data),
+            _ => None,
+        })
+        .collect();
+    for (i, d) in docs.iter().enumerate() {
+        e.insert("wikipedia", RecordId(i as u64), d).expect("insert");
+    }
+    e.flush_all_writebacks().expect("flush");
+    // Update a few, delete a few, verify the rest still decode.
+    for i in [3u64, 7, 11] {
+        e.update(RecordId(i), format!("updated {i}").as_bytes()).expect("update");
+    }
+    for i in [5u64, 13] {
+        e.delete(RecordId(i)).expect("delete");
+    }
+    for (i, d) in docs.iter().enumerate() {
+        let id = RecordId(i as u64);
+        match i as u64 {
+            3 | 7 | 11 => assert_eq!(&e.read(id).unwrap()[..], format!("updated {i}").as_bytes()),
+            5 | 13 => assert!(e.read(id).is_err()),
+            _ => assert_eq!(&e.read(id).unwrap()[..], &d[..], "record {i}"),
+        }
+    }
+}
