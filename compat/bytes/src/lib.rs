@@ -1,0 +1,115 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the tiny API subset dbdedup actually uses: [`Bytes`], a cheaply
+//! cloneable immutable byte buffer. Cloning shares the underlying
+//! allocation through an `Arc`, which is the property the engine's caches
+//! rely on (handing out record contents without copying).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable, contiguous byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a buffer from a static slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self { data: Arc::from(bytes) }
+    }
+
+    /// Creates a buffer by copying `data`.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self { data: Arc::from(data) }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self { data: Arc::from(v) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self::copy_from_slice(v)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data[..] == other.data[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.data[..] == other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.data.hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_clone_shares() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let c = b.clone();
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(b, c);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::from_static(b"xy"), Bytes::copy_from_slice(b"xy"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the small slice of criterion's API the bench harnesses use: groups,
+//! `bench_function` / `bench_with_input`, throughput annotation, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a plain
+//! wall-clock loop (warm-up, then timed batches until a budget elapses) —
+//! no statistics, but stable enough for the relative comparisons the
+//! benches print.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level bench driver; one per process, passed to every target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+/// Units for reporting throughput alongside time-per-iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: a function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{name}/{parameter}") }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named collection of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+/// Passed to the measured closure; drives the timing loop.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up, then accumulating batches until the
+    /// measurement budget is spent.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let budget = Duration::from_millis(300);
+        let mut batch = 1u64;
+        let start = Instant::now();
+        while start.elapsed() < budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.elapsed += t0.elapsed();
+            self.iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, None, f);
+        self
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the wall-clock loop has no sample
+    /// count to configure.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the measurement budget is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark; the input is passed to the
+    /// closure alongside the [`Bencher`].
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report separator).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{label:<48} (no iterations)");
+        return;
+    }
+    let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => {
+            format!(" {:>10.1} MiB/s", n as f64 / (1 << 20) as f64 / (ns / 1e9))
+        }
+        Throughput::Elements(n) => format!(" {:>10.0} elem/s", n as f64 / (ns / 1e9)),
+    });
+    println!("{label:<48} {ns:>12.1} ns/iter{}", rate.unwrap_or_default());
+}
+
+/// Declares a bench group function invoking each target with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main()` running each group declared with
+/// [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Bytes(8));
+        g.bench_with_input(BenchmarkId::new("add", 1), &3u64, |b, &x| {
+            b.iter(|| x + 1);
+        });
+        g.finish();
+    }
+}

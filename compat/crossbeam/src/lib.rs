@@ -1,0 +1,81 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the [`channel`] subset dbdedup's async replicator uses —
+//! bounded MPSC channels with blocking send/recv and iterator draining —
+//! implemented over `std::sync::mpsc::sync_channel`, which has the same
+//! back-pressure and disconnection semantics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Bounded multi-producer single-consumer channels.
+pub mod channel {
+    /// Sending half; cloneable for multiple producers.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T>(std::sync::mpsc::SyncSender<T>);
+
+    /// Receiving half.
+    #[derive(Debug)]
+    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Creates a channel buffering at most `cap` in-flight messages;
+    /// `send` blocks when the buffer is full (back-pressure).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while the channel is full. Errors only
+        /// when the receiver has disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives one message, blocking; errors when all senders are
+        /// gone and the buffer is drained.
+        pub fn recv(&self) -> Result<T, std::sync::mpsc::RecvError> {
+            self.0.recv()
+        }
+
+        /// Blocking iterator over messages; ends when all senders are
+        /// dropped and the buffer is drained.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_roundtrip_and_disconnect() {
+        let (tx, rx) = channel::bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let collected: Vec<i32> = {
+            let t = std::thread::spawn(move || {
+                tx.send(3).unwrap(); // unblocks as the receiver drains
+            });
+            let v: Vec<i32> = rx.iter().collect();
+            t.join().unwrap();
+            v
+        };
+        assert_eq!(collected, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        drop(rx);
+        assert!(tx.send(9).is_err());
+    }
+}

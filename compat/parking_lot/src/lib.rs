@@ -1,0 +1,51 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Provides the non-poisoning [`Mutex`] API dbdedup uses, implemented over
+//! `std::sync::Mutex`. A poisoned std lock (a panic while held) is
+//! recovered by taking the inner value — matching parking_lot's semantics,
+//! which has no poisoning at all.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A mutual-exclusion lock whose `lock()` never returns a poison error.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+/// Guard returned by [`Mutex::lock`]; releases the lock on drop.
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a lock holding `value`.
+    pub fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Returns a mutable reference without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_get_mut() {
+        let mut m = Mutex::new(1);
+        *m.lock() += 1;
+        *m.get_mut() += 1;
+        assert_eq!(m.into_inner(), 3);
+    }
+}

@@ -42,19 +42,16 @@ fn bench_exact(c: &mut Criterion) {
     let mut g = c.benchmark_group("exact_index");
     let chunks: Vec<[u8; 20]> = {
         let mut rng = SplitMix64::new(2);
-        (0..10_000)
-            .map(|_| sha1(&rng.next_u64().to_le_bytes()))
-            .collect()
+        (0..10_000).map(|_| sha1(&rng.next_u64().to_le_bytes())).collect()
     };
     g.throughput(Throughput::Elements(chunks.len() as u64));
     g.bench_function("sha1_check_insert_10k", |b| {
         b.iter(|| {
             let mut idx = ExactChunkIndex::new();
             for (i, d) in chunks.iter().enumerate() {
-                black_box(idx.check_insert(
-                    *d,
-                    ChunkLocation { record: i as u64, offset: 0, len: 64 },
-                ));
+                black_box(
+                    idx.check_insert(*d, ChunkLocation { record: i as u64, offset: 0, len: 64 }),
+                );
             }
             idx.len()
         });

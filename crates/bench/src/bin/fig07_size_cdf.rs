@@ -24,7 +24,9 @@ fn main() {
         let mut saving_cdf = Cdf::new();
         let db = wl.db();
         for op in &mut wl {
-            let Op::Insert { id, data } = op else { continue };
+            let Op::Insert { id, data } = op else {
+                continue;
+            };
             let size = data.len() as u64;
             let outcome = engine.insert(db, id, &data).expect("insert");
             let saving = match outcome {

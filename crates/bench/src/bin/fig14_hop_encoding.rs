@@ -54,10 +54,8 @@ fn run(policy: EncodingPolicy, chain: &[Vec<u8>]) -> Outcome {
 
     let original: usize = chain.iter().map(Vec::len).sum();
     let total: usize = stored.iter().sum();
-    let worst = (0..n)
-        .map(|i| m.retrievals_for(RecordId(i as u64)).expect("tracked"))
-        .max()
-        .unwrap_or(0);
+    let worst =
+        (0..n).map(|i| m.retrievals_for(RecordId(i as u64)).expect("tracked")).max().unwrap_or(0);
     Outcome { ratio: original as f64 / total as f64, worst_retrievals: worst, writebacks }
 }
 

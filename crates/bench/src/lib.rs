@@ -52,11 +52,7 @@ impl RunResult {
 /// Drives a full trace (inserts + reads) through `engine`, pumping the
 /// write-back path with real elapsed time every few operations — the
 /// background-thread behaviour of the paper's integration.
-pub fn run_trace(
-    engine: &mut DedupEngine,
-    db: &str,
-    ops: impl Iterator<Item = Op>,
-) -> RunResult {
+pub fn run_trace(engine: &mut DedupEngine, db: &str, ops: impl Iterator<Item = Op>) -> RunResult {
     let start = Instant::now();
     let mut latency = LogHistogram::new();
     let mut count = 0u64;
@@ -89,11 +85,7 @@ pub fn run_trace(
 }
 
 /// Ingests only the inserts of a trace (compression experiments).
-pub fn run_inserts(
-    engine: &mut DedupEngine,
-    db: &str,
-    ops: impl Iterator<Item = Op>,
-) -> RunResult {
+pub fn run_inserts(engine: &mut DedupEngine, db: &str, ops: impl Iterator<Item = Op>) -> RunResult {
     run_trace(engine, db, ops.filter(|o| o.is_write()))
 }
 

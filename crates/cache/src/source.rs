@@ -153,7 +153,9 @@ impl SourceRecordCache {
 
     fn evict_to_fit(&mut self, incoming: usize) {
         while self.used_bytes + incoming > self.capacity_bytes {
-            let Some((&tick, &victim)) = self.order.iter().next() else { break };
+            let Some((&tick, &victim)) = self.order.iter().next() else {
+                break;
+            };
             self.order.remove(&tick);
             let e = self.map.remove(&victim).expect("order and map agree");
             self.used_bytes -= e.data.len();

@@ -127,12 +127,8 @@ impl WritebackCache {
     /// computed against the old content and would decode to garbage once
     /// flushed against the new bytes. Returns how many entries dropped.
     pub fn invalidate_by_base(&mut self, base: RecordId) -> usize {
-        let victims: Vec<RecordId> = self
-            .entries
-            .values()
-            .filter(|e| e.base == base)
-            .map(|e| e.target)
-            .collect();
+        let victims: Vec<RecordId> =
+            self.entries.values().filter(|e| e.base == base).map(|e| e.target).collect();
         for t in &victims {
             self.remove_entry(*t);
             self.stats.invalidated += 1;

@@ -44,12 +44,7 @@ impl ChunkerConfig {
     pub fn with_avg(avg_size: usize) -> Self {
         assert!(avg_size.is_power_of_two() && avg_size >= 16, "avg must be a power of two >= 16");
         let window = 48.min(avg_size / 2).max(16);
-        Self {
-            avg_size,
-            min_size: (avg_size / 4).max(window),
-            max_size: avg_size * 4,
-            window,
-        }
+        Self { avg_size, min_size: (avg_size / 4).max(window), max_size: avg_size * 4, window }
     }
 
     /// dbDedup's default 1 KiB average chunk size.
@@ -92,12 +87,7 @@ impl ContentChunker {
         // bytes) hash to 0, so `magic = 0` would degenerate to min-size
         // chunks on zero-filled regions.
         let magic = 0x0078_35b1_ab5a_9c27 & mask;
-        Self {
-            tables: Arc::new(RabinTables::new(config.window)),
-            config,
-            mask,
-            magic,
-        }
+        Self { tables: Arc::new(RabinTables::new(config.window)), config, mask, magic }
     }
 
     /// The configuration this chunker was built with.

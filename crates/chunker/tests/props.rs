@@ -1,66 +1,90 @@
-//! Property tests for chunking and sketching invariants.
+//! Randomized-but-deterministic tests for chunking and sketching
+//! invariants, driven by a seeded [`SplitMix64`] stream (proptest is
+//! unavailable offline; every failure reproduces from the fixed seeds).
 
 use dbdedup_chunker::{ChunkerConfig, ContentChunker, SketchExtractor};
-use proptest::prelude::*;
+use dbdedup_util::dist::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn rand_bytes(rng: &mut SplitMix64, min: usize, max: usize) -> Vec<u8> {
+    let len = min + rng.next_index(max - min);
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
 
-    /// Chunks always tile the input exactly, for arbitrary content.
-    #[test]
-    fn chunks_tile_input(data in prop::collection::vec(any::<u8>(), 0..20_000),
-                         avg_pow in 4u32..10) {
+/// Chunks always tile the input exactly, for arbitrary content.
+#[test]
+fn chunks_tile_input() {
+    let mut rng = SplitMix64::new(0xC4C_0001);
+    for _ in 0..48 {
+        let data = rand_bytes(&mut rng, 0, 20_000);
+        let avg_pow = 4 + rng.next_index(6) as u32;
         let chunker = ContentChunker::new(ChunkerConfig::with_avg(1 << avg_pow));
         let chunks = chunker.chunk(&data);
         let mut pos = 0;
         for c in &chunks {
-            prop_assert_eq!(c.offset, pos);
-            prop_assert!(c.len > 0);
+            assert_eq!(c.offset, pos);
+            assert!(c.len > 0);
             pos += c.len;
         }
-        prop_assert_eq!(pos, data.len());
+        assert_eq!(pos, data.len());
     }
+}
 
-    /// Size bounds hold for every non-final chunk.
-    #[test]
-    fn chunk_size_bounds(data in prop::collection::vec(any::<u8>(), 0..30_000)) {
+/// Size bounds hold for every non-final chunk.
+#[test]
+fn chunk_size_bounds() {
+    let mut rng = SplitMix64::new(0xC4C_0002);
+    for _ in 0..48 {
+        let data = rand_bytes(&mut rng, 0, 30_000);
         let cfg = ChunkerConfig::with_avg(256);
         let chunker = ContentChunker::new(cfg);
         let chunks = chunker.chunk(&data);
         for (i, c) in chunks.iter().enumerate() {
-            prop_assert!(c.len <= cfg.max_size);
+            assert!(c.len <= cfg.max_size);
             if i + 1 != chunks.len() {
-                prop_assert!(c.len >= cfg.min_size, "chunk {} too small: {}", i, c.len);
+                assert!(c.len >= cfg.min_size, "chunk {} too small: {}", i, c.len);
             }
         }
     }
+}
 
-    /// Chunking and sketching are pure functions of the input.
-    #[test]
-    fn deterministic(data in prop::collection::vec(any::<u8>(), 0..10_000)) {
+/// Chunking and sketching are pure functions of the input.
+#[test]
+fn deterministic() {
+    let mut rng = SplitMix64::new(0xC4C_0003);
+    for _ in 0..48 {
+        let data = rand_bytes(&mut rng, 0, 10_000);
         let chunker = ContentChunker::new(ChunkerConfig::with_avg(128));
-        prop_assert_eq!(chunker.chunk(&data), chunker.chunk(&data));
+        assert_eq!(chunker.chunk(&data), chunker.chunk(&data));
         let ex = SketchExtractor::new(chunker, 8);
-        prop_assert_eq!(ex.extract(&data), ex.extract(&data));
+        assert_eq!(ex.extract(&data), ex.extract(&data));
     }
+}
 
-    /// Sketches are bounded by K, sorted descending, and distinct.
-    #[test]
-    fn sketch_shape(data in prop::collection::vec(any::<u8>(), 1..20_000), k in 1usize..16) {
+/// Sketches are bounded by K, sorted descending, and distinct.
+#[test]
+fn sketch_shape() {
+    let mut rng = SplitMix64::new(0xC4C_0004);
+    for _ in 0..48 {
+        let data = rand_bytes(&mut rng, 1, 20_000);
+        let k = 1 + rng.next_index(15);
         let ex = SketchExtractor::new(ContentChunker::new(ChunkerConfig::with_avg(64)), k);
         let s = ex.extract(&data);
-        prop_assert!(s.len() <= k);
-        prop_assert!(!s.is_empty());
+        assert!(s.len() <= k);
+        assert!(!s.is_empty());
         for w in s.features().windows(2) {
-            prop_assert!(w[0] > w[1]);
+            assert!(w[0] > w[1]);
         }
     }
+}
 
-    /// Identical prefixes produce identical leading chunks (locality: a
-    /// change can only affect chunks at or after the edit point).
-    #[test]
-    fn edit_locality(base in prop::collection::vec(any::<u8>(), 2_000..12_000),
-                     suffix in prop::collection::vec(any::<u8>(), 0..2_000)) {
+/// Identical prefixes produce identical leading chunks (locality: a
+/// change can only affect chunks at or after the edit point).
+#[test]
+fn edit_locality() {
+    let mut rng = SplitMix64::new(0xC4C_0005);
+    for _ in 0..48 {
+        let base = rand_bytes(&mut rng, 2_000, 12_000);
+        let suffix = rand_bytes(&mut rng, 0, 2_000);
         let chunker = ContentChunker::new(ChunkerConfig::with_avg(128));
         let mut extended = base.clone();
         extended.extend_from_slice(&suffix);
@@ -71,10 +95,7 @@ proptest! {
         let safe_end = base.len().saturating_sub(chunker.config().max_size);
         let a_early: Vec<_> = a.iter().filter(|c| c.offset + c.len <= safe_end).collect();
         for c in a_early {
-            prop_assert!(
-                b.contains(c),
-                "chunk at {} len {} vanished after append", c.offset, c.len
-            );
+            assert!(b.contains(c), "chunk at {} len {} vanished after append", c.offset, c.len);
         }
     }
 }

@@ -176,10 +176,7 @@ mod tests {
         let per_chunk = 28.0;
         let approx = t.stats().chunks as f64 * per_chunk;
         let actual = t.index_bytes() as f64;
-        assert!(
-            (actual / approx - 1.0).abs() < 0.1,
-            "index {actual} vs expected ~{approx}"
-        );
+        assert!((actual / approx - 1.0).abs() < 0.1, "index {actual} vs expected ~{approx}");
     }
 
     #[test]

@@ -15,7 +15,8 @@ use dbdedup_index::{CuckooConfig, PartitionedFeatureIndex};
 use dbdedup_storage::oplog::DurableOplog;
 use dbdedup_storage::store::{RecordStore, StorageForm, StoreConfig, StoreError};
 use dbdedup_storage::{IoMeter, Oplog, OplogEntry, OplogKind, OplogPayload};
-use dbdedup_util::hash::fx::FxHashMap;
+use dbdedup_util::hash::crc32::crc32;
+use dbdedup_util::hash::fx::{FxHashMap, FxHashSet};
 use dbdedup_util::ids::RecordId;
 
 /// Errors surfaced by engine operations.
@@ -31,6 +32,21 @@ pub enum EngineError {
     DuplicateId(RecordId),
     /// The durable oplog failed.
     Oplog(std::io::Error),
+    /// A read failed because corruption broke the record's decode chain:
+    /// `id` was requested, but `broken_at` (somewhere on its decode path)
+    /// is quarantined, missing, or undecodable. The chain is marked; the
+    /// anti-entropy resync re-materializes it from a peer.
+    ChainBroken {
+        /// The record whose read failed.
+        id: RecordId,
+        /// The decode-path node that is actually damaged.
+        broken_at: RecordId,
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// A replica's background apply thread panicked (replication halted;
+    /// the affected secondary needs a resync).
+    ReplicaPanicked(String),
 }
 
 /// In-memory or durable oplog, behind one interface.
@@ -70,6 +86,10 @@ impl std::fmt::Display for EngineError {
             EngineError::NotFound(id) => write!(f, "record {id} not found"),
             EngineError::DuplicateId(id) => write!(f, "record {id} already exists"),
             EngineError::Oplog(e) => write!(f, "oplog: {e}"),
+            EngineError::ChainBroken { id, broken_at, detail } => {
+                write!(f, "record {id} unreadable: decode chain broken at {broken_at} ({detail})")
+            }
+            EngineError::ReplicaPanicked(msg) => write!(f, "replica apply thread panicked: {msg}"),
         }
     }
 }
@@ -166,6 +186,11 @@ pub struct DedupEngine {
     /// Client updates held aside while the old content serves as a decode
     /// base (§4.1 Update); compacted when the refcount reaches zero.
     shadow: FxHashMap<RecordId, Bytes>,
+    /// Records known unreadable due to corruption: decode bases quarantined
+    /// by salvage recovery, plus chains found broken by reads. Advisory —
+    /// the store remains authoritative — but gives the anti-entropy resync
+    /// its priority work-list.
+    broken: FxHashSet<RecordId>,
     metrics: EngineMetrics,
 }
 
@@ -197,10 +222,22 @@ impl DedupEngine {
         // in-memory by design — as in the paper — so recovered records are
         // re-discovered only once new similar data arrives.)
         let mut chains = ChainManager::new(config.encoding);
+        let mut broken: FxHashSet<RecordId> = FxHashSet::default();
         if !store.is_empty() {
-            chains.recover(store.live_forms().into_iter().map(|(id, form)| {
+            let forms = store.live_forms();
+            let live: FxHashSet<RecordId> = forms.iter().map(|&(id, _)| id).collect();
+            chains.recover(forms.into_iter().map(|(id, form)| {
                 let base = match form {
                     StorageForm::Raw => None,
+                    // Salvage recovery may have quarantined the base this
+                    // delta decodes through. The record is unreadable until
+                    // resync re-materializes it — track it as a raw-headed
+                    // broken chain rather than faulting on a dangling
+                    // pointer.
+                    StorageForm::Delta { base } if !live.contains(&base) => {
+                        broken.insert(id);
+                        None
+                    }
                     StorageForm::Delta { base } => Some(base),
                 };
                 (id, base)
@@ -218,6 +255,7 @@ impl DedupEngine {
             filter: SizeFilter::new(config.filter_refresh_interval, config.filter_quantile),
             slots: SlotTable::default(),
             shadow: FxHashMap::default(),
+            broken,
             metrics: EngineMetrics::default(),
             oplog,
             store,
@@ -292,7 +330,9 @@ impl DedupEngine {
         // ③ Cache-aware source selection (§3.1.3).
         let mut best: Option<(u32, RecordId)> = None;
         for (&cand_slot, &feature_score) in &counts {
-            let Some(cand_id) = self.slots.get(cand_slot) else { continue };
+            let Some(cand_id) = self.slots.get(cand_slot) else {
+                continue;
+            };
             if self.chains.is_deleted(cand_id) || !self.store.contains(cand_id) {
                 continue;
             }
@@ -315,7 +355,18 @@ impl DedupEngine {
         };
 
         // ④ Delta compression (forward first, then re-encode backward).
-        let src_content = self.fetch_for_encode(source)?;
+        let src_content = match self.fetch_for_encode(source) {
+            Ok(c) => c,
+            Err(EngineError::ChainBroken { .. } | EngineError::NotFound(_)) => {
+                // The chosen source is corrupt or vanished. The new data is
+                // intact in hand — degrade to a unique insert rather than
+                // failing the client's write over somebody else's damage.
+                self.record_governor(db, data.len() as u64, data.len() as u64);
+                self.insert_unique_cached(id, data)?;
+                return Ok(InsertOutcome::Unique);
+            }
+            Err(e) => return Err(e),
+        };
         let forward = self.encoder.encode(&src_content, data);
         let saved = data.len() as i64 - forward.encoded_len() as i64;
         if saved < self.config.min_benefit_bytes as i64 {
@@ -373,7 +424,14 @@ impl DedupEngine {
             let (content, delta) = if wb.target == source {
                 (Bytes::copy_from_slice(src_content), reencode(src_content, forward))
             } else {
-                let c = self.fetch_for_encode(wb.target)?;
+                let c = match self.fetch_for_encode(wb.target) {
+                    Ok(c) => c,
+                    // A corrupt hop target just keeps its current form; the
+                    // writeback is an optimization, never worth failing the
+                    // insert for.
+                    Err(EngineError::ChainBroken { .. } | EngineError::NotFound(_)) => continue,
+                    Err(e) => return Err(e),
+                };
                 let d = self.encoder.encode(data, &c);
                 (c, d)
             };
@@ -383,8 +441,7 @@ impl DedupEngine {
                 if self.config.synchronous_writebacks {
                     // Fig. 13b ablation: pay the extra write immediately.
                     self.store.put(wb.target, StorageForm::Delta { base: id }, &enc)?;
-                    self.chains
-                        .commit_writeback(Writeback { target: wb.target, base: id });
+                    self.chains.commit_writeback(Writeback { target: wb.target, base: id });
                     self.io.submit(1);
                 } else {
                     self.wb_cache.insert(PendingWriteback {
@@ -471,6 +528,22 @@ impl DedupEngine {
         Ok(content)
     }
 
+    /// Marks a corruption-broken decode and builds the typed error: a read
+    /// of `id` failed because `broken_at` on its decode path is damaged.
+    /// Both ends are recorded so later resync passes know what to
+    /// re-materialize.
+    fn chain_broken(
+        &mut self,
+        id: RecordId,
+        broken_at: RecordId,
+        detail: impl Into<String>,
+    ) -> EngineError {
+        self.broken.insert(id);
+        self.broken.insert(broken_at);
+        self.metrics.chain_broken_reads += 1;
+        EngineError::ChainBroken { id, broken_at, detail: detail.into() }
+    }
+
     /// Walks base pointers to a raw record, then applies deltas back down.
     /// Returns the content, the path `[id, …, raw]`, and each path node's
     /// decoded content.
@@ -493,7 +566,15 @@ impl DedupEngine {
             }
             let sr = match self.store.get(cur) {
                 Ok(sr) => sr,
-                Err(StoreError::NotFound(_)) => return Err(EngineError::NotFound(cur)),
+                Err(StoreError::NotFound(_)) if cur == id => {
+                    return Err(EngineError::NotFound(cur))
+                }
+                Err(StoreError::NotFound(_)) => {
+                    // A missing mid-chain base is corruption fallout (salvage
+                    // quarantined it), not a client-visible absent record.
+                    return Err(self.chain_broken(id, cur, "decode base missing from store"));
+                }
+                Err(StoreError::Corrupt(detail)) => return Err(self.chain_broken(id, cur, detail)),
                 Err(e) => return Err(e.into()),
             };
             self.io.submit(1);
@@ -503,7 +584,16 @@ impl DedupEngine {
                     break;
                 }
                 StorageForm::Delta { base } => {
-                    deltas.push(Delta::decode(&sr.payload)?);
+                    match Delta::decode(&sr.payload) {
+                        Ok(d) => deltas.push(d),
+                        Err(e) => {
+                            return Err(self.chain_broken(
+                                id,
+                                cur,
+                                format!("stored delta undecodable: {e}"),
+                            ))
+                        }
+                    }
                     path.push(base);
                 }
             }
@@ -512,7 +602,16 @@ impl DedupEngine {
         let mut contents = vec![Bytes::new(); path.len()];
         contents[path.len() - 1] = tail_content;
         for k in (0..path.len() - 1).rev() {
-            let decoded = deltas[k].apply(&contents[k + 1])?;
+            let decoded = match deltas[k].apply(&contents[k + 1]) {
+                Ok(d) => d,
+                Err(e) => {
+                    return Err(self.chain_broken(
+                        id,
+                        path[k],
+                        format!("delta application failed: {e}"),
+                    ))
+                }
+            };
             contents[k] = Bytes::from(decoded);
         }
         Ok((contents[0].clone(), path, contents))
@@ -602,7 +701,12 @@ impl DedupEngine {
         self.apply_update(id, data, true)
     }
 
-    fn apply_update(&mut self, id: RecordId, data: &[u8], emit_oplog: bool) -> Result<(), EngineError> {
+    fn apply_update(
+        &mut self,
+        id: RecordId,
+        data: &[u8],
+        emit_oplog: bool,
+    ) -> Result<(), EngineError> {
         if !self.store.contains(id) || self.chains.is_deleted(id) {
             return Err(EngineError::NotFound(id));
         }
@@ -784,8 +888,118 @@ impl DedupEngine {
         &self.chains
     }
 
+    // ------------------------------------------------------------------
+    // Corruption repair (anti-entropy resync support)
+    // ------------------------------------------------------------------
+
+    /// Record ids known unreadable due to corruption: decode bases
+    /// quarantined by salvage recovery plus chains found broken by reads.
+    /// The anti-entropy resync treats this as its priority work-list (it
+    /// still checksum-compares everything else).
+    pub fn broken_records(&self) -> Vec<RecordId> {
+        let mut v: Vec<RecordId> = self.broken.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Every live (stored, non-deleted) record id, sorted.
+    pub fn live_record_ids(&self) -> Vec<RecordId> {
+        let mut v: Vec<RecordId> = self
+            .store
+            .live_forms()
+            .into_iter()
+            .map(|(id, _)| id)
+            .filter(|&id| !self.chains.is_deleted(id))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// CRC-32 of a record's logical content — what [`read`](Self::read)
+    /// would return — for cheap replica comparison during anti-entropy.
+    pub fn content_checksum(&mut self, id: RecordId) -> Result<u32, EngineError> {
+        if self.chains.is_deleted(id) {
+            return Err(EngineError::NotFound(id));
+        }
+        if let Some(s) = self.shadow.get(&id) {
+            return Ok(crc32(s));
+        }
+        let content = self.decode_record(id)?;
+        Ok(crc32(&content))
+    }
+
+    /// Re-materializes `id` from authoritative peer content: stores it raw,
+    /// rebuilds its chain membership, and drops every cache entry or queued
+    /// writeback computed from the old (possibly corrupt) bytes. Dependents
+    /// that decode through `id` keep working — stored deltas apply to a
+    /// base's *logical* content, which this restores.
+    pub fn repair_record(&mut self, id: RecordId, data: &[u8]) -> Result<(), EngineError> {
+        // Deltas queued against the old bytes — in either direction — are
+        // bogus once the stored content changes.
+        self.wb_cache.invalidate(id);
+        self.wb_cache.invalidate_by_base(id);
+        self.source_cache.remove(id);
+        self.shadow.remove(&id);
+        self.store.put(id, StorageForm::Raw, data)?;
+        self.io.submit(1);
+        if self.chains.chain_index(id).is_some() {
+            self.chains.clear_base(id);
+        } else {
+            // The record itself was quarantined wholesale; it re-enters as
+            // the head of a fresh chain.
+            self.chains.start_chain(id);
+        }
+        self.slots.assign(id);
+        self.broken.remove(&id);
+        self.metrics.repaired_records += 1;
+        Ok(())
+    }
+
+    /// Removes a record the peer says must not exist (e.g. a stale version
+    /// resurrected because its tombstone was lost with a torn tail).
+    pub fn repair_remove(&mut self, id: RecordId) -> Result<(), EngineError> {
+        self.broken.remove(&id);
+        if !self.store.contains(id) {
+            return Ok(());
+        }
+        self.wb_cache.invalidate(id);
+        self.wb_cache.invalidate_by_base(id);
+        self.source_cache.remove(id);
+        self.shadow.remove(&id);
+        if self.chains.chain_index(id).is_some() {
+            if !self.chains.is_deleted(id) {
+                self.chains.mark_deleted(id);
+            }
+            if self.chains.refcount(id) == 0 {
+                self.chains.remove(id);
+                self.store.delete(id)?;
+                self.slots.release(id);
+            }
+            // refcount > 0: the content lingers as a decode base; the normal
+            // read-path GC collects it once dependents re-encode.
+        } else {
+            self.store.delete(id)?;
+            self.slots.release(id);
+        }
+        Ok(())
+    }
+
+    /// Clears a broken mark after external verification: the caller (the
+    /// anti-entropy pass) confirmed the record reads correctly — e.g. the
+    /// damaged base it decoded through has since been repaired.
+    pub fn clear_broken_mark(&mut self, id: RecordId) {
+        self.broken.remove(&id);
+    }
+
+    /// Counts one replication-apply retry (called by the async replicator
+    /// when it re-attempts a transiently failed oplog apply).
+    pub fn record_apply_retry(&mut self) {
+        self.metrics.apply_retries += 1;
+    }
+
     /// A consistent snapshot of every figure-relevant metric.
     pub fn metrics(&self) -> MetricsSnapshot {
+        let io = self.store.io_stats();
         MetricsSnapshot {
             original_bytes: self.metrics.original_bytes,
             stored_bytes: self.store.stored_payload_bytes(),
@@ -801,6 +1015,11 @@ impl DedupEngine {
             max_read_retrievals: self.metrics.read_retrievals.max(),
             mean_read_retrievals: self.metrics.read_retrievals.mean(),
             gc_spliced: self.metrics.gc_spliced,
+            quarantined_entries: io.quarantined_entries,
+            truncated_tail_bytes: io.truncated_tail_bytes,
+            chain_broken_reads: self.metrics.chain_broken_reads,
+            apply_retries: self.metrics.apply_retries,
+            repaired_records: self.metrics.repaired_records,
         }
     }
 }
@@ -1123,6 +1342,59 @@ mod tests {
         for (i, d) in docs.iter().enumerate() {
             assert_eq!(&e.read(RecordId(i as u64)).unwrap()[..], &d[..]);
         }
+    }
+
+    #[test]
+    fn content_checksums_match_across_replicas() {
+        let mut primary = engine();
+        let mut secondary = engine();
+        let docs = versioned_docs(6, 20);
+        for (i, d) in docs.iter().enumerate() {
+            primary.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        primary.update(RecordId(3), b"shadowed or in-place update content").unwrap();
+        for entry in &primary.take_oplog_batch(usize::MAX) {
+            secondary.apply_oplog_entry(entry).unwrap();
+        }
+        primary.flush_all_writebacks().unwrap();
+        // Secondary never flushes: physical forms diverge, logical
+        // checksums must not.
+        assert_eq!(primary.live_record_ids(), secondary.live_record_ids());
+        for id in primary.live_record_ids() {
+            assert_eq!(
+                primary.content_checksum(id).unwrap(),
+                secondary.content_checksum(id).unwrap(),
+                "record {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn repair_record_restores_content_and_dependents() {
+        let mut e = engine();
+        let docs = versioned_docs(3, 21);
+        for (i, d) in docs.iter().enumerate() {
+            e.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        e.flush_all_writebacks().unwrap();
+        // Chain: 0 ← 1 ← 2(raw). Re-materialize the mid-chain record from
+        // "peer" content; record 0 decodes through 1's logical content, so
+        // it must survive the rewrite.
+        e.repair_record(RecordId(1), &docs[1]).unwrap();
+        assert_eq!(&e.read(RecordId(1)).unwrap()[..], &docs[1][..]);
+        assert_eq!(&e.read(RecordId(0)).unwrap()[..], &docs[0][..]);
+        assert_eq!(e.metrics().repaired_records, 1);
+        assert!(e.broken_records().is_empty());
+    }
+
+    #[test]
+    fn repair_remove_drops_unwanted_record() {
+        let mut e = engine();
+        e.insert("db", RecordId(7), &versioned_docs(1, 22)[0]).unwrap();
+        e.repair_remove(RecordId(7)).unwrap();
+        assert!(matches!(e.read(RecordId(7)), Err(EngineError::NotFound(_))));
+        // Repair-removing an id that never existed is a no-op.
+        e.repair_remove(RecordId(99)).unwrap();
     }
 
     #[test]

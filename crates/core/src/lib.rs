@@ -32,11 +32,11 @@ pub mod engine;
 pub mod filter;
 pub mod governor;
 pub mod metrics;
-pub mod shared;
 pub mod sharded;
+pub mod shared;
 
 pub use config::EngineConfig;
 pub use engine::{DedupEngine, EngineError, InsertOutcome};
 pub use metrics::MetricsSnapshot;
-pub use shared::SharedEngine;
 pub use sharded::ShardedEngine;
+pub use shared::SharedEngine;

@@ -27,6 +27,12 @@ pub struct EngineMetrics {
     pub read_retrievals: LogHistogram,
     /// Records garbage-collected on the read path.
     pub gc_spliced: u64,
+    /// Reads that failed because corruption broke the decode chain.
+    pub chain_broken_reads: u64,
+    /// Replicated-apply attempts that were retried after a transient error.
+    pub apply_retries: u64,
+    /// Records re-materialized from a peer (anti-entropy repair).
+    pub repaired_records: u64,
 }
 
 /// A point-in-time copy of every metric the figures need, combining engine
@@ -61,6 +67,16 @@ pub struct MetricsSnapshot {
     pub mean_read_retrievals: f64,
     /// Read-path GC splices performed.
     pub gc_spliced: u64,
+    /// Store entries quarantined by salvage recovery (bad checksums).
+    pub quarantined_entries: u64,
+    /// Torn-tail bytes truncated from the active segment on recovery.
+    pub truncated_tail_bytes: u64,
+    /// Reads that failed on a corruption-broken decode chain.
+    pub chain_broken_reads: u64,
+    /// Replicated-apply attempts retried after transient errors.
+    pub apply_retries: u64,
+    /// Records re-materialized from a peer by anti-entropy resync.
+    pub repaired_records: u64,
 }
 
 impl MetricsSnapshot {
@@ -78,7 +94,9 @@ impl MetricsSnapshot {
                 "\"dedup_only_ratio\":{:.4},\"source_cache_miss_ratio\":{:.4},",
                 "\"writebacks_flushed\":{},\"writebacks_dropped\":{},",
                 "\"max_read_retrievals\":{},\"mean_read_retrievals\":{:.4},",
-                "\"gc_spliced\":{}}}"
+                "\"gc_spliced\":{},\"quarantined_entries\":{},",
+                "\"truncated_tail_bytes\":{},\"chain_broken_reads\":{},",
+                "\"apply_retries\":{},\"repaired_records\":{}}}"
             ),
             self.original_bytes,
             self.stored_bytes,
@@ -98,6 +116,11 @@ impl MetricsSnapshot {
             self.max_read_retrievals,
             self.mean_read_retrievals,
             self.gc_spliced,
+            self.quarantined_entries,
+            self.truncated_tail_bytes,
+            self.chain_broken_reads,
+            self.apply_retries,
+            self.repaired_records,
         )
     }
 
@@ -149,6 +172,11 @@ mod tests {
             max_read_retrievals: 0,
             mean_read_retrievals: 0.0,
             gc_spliced: 0,
+            quarantined_entries: 0,
+            truncated_tail_bytes: 0,
+            chain_broken_reads: 0,
+            apply_retries: 0,
+            repaired_records: 0,
         }
     }
 

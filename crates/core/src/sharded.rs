@@ -37,10 +37,7 @@ impl ShardedEngine {
         for _ in 0..n {
             shards.push(Mutex::new(DedupEngine::open_temp(config.clone())?));
         }
-        Ok(Self {
-            shards: Arc::new(shards),
-            placement: Arc::new(Mutex::new(Default::default())),
-        })
+        Ok(Self { shards: Arc::new(shards), placement: Arc::new(Mutex::new(Default::default())) })
     }
 
     /// Number of shards.
@@ -55,7 +52,12 @@ impl ShardedEngine {
     }
 
     /// Inserts into the shard owning `db`.
-    pub fn insert(&self, db: &str, id: RecordId, data: &[u8]) -> Result<InsertOutcome, EngineError> {
+    pub fn insert(
+        &self,
+        db: &str,
+        id: RecordId,
+        data: &[u8],
+    ) -> Result<InsertOutcome, EngineError> {
         let k = self.shard_of_db(db);
         let out = self.shards[k].lock().insert(db, id, data)?;
         self.placement.lock().insert(id, k as u32);
@@ -63,11 +65,7 @@ impl ShardedEngine {
     }
 
     fn shard_of_id(&self, id: RecordId) -> Result<usize, EngineError> {
-        self.placement
-            .lock()
-            .get(&id)
-            .map(|&k| k as usize)
-            .ok_or(EngineError::NotFound(id))
+        self.placement.lock().get(&id).map(|&k| k as usize).ok_or(EngineError::NotFound(id))
     }
 
     /// Reads wherever `id` lives.

@@ -30,7 +30,12 @@ impl SharedEngine {
     }
 
     /// See [`DedupEngine::insert`].
-    pub fn insert(&self, db: &str, id: RecordId, data: &[u8]) -> Result<InsertOutcome, EngineError> {
+    pub fn insert(
+        &self,
+        db: &str,
+        id: RecordId,
+        data: &[u8],
+    ) -> Result<InsertOutcome, EngineError> {
         self.inner.lock().insert(db, id, data)
     }
 

@@ -72,10 +72,7 @@ impl DbDeltaEncoder {
     /// Creates an encoder for `config`.
     pub fn new(config: DbDeltaConfig) -> Self {
         assert!(config.window >= 4, "window too small");
-        assert!(
-            config.anchor_interval.is_power_of_two(),
-            "anchor interval must be a power of two"
-        );
+        assert!(config.anchor_interval.is_power_of_two(), "anchor interval must be a power of two");
         let low_mask = (config.anchor_interval as u64) - 1;
         Self {
             gear: GearTable::standard(),
@@ -159,16 +156,17 @@ impl DbDeltaEncoder {
                         let mut t1 = i + 1;
                         // Word-at-a-time extension, then byte tail.
                         while s1 + 8 <= source.len() && t1 + 8 <= target.len() {
-                            let a = u64::from_le_bytes(source[s1..s1 + 8].try_into().expect("len 8"));
-                            let b = u64::from_le_bytes(target[t1..t1 + 8].try_into().expect("len 8"));
+                            let a =
+                                u64::from_le_bytes(source[s1..s1 + 8].try_into().expect("len 8"));
+                            let b =
+                                u64::from_le_bytes(target[t1..t1 + 8].try_into().expect("len 8"));
                             if a != b {
                                 break;
                             }
                             s1 += 8;
                             t1 += 8;
                         }
-                        while s1 < source.len() && t1 < target.len() && source[s1] == target[t1]
-                        {
+                        while s1 < source.len() && t1 < target.len() && source[s1] == target[t1] {
                             s1 += 1;
                             t1 += 1;
                         }
@@ -288,7 +286,9 @@ mod tests {
         // Varied sentences: perfectly periodic text has too few distinct
         // windows to contain any anchors at all, which is not representative.
         let para: String = (0..400)
-            .map(|i| format!("Sentence number {i} talks about the lazy dog and topic {}. ", i * 37 % 91))
+            .map(|i| {
+                format!("Sentence number {i} talks about the lazy dog and topic {}. ", i * 37 % 91)
+            })
             .collect();
         let src = para.clone().into_bytes();
         let tgt = para.replacen("lazy dog", "sleepy cat", 3).into_bytes();

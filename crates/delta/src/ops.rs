@@ -45,7 +45,9 @@ impl DeltaOp {
     /// Encoded size of this op on the wire.
     pub fn encoded_len(&self) -> usize {
         match self {
-            DeltaOp::Copy { src_off, len } => 1 + varint_len(*src_off as u64) + varint_len(*len as u64),
+            DeltaOp::Copy { src_off, len } => {
+                1 + varint_len(*src_off as u64) + varint_len(*len as u64)
+            }
             DeltaOp::Insert(d) => 1 + varint_len(d.len() as u64) + d.len(),
         }
     }
@@ -85,7 +87,10 @@ impl std::fmt::Display for DeltaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DeltaError::CopyOutOfBounds { src_off, len, src_len } => {
-                write!(f, "COPY [{src_off}, {src_off}+{len}) out of bounds for source of {src_len} bytes")
+                write!(
+                    f,
+                    "COPY [{src_off}, {src_off}+{len}) out of bounds for source of {src_len} bytes"
+                )
             }
             DeltaError::LengthMismatch { expected, actual } => {
                 write!(f, "delta produced {actual} bytes, header declared {expected}")
@@ -121,10 +126,9 @@ impl Delta {
                 (Some(DeltaOp::Insert(prev)), DeltaOp::Insert(data)) => {
                     prev.extend_from_slice(&data);
                 }
-                (
-                    Some(DeltaOp::Copy { src_off: po, len: pl }),
-                    DeltaOp::Copy { src_off, len },
-                ) if *po + *pl == src_off => {
+                (Some(DeltaOp::Copy { src_off: po, len: pl }), DeltaOp::Copy { src_off, len })
+                    if *po + *pl == src_off =>
+                {
                     *pl += len;
                 }
                 (_, op) => norm.push(op),
@@ -167,7 +171,8 @@ impl Delta {
 
     /// Size of this delta on the wire.
     pub fn encoded_len(&self) -> usize {
-        varint_len(self.target_len as u64) + self.ops.iter().map(DeltaOp::encoded_len).sum::<usize>()
+        varint_len(self.target_len as u64)
+            + self.ops.iter().map(DeltaOp::encoded_len).sum::<usize>()
     }
 
     /// Serializes to the wire format.
@@ -227,7 +232,11 @@ impl Delta {
             match op {
                 DeltaOp::Copy { src_off, len } => {
                     let end = src_off.checked_add(*len).filter(|&e| e <= source.len()).ok_or(
-                        DeltaError::CopyOutOfBounds { src_off: *src_off, len: *len, src_len: source.len() },
+                        DeltaError::CopyOutOfBounds {
+                            src_off: *src_off,
+                            len: *len,
+                            src_len: source.len(),
+                        },
                     )?;
                     out.extend_from_slice(&source[*src_off..end]);
                 }
@@ -235,7 +244,10 @@ impl Delta {
             }
         }
         if out.len() != self.target_len {
-            return Err(DeltaError::LengthMismatch { expected: self.target_len, actual: out.len() });
+            return Err(DeltaError::LengthMismatch {
+                expected: self.target_len,
+                actual: out.len(),
+            });
         }
         Ok(out)
     }
@@ -305,7 +317,10 @@ mod tests {
     fn decode_rejects_bad_tag() {
         let mut bytes = Delta::literal(b"x").encode();
         bytes.push(0x7f);
-        assert!(matches!(Delta::decode(&bytes), Err(DeltaError::Codec(CodecError::InvalidTag(0x7f)))));
+        assert!(matches!(
+            Delta::decode(&bytes),
+            Err(DeltaError::Codec(CodecError::InvalidTag(0x7f)))
+        ));
     }
 
     #[test]

@@ -181,10 +181,7 @@ mod tests {
         // In the uniform S_b/S_d cost model hop matches backward exactly
         // (only the head is raw); the real-data ~10% loss comes from hop
         // deltas spanning less-similar records, measured in Fig 14's bench.
-        assert!(
-            ratio_hop > 0.99 * ratio_bw,
-            "hop {ratio_hop:.2} vs backward {ratio_bw:.2}"
-        );
+        assert!(ratio_hop > 0.99 * ratio_bw, "hop {ratio_hop:.2} vs backward {ratio_bw:.2}");
         // And decode cost vastly better than backward.
         assert!(s.worst_retrievals * 4 < bw.worst_retrievals);
     }

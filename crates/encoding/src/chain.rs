@@ -85,7 +85,12 @@ pub struct ChainManager {
 impl ChainManager {
     /// Creates a manager for the given encoding policy.
     pub fn new(policy: EncodingPolicy) -> Self {
-        Self { policy, records: FxHashMap::default(), chains: Vec::new(), stats: ChainStats::default() }
+        Self {
+            policy,
+            records: FxHashMap::default(),
+            chains: Vec::new(),
+            stats: ChainStats::default(),
+        }
     }
 
     /// The policy in force.
@@ -133,19 +138,14 @@ impl ChainManager {
                 next_index: 1,
                 head,
             });
-            self.records.insert(
-                id,
-                RecordState { chain, index: 0, base, refcount: 0, deleted: false },
-            );
+            self.records
+                .insert(id, RecordState { chain, index: 0, base, refcount: 0, deleted: false });
             self.stats.chains += 1;
         }
         // Second pass: recompute reference counts.
         for &(_, base) in &entries {
             if let Some(b) = base {
-                let s = self
-                    .records
-                    .get_mut(&b)
-                    .expect("recovered base must be a live record");
+                let s = self.records.get_mut(&b).expect("recovered base must be a live record");
                 s.refcount += 1;
             }
         }
@@ -162,10 +162,8 @@ impl ChainManager {
             pending_hop[level] = Some(id);
         }
         self.chains.push(ChainState { pending_hop, next_index: 1, head: id });
-        self.records.insert(
-            id,
-            RecordState { chain, index: 0, base: None, refcount: 0, deleted: false },
-        );
+        self.records
+            .insert(id, RecordState { chain, index: 0, base: None, refcount: 0, deleted: false });
         self.stats.chains += 1;
         EncodePlan { new_record: id, writebacks: Vec::new(), overlapped: false }
     }
@@ -275,9 +273,7 @@ impl ChainManager {
 
     /// Whether `id` is currently the head (latest record) of its chain.
     pub fn is_head(&self, id: RecordId) -> bool {
-        self.records
-            .get(&id)
-            .is_some_and(|r| self.chains[r.chain as usize].head == id)
+        self.records.get(&id).is_some_and(|r| self.chains[r.chain as usize].head == id)
     }
 
     /// The decode path of `id`: `[id, base, base-of-base, …, raw]`.

@@ -1,27 +1,34 @@
-//! Property tests over chain-manager invariants under arbitrary
-//! append/commit/delete interleavings.
+//! Randomized-but-deterministic tests over chain-manager invariants under
+//! arbitrary append/commit/delete interleavings, driven by a seeded
+//! [`SplitMix64`] stream (proptest is unavailable offline; every failure
+//! reproduces from the fixed seeds).
 
 use dbdedup_encoding::{ChainManager, EncodingPolicy};
+use dbdedup_util::dist::SplitMix64;
 use dbdedup_util::ids::RecordId;
-use proptest::prelude::*;
 
-fn arb_policy() -> impl Strategy<Value = EncodingPolicy> {
-    prop_oneof![
-        Just(EncodingPolicy::Backward),
-        (2u64..6, 1u32..4).prop_map(|(d, l)| EncodingPolicy::Hop { distance: d, max_levels: l }),
-        (2u64..9).prop_map(|c| EncodingPolicy::VersionJumping { cluster: c }),
-    ]
+fn rand_policy(rng: &mut SplitMix64) -> EncodingPolicy {
+    match rng.next_index(3) {
+        0 => EncodingPolicy::Backward,
+        1 => EncodingPolicy::Hop {
+            distance: 2 + rng.next_below(4),
+            max_levels: 1 + rng.next_below(3) as u32,
+        },
+        _ => EncodingPolicy::VersionJumping { cluster: 2 + rng.next_below(7) },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Build a chain of arbitrary length under an arbitrary policy,
-    /// committing an arbitrary subset of writebacks. Invariants:
-    /// decode paths terminate; the head is always raw; refcounts equal the
-    /// number of committed base pointers; every record decodes.
-    #[test]
-    fn chain_invariants(policy in arb_policy(), n in 1u64..120, commit_mask in any::<u64>()) {
+/// Build a chain of arbitrary length under an arbitrary policy,
+/// committing an arbitrary subset of writebacks. Invariants:
+/// decode paths terminate; the head is always raw; refcounts equal the
+/// number of committed base pointers; every record decodes.
+#[test]
+fn chain_invariants() {
+    let mut rng = SplitMix64::new(0xE4C_0001);
+    for _ in 0..64 {
+        let policy = rand_policy(&mut rng);
+        let n = 1 + rng.next_below(119);
+        let commit_mask = rng.next_u64();
         let mut m = ChainManager::new(policy);
         let mut plans = vec![m.start_chain(RecordId(0))];
         for i in 1..n {
@@ -37,30 +44,35 @@ proptest! {
             }
         }
         // Head raw.
-        prop_assert_eq!(m.base_of(RecordId(n - 1)), None);
+        assert_eq!(m.base_of(RecordId(n - 1)), None);
         // Refcount bookkeeping: total refcounts == live base pointers.
         let total_bases = (0..n).filter(|&i| m.base_of(RecordId(i)).is_some()).count() as u32;
         let total_refs: u32 = (0..n).map(|i| m.refcount(RecordId(i))).sum();
-        prop_assert_eq!(total_refs, total_bases);
+        assert_eq!(total_refs, total_bases);
         // Every decode path terminates at a raw record.
         for i in 0..n {
             let path = m.decode_path(RecordId(i)).expect("tracked");
             let last = *path.last().unwrap();
-            prop_assert_eq!(m.base_of(last), None, "path of {} ends raw", i);
+            assert_eq!(m.base_of(last), None, "path of {i} ends raw");
             // Paths only move to newer records (acyclic by construction).
             for w in path.windows(2) {
-                prop_assert!(w[1] > w[0]);
+                assert!(w[1] > w[0]);
             }
         }
         // Note: some committed writebacks may have been superseded by hop
         // upgrades re-pointing the same target, so committed >= total_bases.
-        prop_assert!(committed >= u64::from(total_bases));
+        assert!(committed >= u64::from(total_bases));
     }
+}
 
-    /// Deleting from the tail inward with removal cascades never breaks
-    /// surviving records' decode paths.
-    #[test]
-    fn delete_cascade_safety(n in 2u64..60, delete_from in 0u64..60) {
+/// Deleting from the tail inward with removal cascades never breaks
+/// surviving records' decode paths.
+#[test]
+fn delete_cascade_safety() {
+    let mut rng = SplitMix64::new(0xE4C_0002);
+    for _ in 0..64 {
+        let n = 2 + rng.next_below(58);
+        let delete_from = rng.next_below(60);
         let mut m = ChainManager::new(EncodingPolicy::default_hop());
         let mut plans = vec![m.start_chain(RecordId(0))];
         for i in 1..n {
@@ -87,7 +99,7 @@ proptest! {
                 continue; // removed
             }
             let path = m.decode_path(RecordId(i)).unwrap();
-            prop_assert_eq!(m.base_of(*path.last().unwrap()), None);
+            assert_eq!(m.base_of(*path.last().unwrap()), None);
         }
     }
 }

@@ -377,10 +377,7 @@ mod tests {
         let cfg = CuckooConfig { initial_buckets: 8, ..Default::default() };
         let mut idx = CuckooFeatureIndex::new(cfg);
         for i in 0..10_000u64 {
-            idx.lookup_insert(
-                i.wrapping_mul(0xc4ce_b9fe_1a85_ec53) ^ (i << 17),
-                i as u32,
-            );
+            idx.lookup_insert(i.wrapping_mul(0xc4ce_b9fe_1a85_ec53) ^ (i << 17), i as u32);
         }
         // Growth keeps most entries; some loss is tolerated by design.
         assert!(idx.len() > 8_000, "retained {} of 10000", idx.len());

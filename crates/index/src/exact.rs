@@ -54,7 +54,11 @@ impl ExactChunkIndex {
     /// Checks whether `digest` is a known chunk; if not, registers it at
     /// `location`. Returns the prior location for duplicates, `None` for
     /// unique chunks.
-    pub fn check_insert(&mut self, digest: Sha1Digest, location: ChunkLocation) -> Option<ChunkLocation> {
+    pub fn check_insert(
+        &mut self,
+        digest: Sha1Digest,
+        location: ChunkLocation,
+    ) -> Option<ChunkLocation> {
         match self.map.entry(digest) {
             std::collections::hash_map::Entry::Occupied(e) => Some(*e.get()),
             std::collections::hash_map::Entry::Vacant(v) => {

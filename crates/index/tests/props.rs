@@ -1,18 +1,23 @@
-//! Property tests for the cuckoo feature index: advisory semantics mean
-//! entries may be dropped, but the structure must never lie about what it
-//! holds, never exceed its candidate cap, and never panic.
+//! Randomized-but-deterministic tests for the cuckoo feature index:
+//! advisory semantics mean entries may be dropped, but the structure must
+//! never lie about what it holds, never exceed its candidate cap, and
+//! never panic. Inputs come from a seeded [`SplitMix64`] stream (proptest
+//! is unavailable offline; every failure reproduces from the fixed seeds).
 
 use dbdedup_index::{CuckooConfig, CuckooFeatureIndex};
-use proptest::prelude::*;
+use dbdedup_util::dist::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn rand_features(rng: &mut SplitMix64, min: usize, max: usize) -> Vec<u64> {
+    let len = min + rng.next_index(max - min);
+    (0..len).map(|_| rng.next_u64()).collect()
+}
 
-    #[test]
-    fn never_panics_and_caps_candidates(
-        features in prop::collection::vec(any::<u64>(), 1..500),
-        max_candidates in 1usize..8,
-    ) {
+#[test]
+fn never_panics_and_caps_candidates() {
+    let mut rng = SplitMix64::new(0x1D2_0001);
+    for _ in 0..64 {
+        let features = rand_features(&mut rng, 1, 500);
+        let max_candidates = 1 + rng.next_index(7);
         let mut idx = CuckooFeatureIndex::new(CuckooConfig {
             initial_buckets: 16,
             max_candidates,
@@ -20,36 +25,44 @@ proptest! {
         });
         for (i, &f) in features.iter().enumerate() {
             let cands = idx.lookup_insert(f, i as u32);
-            prop_assert!(cands.len() <= max_candidates);
+            assert!(cands.len() <= max_candidates);
         }
-        prop_assert!(idx.len() <= features.len());
-        prop_assert_eq!(idx.accounted_bytes(), idx.len() * 6);
+        assert!(idx.len() <= features.len());
+        assert_eq!(idx.accounted_bytes(), idx.len() * 6);
     }
+}
 
-    /// Immediately after inserting a feature, a lookup finds the slot —
-    /// unless the structure reported pressure (evictions).
-    #[test]
-    fn freshly_inserted_is_findable(features in prop::collection::vec(any::<u64>(), 1..200)) {
+/// Immediately after inserting a feature, a lookup finds the slot —
+/// unless the structure reported pressure (evictions).
+#[test]
+fn freshly_inserted_is_findable() {
+    let mut rng = SplitMix64::new(0x1D2_0002);
+    for _ in 0..64 {
+        let features = rand_features(&mut rng, 1, 200);
         let mut idx = CuckooFeatureIndex::default();
         for (i, &f) in features.iter().enumerate() {
             idx.lookup_insert(f, i as u32);
             let found = idx.lookup(f).contains(&(i as u32));
-            prop_assert!(
+            assert!(
                 found || idx.evictions() > 0,
-                "fresh entry for feature {:#x} lost without any eviction", f
+                "fresh entry for feature {f:#x} lost without any eviction"
             );
         }
     }
+}
 
-    /// Lookup is read-only: repeated probes return the same result.
-    #[test]
-    fn lookup_is_stable(features in prop::collection::vec(any::<u64>(), 1..100)) {
+/// Lookup is read-only: repeated probes return the same result.
+#[test]
+fn lookup_is_stable() {
+    let mut rng = SplitMix64::new(0x1D2_0003);
+    for _ in 0..64 {
+        let features = rand_features(&mut rng, 1, 100);
         let mut idx = CuckooFeatureIndex::default();
         for (i, &f) in features.iter().enumerate() {
             idx.lookup_insert(f, i as u32);
         }
         for &f in &features {
-            prop_assert_eq!(idx.lookup(f), idx.lookup(f));
+            assert_eq!(idx.lookup(f), idx.lookup(f));
         }
     }
 }

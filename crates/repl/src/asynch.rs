@@ -6,10 +6,15 @@
 use crossbeam::channel::{bounded, Receiver, Sender};
 use dbdedup_core::{DedupEngine, EngineError};
 use dbdedup_storage::oplog::{decode_batch, encode_batch, OplogEntry};
+use dbdedup_storage::store::StoreError;
+use dbdedup_storage::{FaultInjector, WriteOutcome};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// How many times one oplog entry is attempted before its error sticks.
+const MAX_APPLY_ATTEMPTS: u32 = 4;
 
 /// Shared transport counters.
 #[derive(Debug, Default)]
@@ -18,6 +23,15 @@ struct Counters {
     batches: AtomicU64,
     entries: AtomicU64,
     apply_errors: AtomicU64,
+    apply_retries: AtomicU64,
+    dropped_batches: AtomicU64,
+}
+
+/// Whether an apply error is worth retrying: transient I/O conditions can
+/// clear (the next attempt hits the disk again); semantic errors
+/// (corruption, duplicate ids, missing bases) never do.
+fn is_transient(err: &EngineError) -> bool {
+    matches!(err, EngineError::Store(StoreError::Io(_)) | EngineError::Oplog(_))
 }
 
 /// Handle to a secondary applying oplog batches asynchronously.
@@ -26,6 +40,7 @@ pub struct AsyncReplicator {
     handle: Option<JoinHandle<DedupEngine>>,
     counters: Arc<Counters>,
     last_error: Arc<Mutex<Option<String>>>,
+    transport_faults: Option<Arc<FaultInjector>>,
 }
 
 impl AsyncReplicator {
@@ -43,10 +58,7 @@ impl AsyncReplicator {
                     Ok(entries) => {
                         c2.entries.fetch_add(entries.len() as u64, Ordering::Relaxed);
                         for entry in &entries {
-                            if let Err(err) = secondary.apply_oplog_entry(entry) {
-                                c2.apply_errors.fetch_add(1, Ordering::Relaxed);
-                                *e2.lock() = Some(err.to_string());
-                            }
+                            apply_with_retry(&mut secondary, entry, &c2, &e2);
                         }
                     }
                     Err(err) => {
@@ -57,7 +69,16 @@ impl AsyncReplicator {
             }
             secondary
         });
-        Self { tx: Some(tx), handle: Some(handle), counters, last_error }
+        Self { tx: Some(tx), handle: Some(handle), counters, last_error, transport_faults: None }
+    }
+
+    /// Injects faults into the shipping transport: each outgoing frame is
+    /// one "write" in the plan's op numbering, so frames can be torn,
+    /// bit-flipped, or dropped in flight (a dropped batch is what a crashed
+    /// network link produces — the resync pass repairs the divergence).
+    pub fn with_transport_faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.transport_faults = Some(faults);
+        self
     }
 
     /// Ships one batch (blocks only when the queue is full).
@@ -65,7 +86,19 @@ impl AsyncReplicator {
         if batch.is_empty() {
             return;
         }
-        let frame = encode_batch(batch);
+        let mut frame = encode_batch(batch);
+        if let Some(inj) = &self.transport_faults {
+            match inj.on_write(&mut frame) {
+                Ok(WriteOutcome::Proceed) => {}
+                Ok(WriteOutcome::Truncated(n)) => frame.truncate(n),
+                Ok(WriteOutcome::Dropped) | Err(_) => {
+                    // The frame never reaches the wire; the secondary
+                    // diverges until anti-entropy repairs it.
+                    self.counters.dropped_batches.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
         self.counters.bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
         if let Some(tx) = &self.tx {
@@ -85,9 +118,19 @@ impl AsyncReplicator {
         self.counters.entries.load(Ordering::Relaxed)
     }
 
-    /// Apply-side errors seen so far.
+    /// Apply-side errors seen so far (after retries were exhausted).
     pub fn apply_errors(&self) -> u64 {
         self.counters.apply_errors.load(Ordering::Relaxed)
+    }
+
+    /// Transient apply failures that were retried.
+    pub fn apply_retries(&self) -> u64 {
+        self.counters.apply_retries.load(Ordering::Relaxed)
+    }
+
+    /// Batches lost to injected transport faults.
+    pub fn dropped_batches(&self) -> u64 {
+        self.counters.dropped_batches.load(Ordering::Relaxed)
     }
 
     /// Most recent apply-side error message, if any.
@@ -96,16 +139,47 @@ impl AsyncReplicator {
     }
 
     /// Closes the channel, waits for the apply thread to drain, and
-    /// returns the secondary engine for inspection.
+    /// returns the secondary engine for inspection. If the apply thread
+    /// panicked, the panic is contained and surfaced as
+    /// [`EngineError::ReplicaPanicked`] instead of propagating.
     pub fn join(mut self) -> Result<DedupEngine, EngineError> {
         self.tx.take(); // drop sender → apply loop finishes
-        let engine = self
-            .handle
-            .take()
-            .expect("join called once")
-            .join()
-            .expect("apply thread must not panic");
-        Ok(engine)
+        self.handle.take().expect("join called once").join().map_err(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            EngineError::ReplicaPanicked(msg)
+        })
+    }
+}
+
+/// Applies one entry with bounded retry-with-backoff for transient errors.
+fn apply_with_retry(
+    secondary: &mut DedupEngine,
+    entry: &OplogEntry,
+    counters: &Counters,
+    last_error: &Mutex<Option<String>>,
+) {
+    let mut attempt = 0u32;
+    loop {
+        match secondary.apply_oplog_entry(entry) {
+            Ok(()) => return,
+            Err(err) if is_transient(&err) && attempt + 1 < MAX_APPLY_ATTEMPTS => {
+                attempt += 1;
+                counters.apply_retries.fetch_add(1, Ordering::Relaxed);
+                secondary.record_apply_retry();
+                // Exponential backoff, deliberately tiny: the point is to
+                // yield and reorder, not to model a real network.
+                std::thread::sleep(std::time::Duration::from_millis(1 << attempt.min(6)));
+            }
+            Err(err) => {
+                counters.apply_errors.fetch_add(1, Ordering::Relaxed);
+                *last_error.lock() = Some(err.to_string());
+                return;
+            }
+        }
     }
 }
 
@@ -165,9 +239,7 @@ mod tests {
         let mut primary = engine();
         let repl = AsyncReplicator::spawn(engine(), 4);
         for i in 0..5u64 {
-            primary
-                .insert("db", dbdedup_util::ids::RecordId(i), &vec![i as u8; 2_000])
-                .unwrap();
+            primary.insert("db", dbdedup_util::ids::RecordId(i), &vec![i as u8; 2_000]).unwrap();
         }
         let batch = primary.take_oplog_batch(usize::MAX);
         repl.ship(&batch);
@@ -181,5 +253,94 @@ mod tests {
         repl.ship(&[]);
         assert_eq!(repl.bytes_shipped(), 0);
         let _ = repl.join().unwrap();
+    }
+
+    #[test]
+    fn transient_store_faults_are_retried_to_convergence() {
+        use dbdedup_storage::store::{RecordStore, StoreConfig};
+        use dbdedup_storage::{FaultKind, FaultPlan};
+
+        // The secondary's disk throws transient I/O errors on a few writes;
+        // every one must be absorbed by retry, not surface as an apply
+        // error. (The injector advances its op counter per attempt, so the
+        // retry lands on a clean op.)
+        let plan = FaultPlan::new().fault_at(2, FaultKind::IoError).fault_at(5, FaultKind::IoError);
+        let inj = Arc::new(FaultInjector::new(plan));
+        let store_cfg = StoreConfig { fault: Some(Arc::clone(&inj)), ..Default::default() };
+        let store = RecordStore::open_temp(store_cfg).unwrap();
+        let mut cfg = EngineConfig::default();
+        cfg.min_benefit_bytes = 16;
+        let secondary = DedupEngine::new(store, cfg).unwrap();
+
+        let mut primary = engine();
+        let repl = AsyncReplicator::spawn(secondary, 8);
+        let mut ids = Vec::new();
+        for op in Wikipedia::insert_only(12, 7) {
+            if let Op::Insert { id, data } = op {
+                primary.insert("wikipedia", id, &data).unwrap();
+                ids.push(id);
+            }
+        }
+        repl.ship(&primary.take_oplog_batch(usize::MAX));
+        // Counters race with the apply thread; keep a handle and read them
+        // after join() has drained it.
+        let counters = Arc::clone(&repl.counters);
+        let mut secondary = repl.join().unwrap();
+        let retries = counters.apply_retries.load(Ordering::Relaxed);
+        assert_eq!(counters.apply_errors.load(Ordering::Relaxed), 0);
+        assert!(retries > 0, "injected I/O errors must trigger retries");
+        assert!(inj.faults_injected() > 0);
+        assert_eq!(secondary.metrics().apply_retries, retries);
+        for id in ids {
+            assert_eq!(&primary.read(id).unwrap()[..], &secondary.read(id).unwrap()[..]);
+        }
+    }
+
+    #[test]
+    fn transport_drops_are_counted_not_fatal() {
+        use dbdedup_storage::{FaultKind, FaultPlan};
+
+        // Frame 1 is torn to nothing mid-flight (decode error on the
+        // secondary), and the crash drops everything after — the primary
+        // keeps running either way.
+        let inj = Arc::new(FaultInjector::new(
+            FaultPlan::new().fault_at(1, FaultKind::ShortWrite { keep: 0 }),
+        ));
+        let mut primary = engine();
+        let repl = AsyncReplicator::spawn(engine(), 4).with_transport_faults(inj);
+        for op in Wikipedia::insert_only(9, 8) {
+            if let Op::Insert { id, data } = op {
+                primary.insert("wikipedia", id, &data).unwrap();
+                repl.ship(&primary.take_oplog_batch(usize::MAX));
+            }
+        }
+        assert!(repl.apply_errors() > 0, "the torn frame must fail to decode");
+        assert!(repl.dropped_batches() > 0, "post-crash frames are dropped");
+        let secondary = repl.join().unwrap();
+        assert!(
+            secondary.store().len() < primary.store().len(),
+            "lost batches must leave the secondary behind (resync's job)"
+        );
+    }
+
+    #[test]
+    fn join_surfaces_apply_thread_panic_as_error() {
+        // Construct a replicator whose apply thread dies; join() must
+        // return a typed error, never propagate the panic.
+        let repl = AsyncReplicator {
+            tx: None,
+            handle: Some(std::thread::spawn(|| -> DedupEngine {
+                panic!("synthetic apply-thread death")
+            })),
+            counters: Arc::new(Counters::default()),
+            last_error: Arc::new(Mutex::new(None)),
+            transport_faults: None,
+        };
+        match repl.join() {
+            Err(EngineError::ReplicaPanicked(msg)) => {
+                assert!(msg.contains("synthetic"), "payload preserved: {msg}")
+            }
+            other => panic!("expected ReplicaPanicked, got {other:?}"),
+        }
     }
 }

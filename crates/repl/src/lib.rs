@@ -17,15 +17,23 @@
 //!   experiment harnesses (network-byte accounting for Fig. 11).
 //! * [`asynch::AsyncReplicator`] — a crossbeam-channel pipeline with the
 //!   secondary applying batches on its own thread, mirroring the paper's
-//!   asynchronous push model.
+//!   asynchronous push model, with bounded retry for transient apply
+//!   errors and optional transport fault injection.
+//!
+//! When the stream alone cannot re-converge a replica (corruption
+//! quarantined records, a fault dropped batches), [`resync::anti_entropy`]
+//! checksum-compares the live record sets and re-ships raw payloads for
+//! the divergent records only.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod asynch;
 pub mod pair;
+pub mod resync;
 pub mod set;
 
 pub use asynch::AsyncReplicator;
 pub use pair::{NetworkStats, ReplicaPair};
+pub use resync::{anti_entropy, ResyncReport};
 pub use set::ReplicaSet;

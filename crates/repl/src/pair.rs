@@ -74,6 +74,15 @@ impl ReplicaPair {
         }
     }
 
+    /// Runs one anti-entropy pass, re-materializing every secondary record
+    /// that diverged from the primary (see [`crate::resync::anti_entropy`]).
+    /// Repair payload bytes count as network traffic.
+    pub fn resync(&mut self) -> Result<crate::resync::ResyncReport, EngineError> {
+        let report = crate::resync::anti_entropy(&mut self.primary, &mut self.secondary)?;
+        self.net.bytes += report.shipped_bytes;
+        Ok(report)
+    }
+
     /// Network counters.
     pub fn network_stats(&self) -> NetworkStats {
         self.net

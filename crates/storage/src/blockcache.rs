@@ -109,7 +109,9 @@ impl BlockCache {
             self.used -= old.data.len();
         }
         while self.used + data.len() > self.capacity {
-            let Some((&tick, &victim)) = self.order.iter().next() else { break };
+            let Some((&tick, &victim)) = self.order.iter().next() else {
+                break;
+            };
             self.order.remove(&tick);
             let s = self.map.remove(&victim).expect("order and map agree");
             self.used -= s.data.len();

@@ -22,16 +22,22 @@
 //!   (§3.3.2).
 //! * [`blockcache`] — a byte-budgeted LRU block cache in front of segment
 //!   reads, standing in for the DBMS buffer pool (WiredTiger's cache).
+//! * [`fault`] — deterministic **fault injection** (torn writes, bit
+//!   flips, transient I/O errors, crash-at-write-K) threaded through the
+//!   store's write path, so crash/corruption recovery is testable from a
+//!   seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod blockcache;
 pub mod blockz;
+pub mod fault;
 pub mod iometer;
 pub mod oplog;
 pub mod store;
 
+pub use fault::{FaultInjector, FaultKind, FaultPlan, WriteOutcome};
 pub use iometer::IoMeter;
 pub use oplog::{Oplog, OplogEntry, OplogKind, OplogPayload};
-pub use store::{RecordStore, StorageForm, StoreConfig, StoreError, StoredRecord};
+pub use store::{RecordStore, RecoveryReport, StorageForm, StoreConfig, StoreError, StoredRecord};

@@ -230,11 +230,8 @@ impl DurableOplog {
     /// entries into the pending queue.
     pub fn open(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
         use std::io::Read;
-        let mut file = std::fs::OpenOptions::new()
-            .create(true)
-            .read(true)
-            .append(true)
-            .open(path.as_ref())?;
+        let mut file =
+            std::fs::OpenOptions::new().create(true).read(true).append(true).open(path.as_ref())?;
         let mut buf = Vec::new();
         file.read_to_end(&mut buf)?;
         let mut inner = Oplog::new();
@@ -301,7 +298,10 @@ mod tests {
     #[test]
     fn entry_roundtrip_all_kinds() {
         let entries = vec![
-            OplogEntry { lsn: 0, kind: OplogKind::Insert { id: RecordId(1), payload: raw(b"abc") } },
+            OplogEntry {
+                lsn: 0,
+                kind: OplogKind::Insert { id: RecordId(1), payload: raw(b"abc") },
+            },
             OplogEntry {
                 lsn: 1,
                 kind: OplogKind::Update {
@@ -382,8 +382,11 @@ mod tests {
 
     #[test]
     fn durable_oplog_replays_after_reopen() {
-        let path = std::env::temp_dir()
-            .join(format!("dbdedup-oplog-{}-{:x}", std::process::id(), 0xd0u8 as u64));
+        let path = std::env::temp_dir().join(format!(
+            "dbdedup-oplog-{}-{:x}",
+            std::process::id(),
+            0xd0u8 as u64
+        ));
         let _ = std::fs::remove_file(&path);
         {
             let mut log = DurableOplog::open(&path).unwrap();
@@ -403,8 +406,7 @@ mod tests {
             assert_eq!(batch[0].lsn, 0);
             assert_eq!(batch[1].lsn, 1);
             // New appends continue the LSN sequence.
-            let (lsn, _) =
-                log.append(OplogKind::Delete { id: RecordId(3) }).unwrap();
+            let (lsn, _) = log.append(OplogKind::Delete { id: RecordId(3) }).unwrap();
             assert_eq!(lsn, 2);
         }
         let _ = std::fs::remove_file(&path);
@@ -412,8 +414,7 @@ mod tests {
 
     #[test]
     fn durable_oplog_tolerates_torn_tail() {
-        let path = std::env::temp_dir()
-            .join(format!("dbdedup-oplog-torn-{}", std::process::id()));
+        let path = std::env::temp_dir().join(format!("dbdedup-oplog-torn-{}", std::process::id()));
         let _ = std::fs::remove_file(&path);
         {
             let mut log = DurableOplog::open(&path).unwrap();

@@ -242,17 +242,7 @@ mod tests {
 
     #[test]
     fn varint_roundtrip_edges() {
-        let cases = [
-            0u64,
-            1,
-            127,
-            128,
-            16_383,
-            16_384,
-            u32::MAX as u64,
-            u64::MAX - 1,
-            u64::MAX,
-        ];
+        let cases = [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX - 1, u64::MAX];
         for &v in &cases {
             let mut w = ByteWriter::new();
             w.put_varint(v);
@@ -311,9 +301,6 @@ mod tests {
     #[test]
     fn eof_reports_sizes() {
         let mut r = ByteReader::new(&[1, 2]);
-        assert_eq!(
-            r.get_u32(),
-            Err(CodecError::UnexpectedEof { wanted: 4, remaining: 2 })
-        );
+        assert_eq!(r.get_u32(), Err(CodecError::UnexpectedEof { wanted: 4, remaining: 2 }));
     }
 }

@@ -45,10 +45,7 @@ impl RollingAdler32 {
     /// Creates a rolling checksum for windows of `window` bytes (≥ 1).
     pub fn new(window: usize) -> Self {
         assert!(window >= 1, "adler window must be at least one byte");
-        assert!(
-            window < MOD as usize,
-            "rolling adler window must be smaller than the modulus"
-        );
+        assert!(window < MOD as usize, "rolling adler window must be smaller than the modulus");
         Self { a: 1, b: 0, ring: vec![0; window], head: 0, fed: 0 }
     }
 

@@ -11,12 +11,16 @@
 //!   right trade (§3.1.1 of the paper).
 //! * **Adler-32** ([`adler32`]) is the cheap block checksum the classic
 //!   xDelta baseline builds its source index from.
+//! * **CRC-32** ([`crc32`]) frames record-store segments: unlike Adler-32
+//!   its detection strength does not degrade on short inputs, which is
+//!   what on-disk integrity checking needs.
 //! * **SHA-1** ([`sha1`]) is only used by the traditional chunk-dedup
 //!   *baseline*, where a collision would corrupt data and a
 //!   collision-resistant identity is mandatory.
 //! * [`fx`] is a fast non-cryptographic hasher for internal hash maps.
 
 pub mod adler32;
+pub mod crc32;
 pub mod fx;
 pub mod gear;
 pub mod murmur3;
@@ -24,6 +28,7 @@ pub mod rabin;
 pub mod sha1;
 
 pub use adler32::{adler32, RollingAdler32};
+pub use crc32::{crc32, Crc32};
 pub use fx::{FxHashMap, FxHashSet, FxHasher};
 pub use gear::GearTable;
 pub use murmur3::{murmur3_x64_128, murmur3_x86_32};

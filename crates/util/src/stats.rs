@@ -38,13 +38,7 @@ impl Default for LogHistogram {
 impl LogHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Self {
-            counts: vec![0; 64 * SUB_BUCKETS],
-            total: 0,
-            max: 0,
-            min: u64::MAX,
-            sum: 0,
-        }
+        Self { counts: vec![0; 64 * SUB_BUCKETS], total: 0, max: 0, min: u64::MAX, sum: 0 }
     }
 
     #[inline]

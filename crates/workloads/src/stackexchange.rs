@@ -170,9 +170,7 @@ mod tests {
         let with_quotes = ops
             .iter()
             .filter(|o| match o {
-                Op::Insert { data, .. } => {
-                    data.windows(14).any(|w| w == b"Quoted answer:")
-                }
+                Op::Insert { data, .. } => data.windows(14).any(|w| w == b"Quoted answer:"),
                 _ => false,
             })
             .count();

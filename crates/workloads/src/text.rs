@@ -21,8 +21,8 @@ impl TextGen {
     pub fn new(rng: &mut SplitMix64, words: usize) -> Self {
         assert!(words >= 16);
         const SYLLABLES: [&str; 24] = [
-            "ta", "re", "mi", "lo", "ven", "dar", "sil", "qua", "pos", "ner", "ul", "ка",
-            "tion", "ing", "er", "pre", "con", "dis", "al", "ment", "ous", "ity", "ble", "ist",
+            "ta", "re", "mi", "lo", "ven", "dar", "sil", "qua", "pos", "ner", "ul", "ка", "tion",
+            "ing", "er", "pre", "con", "dis", "al", "ment", "ous", "ity", "ble", "ist",
         ];
         let mut vocab = Vec::with_capacity(words);
         for _ in 0..words {
@@ -162,11 +162,7 @@ mod tests {
         assert_ne!(original, edited);
         // Most of the byte content survives (this is what makes the
         // workload dedupable): compare via a crude common-prefix+suffix.
-        let prefix = original
-            .bytes()
-            .zip(edited.bytes())
-            .take_while(|(a, b)| a == b)
-            .count();
+        let prefix = original.bytes().zip(edited.bytes()).take_while(|(a, b)| a == b).count();
         assert!(prefix > 100, "edits should not rewrite the whole text");
         let size_drift = (original.len() as i64 - edited.len() as i64).unsigned_abs();
         assert!(size_drift < 2_000);

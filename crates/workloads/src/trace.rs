@@ -21,10 +21,7 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 /// Writes `ops` to `path`. Returns the number of operations written.
-pub fn save_trace(
-    path: impl AsRef<Path>,
-    ops: impl Iterator<Item = Op>,
-) -> std::io::Result<u64> {
+pub fn save_trace(path: impl AsRef<Path>, ops: impl Iterator<Item = Op>) -> std::io::Result<u64> {
     let mut out = BufWriter::new(std::fs::File::create(path)?);
     let mut n = 0u64;
     for op in ops {
@@ -71,8 +68,7 @@ impl TraceReader {
         let mut frame = vec![0u8; len];
         self.input.read_exact(&mut frame)?;
         let mut r = ByteReader::new(&frame);
-        let bad =
-            |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
         match r.get_u8().map_err(|_| bad("empty frame"))? {
             0x01 => {
                 let id = RecordId(r.get_varint().map_err(|_| bad("bad id"))?);

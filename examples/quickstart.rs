@@ -48,10 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nlatest version decode retrievals: {:?} (always 0 — backward encoding)",
         engine.retrievals_for(RecordId(4)).unwrap()
     );
-    println!(
-        "oldest version decode retrievals: {:?}",
-        engine.retrievals_for(RecordId(0)).unwrap()
-    );
+    println!("oldest version decode retrievals: {:?}", engine.retrievals_for(RecordId(0)).unwrap());
 
     let m = engine.metrics();
     println!("\noriginal data:        {}", format_bytes(m.original_bytes));

@@ -14,10 +14,8 @@ use dbdedup::workloads::{Enron, Op};
 use dbdedup::{EngineConfig, ReplicaPair};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let inserts = std::env::var("DBDEDUP_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1200usize);
+    let inserts =
+        std::env::var("DBDEDUP_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1200usize);
 
     let mut cfg = EngineConfig::default();
     cfg.min_benefit_bytes = 16;

@@ -25,10 +25,8 @@ fn run(cfg: EngineConfig, inserts: usize) -> (f64, usize, u64) {
 }
 
 fn main() {
-    let inserts = std::env::var("DBDEDUP_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(800usize);
+    let inserts =
+        std::env::var("DBDEDUP_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(800usize);
 
     println!("== chunk-size sweep (message boards, {inserts} posts) ==");
     println!("{:>10} {:>12} {:>12}", "chunk", "ratio", "index mem");
@@ -36,7 +34,12 @@ fn main() {
         let mut cfg = EngineConfig::with_chunk_size(chunk);
         cfg.min_benefit_bytes = 16;
         let (ratio, index, _) = run(cfg, inserts);
-        println!("{:>10} {:>12} {:>12}", format!("{chunk}B"), format_ratio(ratio), format_bytes(index as u64));
+        println!(
+            "{:>10} {:>12} {:>12}",
+            format!("{chunk}B"),
+            format_ratio(ratio),
+            format_bytes(index as u64)
+        );
     }
 
     println!("\n== encoding-policy sweep ==");

@@ -14,10 +14,8 @@ use dbdedup::workloads::{Op, Wikipedia};
 use dbdedup::{DedupEngine, EngineConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let inserts = std::env::var("DBDEDUP_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1500usize);
+    let inserts =
+        std::env::var("DBDEDUP_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1500usize);
 
     let mut cfg = EngineConfig::default();
     cfg.min_benefit_bytes = 16;

@@ -71,7 +71,10 @@ fn workload(name: &str, n: usize, seed: u64) -> Box<dyn Workload<Item = Op>> {
 
 fn report(engine: &DedupEngine, elapsed: f64, inserts: u64) {
     let m = engine.metrics();
-    println!("inserts:              {inserts} in {elapsed:.2}s ({})", format_ops(inserts as f64 / elapsed));
+    println!(
+        "inserts:              {inserts} in {elapsed:.2}s ({})",
+        format_ops(inserts as f64 / elapsed)
+    );
     println!("original data:        {}", format_bytes(m.original_bytes));
     println!("stored on disk:       {}", format_bytes(m.stored_bytes));
     println!("storage compression:  {}", format_ratio(m.storage_ratio()));

@@ -52,5 +52,6 @@ pub use dbdedup_workloads as workloads;
 
 pub use dbdedup_core::{DedupEngine, EngineConfig, EngineError, InsertOutcome, MetricsSnapshot};
 pub use dbdedup_encoding::EncodingPolicy;
-pub use dbdedup_repl::ReplicaPair;
+pub use dbdedup_repl::{AsyncReplicator, ReplicaPair, ResyncReport};
+pub use dbdedup_storage::{FaultInjector, FaultKind, FaultPlan, RecoveryReport};
 pub use dbdedup_util::ids::RecordId;

@@ -29,8 +29,9 @@ fn flip_byte(dir: &Path, offset_from_end: u64) {
 fn corrupted_compressed_payload_is_detected() {
     let dir = temp_dir("payload");
     {
-        let store = RecordStore::open(&dir, StoreConfig { block_compression: true, ..Default::default() })
-            .expect("open");
+        let store =
+            RecordStore::open(&dir, StoreConfig { block_compression: true, ..Default::default() })
+                .expect("open");
         let text = "a compressible record body, repeated and repeated. ".repeat(100);
         store.put(RecordId(1), StorageForm::Raw, text.as_bytes()).expect("put");
         // Corrupt the payload mid-entry.

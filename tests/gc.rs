@@ -115,10 +115,7 @@ fn delete_all_records() {
     // what refcounts require; inserting fresh data still works.
     e.insert("wikipedia", RecordId(100), b"a fresh start with enough bytes to chunk")
         .expect("insert");
-    assert_eq!(
-        &e.read(RecordId(100)).unwrap()[..],
-        b"a fresh start with enough bytes to chunk"
-    );
+    assert_eq!(&e.read(RecordId(100)).unwrap()[..], b"a fresh start with enough bytes to chunk");
 }
 
 #[test]
