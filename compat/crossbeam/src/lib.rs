@@ -22,6 +22,17 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`]: the message comes back to
+    /// the caller either because the buffer is full (back-pressure) or
+    /// because the receiver disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel buffer is full; retry later or shed load.
+        Full(T),
+        /// The receiving half was dropped; no send can ever succeed.
+        Disconnected(T),
+    }
+
     /// Creates a channel buffering at most `cap` in-flight messages;
     /// `send` blocks when the buffer is full (back-pressure).
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
@@ -34,6 +45,15 @@ pub mod channel {
         /// when the receiver has disconnected.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.0.send(value).map_err(|e| SendError(e.0))
+        }
+
+        /// Attempts to send without blocking. A full buffer or a dropped
+        /// receiver returns the value to the caller, typed.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value).map_err(|e| match e {
+                std::sync::mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                std::sync::mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
         }
     }
 
@@ -77,5 +97,16 @@ mod tests {
         let (tx, rx) = channel::bounded::<u8>(1);
         drop(rx);
         assert!(tx.send(9).is_err());
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(channel::TrySendError::Full(2)));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(channel::TrySendError::Disconnected(4)));
     }
 }

@@ -51,6 +51,10 @@ pub struct EngineConfig {
     /// When set, the oplog is persisted to this file (MongoDB's oplog is a
     /// durable collection); otherwise it is memory-only.
     pub oplog_path: Option<std::path::PathBuf>,
+    /// Budget (bytes) of already-shipped oplog entries retained for
+    /// replica cursor catch-up. A replica whose cursor falls below the
+    /// retention floor must fall back to a full anti-entropy resync.
+    pub oplog_retain_bytes: usize,
 }
 
 impl Default for EngineConfig {
@@ -73,6 +77,7 @@ impl Default for EngineConfig {
             min_benefit_bytes: 64,
             synchronous_writebacks: false,
             oplog_path: None,
+            oplog_retain_bytes: dbdedup_storage::oplog::DEFAULT_OPLOG_RETAIN_BYTES,
         }
     }
 }

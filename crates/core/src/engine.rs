@@ -12,7 +12,7 @@ use dbdedup_delta::ops::DeltaError;
 use dbdedup_delta::{reencode, DbDeltaConfig, DbDeltaEncoder, Delta};
 use dbdedup_encoding::{ChainManager, Writeback};
 use dbdedup_index::{CuckooConfig, PartitionedFeatureIndex};
-use dbdedup_storage::oplog::DurableOplog;
+use dbdedup_storage::oplog::{CursorGap, DurableOplog};
 use dbdedup_storage::store::{RecordStore, StorageForm, StoreConfig, StoreError};
 use dbdedup_storage::{IoMeter, Oplog, OplogEntry, OplogKind, OplogPayload};
 use dbdedup_util::hash::crc32::crc32;
@@ -76,6 +76,34 @@ impl OplogBackend {
             OplogBackend::Durable(o) => o.pending(),
         }
     }
+
+    fn read_from(&self, from_lsn: u64, max_bytes: usize) -> Result<Vec<OplogEntry>, CursorGap> {
+        match self {
+            OplogBackend::Mem(o) => o.read_from(from_lsn, max_bytes),
+            OplogBackend::Durable(o) => o.read_from(from_lsn, max_bytes),
+        }
+    }
+
+    fn ack_shipped(&mut self, lsn: u64) {
+        match self {
+            OplogBackend::Mem(o) => o.ack_shipped(lsn),
+            OplogBackend::Durable(o) => o.ack_shipped(lsn),
+        }
+    }
+
+    fn next_lsn(&self) -> u64 {
+        match self {
+            OplogBackend::Mem(o) => o.next_lsn(),
+            OplogBackend::Durable(o) => o.next_lsn(),
+        }
+    }
+
+    fn floor_lsn(&self) -> u64 {
+        match self {
+            OplogBackend::Mem(o) => o.floor_lsn(),
+            OplogBackend::Durable(o) => o.floor_lsn(),
+        }
+    }
 }
 
 impl std::fmt::Display for EngineError {
@@ -124,6 +152,10 @@ pub enum InsertOutcome {
     BypassedSize,
     /// The governor has disabled dedup for this database.
     BypassedGovernor,
+    /// The replication layer reported overload; dedup encoding was shed
+    /// for this insert (stored raw, reversible — see
+    /// [`DedupEngine::set_replication_pressure`]).
+    BypassedOverload,
     /// Dedup disabled in configuration.
     Disabled,
 }
@@ -212,9 +244,11 @@ impl DedupEngine {
         });
         let oplog = match &config.oplog_path {
             Some(path) => {
-                OplogBackend::Durable(DurableOplog::open(path).map_err(EngineError::Oplog)?)
+                let mut log = DurableOplog::open(path).map_err(EngineError::Oplog)?;
+                log.set_retention(config.oplog_retain_bytes);
+                OplogBackend::Durable(log)
             }
-            None => OplogBackend::Mem(Oplog::new()),
+            None => OplogBackend::Mem(Oplog::with_retention(config.oplog_retain_bytes)),
         };
         // Restart over an existing store: rebuild chain topology and
         // reference counts from the on-disk base pointers so deletes, GC
@@ -304,6 +338,16 @@ impl DedupEngine {
             self.metrics.bypassed_governor += 1;
             self.insert_unique(id, data)?;
             return Ok(InsertOutcome::BypassedGovernor);
+        }
+        if self.governor.is_overloaded() {
+            // Replication backpressure: shed the CPU-heavy dedup stage
+            // (feature extraction, index lookup, delta encoding) so ingest
+            // keeps absorbing the burst. The raw record still replicates —
+            // a throughput/compression trade, never a correctness one.
+            self.metrics.bypassed_overload += 1;
+            self.record_governor(db, data.len() as u64, data.len() as u64);
+            self.insert_unique(id, data)?;
+            return Ok(InsertOutcome::BypassedOverload);
         }
         if self.filter.observe(db, data.len() as u64) {
             self.metrics.bypassed_size += 1;
@@ -808,7 +852,9 @@ impl DedupEngine {
     // Replication plumbing
     // ------------------------------------------------------------------
 
-    /// Takes a batch of unshipped oplog entries (primary side).
+    /// Takes a batch of unshipped oplog entries (primary side). Taken
+    /// entries remain retained for cursor catch-up until acknowledged or
+    /// trimmed by the retention budget.
     pub fn take_oplog_batch(&mut self, max_bytes: usize) -> Vec<OplogEntry> {
         self.oplog.take_batch(max_bytes)
     }
@@ -816,6 +862,47 @@ impl DedupEngine {
     /// Unshipped oplog entries.
     pub fn oplog_pending(&self) -> usize {
         self.oplog.pending()
+    }
+
+    /// Reads up to `max_bytes` of retained oplog entries starting at
+    /// `from_lsn` without consuming them — the replica-driven catch-up
+    /// path. A cursor below the retention floor returns the typed
+    /// [`CursorGap`]; only a full anti-entropy resync can help then.
+    pub fn oplog_entries_from(
+        &self,
+        from_lsn: u64,
+        max_bytes: usize,
+    ) -> Result<Vec<OplogEntry>, CursorGap> {
+        self.oplog.read_from(from_lsn, max_bytes)
+    }
+
+    /// Acknowledges that every replica has applied entries below `lsn`,
+    /// letting the retention window trim.
+    pub fn oplog_ack_shipped(&mut self, lsn: u64) {
+        self.oplog.ack_shipped(lsn);
+    }
+
+    /// The next oplog LSN the primary will assign (replication head).
+    pub fn oplog_next_lsn(&self) -> u64 {
+        self.oplog.next_lsn()
+    }
+
+    /// The lowest oplog LSN still retained for catch-up.
+    pub fn oplog_floor_lsn(&self) -> u64 {
+        self.oplog.floor_lsn()
+    }
+
+    /// Raises or lowers the replication-pressure gate: while raised, new
+    /// inserts bypass dedup encoding (stored raw) so the ingest path sheds
+    /// CPU under overload. Reversible, unlike the governor's per-database
+    /// disable.
+    pub fn set_replication_pressure(&mut self, on: bool) {
+        self.governor.set_overloaded(on);
+    }
+
+    /// Whether the replication-pressure gate is raised.
+    pub fn replication_pressure(&self) -> bool {
+        self.governor.is_overloaded()
     }
 
     /// Applies one replicated oplog entry (secondary side, §4.1): decodes
@@ -997,6 +1084,27 @@ impl DedupEngine {
         self.metrics.apply_retries += 1;
     }
 
+    /// Counts one shipment refused by a full replica queue.
+    pub fn record_backpressure(&mut self) {
+        self.metrics.backpressure_events += 1;
+    }
+
+    /// Counts one batch delivered through oplog-cursor catch-up.
+    pub fn record_catchup_batch(&mut self) {
+        self.metrics.catchup_batches += 1;
+    }
+
+    /// Counts one replica health state-machine transition.
+    pub fn record_health_transition(&mut self) {
+        self.metrics.health_transitions += 1;
+    }
+
+    /// Records an observed replica lag (oplog entries behind the primary),
+    /// keeping the worst value seen.
+    pub fn observe_replica_lag(&mut self, lag: u64) {
+        self.metrics.max_replica_lag = self.metrics.max_replica_lag.max(lag);
+    }
+
     /// A consistent snapshot of every figure-relevant metric.
     pub fn metrics(&self) -> MetricsSnapshot {
         let io = self.store.io_stats();
@@ -1020,6 +1128,11 @@ impl DedupEngine {
             chain_broken_reads: self.metrics.chain_broken_reads,
             apply_retries: self.metrics.apply_retries,
             repaired_records: self.metrics.repaired_records,
+            bypassed_overload: self.metrics.bypassed_overload,
+            backpressure_events: self.metrics.backpressure_events,
+            catchup_batches: self.metrics.catchup_batches,
+            health_transitions: self.metrics.health_transitions,
+            max_replica_lag: self.metrics.max_replica_lag,
         }
     }
 }
@@ -1395,6 +1508,75 @@ mod tests {
         assert!(matches!(e.read(RecordId(7)), Err(EngineError::NotFound(_))));
         // Repair-removing an id that never existed is a no-op.
         e.repair_remove(RecordId(99)).unwrap();
+    }
+
+    #[test]
+    fn overload_gate_stores_raw_but_keeps_replicating() {
+        let mut e = engine();
+        let docs = versioned_docs(4, 31);
+        e.insert("db", RecordId(0), &docs[0]).unwrap();
+        e.set_replication_pressure(true);
+        assert!(e.replication_pressure());
+        // Near-duplicates that would normally delta-encode now go raw.
+        assert_eq!(e.insert("db", RecordId(1), &docs[1]).unwrap(), InsertOutcome::BypassedOverload);
+        assert_eq!(e.insert("db", RecordId(2), &docs[2]).unwrap(), InsertOutcome::BypassedOverload);
+        e.set_replication_pressure(false);
+        // The gate is transient: dedup resumes once pressure clears.
+        assert!(matches!(
+            e.insert("db", RecordId(3), &docs[3]).unwrap(),
+            InsertOutcome::Deduped { .. }
+        ));
+        assert_eq!(e.metrics().bypassed_overload, 2);
+        // Bypassed inserts still produced oplog entries: a secondary
+        // replaying the stream converges despite the shed encoding.
+        let mut secondary = engine();
+        for entry in &e.take_oplog_batch(usize::MAX) {
+            secondary.apply_oplog_entry(entry).unwrap();
+        }
+        for i in 0..4u64 {
+            assert_eq!(
+                &secondary.read(RecordId(i)).unwrap()[..],
+                &e.read(RecordId(i)).unwrap()[..],
+                "record {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn oplog_cursor_apis_serve_gap_replay() {
+        let mut e = engine();
+        let docs = versioned_docs(6, 32);
+        for (i, d) in docs.iter().enumerate() {
+            e.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        assert_eq!(e.oplog_floor_lsn(), 0);
+        let head = e.oplog_next_lsn();
+        assert_eq!(head, 6);
+        // Ship the steady-state stream; taken entries stay retained.
+        let shipped = e.take_oplog_batch(usize::MAX);
+        assert_eq!(shipped.len(), 6);
+        // A replica that only applied the first two entries replays the
+        // gap [2, head) from the cursor, byte-identical to the shipment.
+        let gap = e.oplog_entries_from(2, usize::MAX).unwrap();
+        assert_eq!(gap.len(), 4);
+        for (a, b) in gap.iter().zip(&shipped[2..]) {
+            assert_eq!(a.encode(), b.encode());
+        }
+        // Once every replica acks the head, retention may trim; a cursor
+        // below the floor is then a typed gap, not silent truncation.
+        e.oplog_ack_shipped(head);
+        // (The default retention budget is generous; the trim mechanics are
+        // covered at the storage layer. Here we only assert the typed error
+        // plumbs through when a cursor does fall below the floor.)
+        if e.oplog_floor_lsn() > 0 {
+            match e.oplog_entries_from(0, usize::MAX) {
+                Err(CursorGap::TrimmedBelowFloor { requested, floor }) => {
+                    assert_eq!(requested, 0);
+                    assert!(floor > 0);
+                }
+                other => panic!("expected TrimmedBelowFloor, got {other:?}"),
+            }
+        }
     }
 
     #[test]

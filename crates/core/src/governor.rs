@@ -7,6 +7,13 @@
 //! dropped. Already-encoded data stays intact, and a disabled database is
 //! never re-enabled (the paper observes per-workload redundancy to be
 //! stationary).
+//!
+//! The governor also carries a *transient* overload gate: when the
+//! replication layer reports sustained backpressure, dedup encoding is
+//! bypassed for new inserts (records go raw) so the ingest path sheds its
+//! CPU-heaviest stage instead of stalling — the graceful-degradation mode
+//! of prioritized-dedup systems (HPDedup). Unlike the ratio-based disable,
+//! overload is reversible: the gate lifts as soon as pressure clears.
 
 use std::collections::HashMap;
 
@@ -37,13 +44,28 @@ pub struct Governor {
     dbs: HashMap<String, DbState>,
     min_ratio: f64,
     min_inserts: u64,
+    overloaded: bool,
 }
 
 impl Governor {
     /// Creates a governor that disables a database whose ratio is below
     /// `min_ratio` after `min_inserts` insertions.
     pub fn new(min_ratio: f64, min_inserts: u64) -> Self {
-        Self { dbs: HashMap::new(), min_ratio, min_inserts }
+        Self { dbs: HashMap::new(), min_ratio, min_inserts, overloaded: false }
+    }
+
+    /// Raises or lowers the transient overload gate (replication
+    /// backpressure). While raised, callers should bypass dedup encoding.
+    /// Returns whether the flag changed.
+    pub fn set_overloaded(&mut self, on: bool) -> bool {
+        let changed = self.overloaded != on;
+        self.overloaded = on;
+        changed
+    }
+
+    /// Whether the overload gate is currently raised.
+    pub fn is_overloaded(&self) -> bool {
+        self.overloaded
     }
 
     /// Whether dedup is disabled for `db`.
@@ -130,6 +152,19 @@ mod tests {
         g.record_insert("edge", 110, 100);
         assert_eq!(g.record_insert("edge", 110, 100), GovernorVerdict::KeepGoing);
         assert!(!g.is_disabled("edge"));
+    }
+
+    #[test]
+    fn overload_gate_is_reversible() {
+        let mut g = Governor::new(1.1, 10);
+        assert!(!g.is_overloaded());
+        assert!(g.set_overloaded(true), "first raise is a change");
+        assert!(!g.set_overloaded(true), "re-raising is not");
+        assert!(g.is_overloaded());
+        assert!(g.set_overloaded(false));
+        assert!(!g.is_overloaded());
+        // Overload never flips the permanent per-db disable.
+        assert!(!g.is_disabled("anything"));
     }
 
     #[test]

@@ -33,6 +33,18 @@ pub struct EngineMetrics {
     pub apply_retries: u64,
     /// Records re-materialized from a peer (anti-entropy repair).
     pub repaired_records: u64,
+    /// Inserts that bypassed dedup because the replication layer reported
+    /// overload (transient governor gate).
+    pub bypassed_overload: u64,
+    /// Shipments refused because the replica's queue was full.
+    pub backpressure_events: u64,
+    /// Batches delivered through oplog-cursor catch-up (gap replay after
+    /// overflow, partition, or crash) rather than the steady-state stream.
+    pub catchup_batches: u64,
+    /// Replica health state-machine transitions observed.
+    pub health_transitions: u64,
+    /// Worst replication lag observed, in oplog entries.
+    pub max_replica_lag: u64,
 }
 
 /// A point-in-time copy of every metric the figures need, combining engine
@@ -77,6 +89,16 @@ pub struct MetricsSnapshot {
     pub apply_retries: u64,
     /// Records re-materialized from a peer by anti-entropy resync.
     pub repaired_records: u64,
+    /// Inserts that bypassed dedup under replication overload.
+    pub bypassed_overload: u64,
+    /// Shipments refused by a full replica queue (backpressure).
+    pub backpressure_events: u64,
+    /// Batches delivered via oplog-cursor catch-up.
+    pub catchup_batches: u64,
+    /// Replica health state-machine transitions.
+    pub health_transitions: u64,
+    /// Worst replication lag observed (oplog entries).
+    pub max_replica_lag: u64,
 }
 
 impl MetricsSnapshot {
@@ -96,7 +118,10 @@ impl MetricsSnapshot {
                 "\"max_read_retrievals\":{},\"mean_read_retrievals\":{:.4},",
                 "\"gc_spliced\":{},\"quarantined_entries\":{},",
                 "\"truncated_tail_bytes\":{},\"chain_broken_reads\":{},",
-                "\"apply_retries\":{},\"repaired_records\":{}}}"
+                "\"apply_retries\":{},\"repaired_records\":{},",
+                "\"bypassed_overload\":{},\"backpressure_events\":{},",
+                "\"catchup_batches\":{},\"health_transitions\":{},",
+                "\"max_replica_lag\":{}}}"
             ),
             self.original_bytes,
             self.stored_bytes,
@@ -121,6 +146,11 @@ impl MetricsSnapshot {
             self.chain_broken_reads,
             self.apply_retries,
             self.repaired_records,
+            self.bypassed_overload,
+            self.backpressure_events,
+            self.catchup_batches,
+            self.health_transitions,
+            self.max_replica_lag,
         )
     }
 
@@ -177,6 +207,11 @@ mod tests {
             chain_broken_reads: 0,
             apply_retries: 0,
             repaired_records: 0,
+            bypassed_overload: 0,
+            backpressure_events: 0,
+            catchup_batches: 0,
+            health_transitions: 0,
+            max_replica_lag: 0,
         }
     }
 
@@ -186,6 +221,26 @@ mod tests {
         assert!((s.storage_ratio() - 10.0).abs() < 1e-9);
         assert!((s.dedup_only_ratio() - 5.0).abs() < 1e-9);
         assert!((s.network_ratio() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_carries_replication_robustness_counters() {
+        let mut s = snap();
+        s.backpressure_events = 3;
+        s.catchup_batches = 2;
+        s.health_transitions = 5;
+        s.max_replica_lag = 41;
+        s.bypassed_overload = 7;
+        let j = s.to_json();
+        for needle in [
+            "\"backpressure_events\":3",
+            "\"catchup_batches\":2",
+            "\"health_transitions\":5",
+            "\"max_replica_lag\":41",
+            "\"bypassed_overload\":7",
+        ] {
+            assert!(j.contains(needle), "{needle} missing from {j}");
+        }
     }
 
     #[test]

@@ -2,19 +2,59 @@
 //! thread, fed through a bounded crossbeam channel — the push model of the
 //! paper's Fig. 8 (primary never blocks on the replica except for
 //! back-pressure).
+//!
+//! Shipping never silently drops an acknowledged batch: [`ship`] is
+//! non-blocking and reports a full queue as [`ShipOutcome::Backpressured`]
+//! with the entries untouched on the caller's side, and
+//! [`ship_with_deadline`] turns that into bounded blocking via jittered
+//! exponential backoff. The only way a frame disappears is an injected
+//! transport fault ([`ShipOutcome::LostInTransit`]), which is counted,
+//! logged once, and repaired by oplog-cursor catch-up or anti-entropy.
+//!
+//! [`ship`]: AsyncReplicator::ship
+//! [`ship_with_deadline`]: AsyncReplicator::ship_with_deadline
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use dbdedup_core::{DedupEngine, EngineError};
 use dbdedup_storage::oplog::{decode_batch, encode_batch, OplogEntry};
 use dbdedup_storage::store::StoreError;
 use dbdedup_storage::{FaultInjector, WriteOutcome};
+use dbdedup_util::time::system_clock;
+use dbdedup_util::{Backoff, BackoffConfig, Clock};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// How many times one oplog entry is attempted before its error sticks.
 const MAX_APPLY_ATTEMPTS: u32 = 4;
+
+/// What happened to a shipped batch. Every caller must look: ignoring a
+/// non-`Enqueued` outcome is exactly the silent-loss footgun this type
+/// exists to remove.
+#[must_use = "a non-Enqueued outcome means the batch was NOT delivered; handle or retry it"]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShipOutcome {
+    /// The frame was handed to the apply queue.
+    Enqueued,
+    /// The bounded queue is full. Nothing was sent and nothing was lost —
+    /// the entries are still the caller's; retry, block with a deadline,
+    /// or let the replica catch up from its oplog cursor.
+    Backpressured,
+    /// The apply thread is gone; no send can ever succeed again.
+    Disconnected,
+    /// An injected transport fault swallowed the frame in flight. The
+    /// replica diverges until cursor catch-up or anti-entropy repairs it.
+    LostInTransit,
+}
+
+impl ShipOutcome {
+    /// Whether the batch actually reached the apply queue.
+    pub fn is_enqueued(self) -> bool {
+        self == ShipOutcome::Enqueued
+    }
+}
 
 /// Shared transport counters.
 #[derive(Debug, Default)]
@@ -25,6 +65,8 @@ struct Counters {
     apply_errors: AtomicU64,
     apply_retries: AtomicU64,
     dropped_batches: AtomicU64,
+    backpressured: AtomicU64,
+    loss_logged: AtomicBool,
 }
 
 /// Whether an apply error is worth retrying: transient I/O conditions can
@@ -41,24 +83,41 @@ pub struct AsyncReplicator {
     counters: Arc<Counters>,
     last_error: Arc<Mutex<Option<String>>>,
     transport_faults: Option<Arc<FaultInjector>>,
+    clock: Arc<dyn Clock>,
 }
 
 impl AsyncReplicator {
-    /// Spawns the apply thread around `secondary`. `queue_depth` bounds
-    /// in-flight batches (back-pressure).
-    pub fn spawn(mut secondary: DedupEngine, queue_depth: usize) -> Self {
+    /// Spawns the apply thread around `secondary` with the system clock.
+    /// `queue_depth` bounds in-flight batches (back-pressure).
+    pub fn spawn(secondary: DedupEngine, queue_depth: usize) -> Self {
+        Self::spawn_with_clock(secondary, queue_depth, system_clock())
+    }
+
+    /// Spawns the apply thread with an explicit clock: retry backoff on
+    /// the apply side sleeps on it, so a simulation can hand both sides a
+    /// shared virtual clock and replay the schedule deterministically.
+    pub fn spawn_with_clock(
+        mut secondary: DedupEngine,
+        queue_depth: usize,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
         let (tx, rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = bounded(queue_depth.max(1));
         let counters = Arc::new(Counters::default());
         let last_error = Arc::new(Mutex::new(None));
         let c2 = Arc::clone(&counters);
         let e2 = Arc::clone(&last_error);
+        let apply_clock = Arc::clone(&clock);
         let handle = std::thread::spawn(move || {
+            // Jitter seeds derive from a per-thread counter so a replayed
+            // schedule produces the same backoff sequence.
+            let mut seed = 0x5eed_u64;
             for frame in rx.iter() {
                 match decode_batch(&frame) {
                     Ok(entries) => {
                         c2.entries.fetch_add(entries.len() as u64, Ordering::Relaxed);
                         for entry in &entries {
-                            apply_with_retry(&mut secondary, entry, &c2, &e2);
+                            seed = seed.wrapping_add(1);
+                            apply_with_retry(&mut secondary, entry, &c2, &e2, &apply_clock, seed);
                         }
                     }
                     Err(err) => {
@@ -69,22 +128,32 @@ impl AsyncReplicator {
             }
             secondary
         });
-        Self { tx: Some(tx), handle: Some(handle), counters, last_error, transport_faults: None }
+        Self {
+            tx: Some(tx),
+            handle: Some(handle),
+            counters,
+            last_error,
+            transport_faults: None,
+            clock,
+        }
     }
 
     /// Injects faults into the shipping transport: each outgoing frame is
-    /// one "write" in the plan's op numbering, so frames can be torn,
-    /// bit-flipped, or dropped in flight (a dropped batch is what a crashed
-    /// network link produces — the resync pass repairs the divergence).
+    /// one "write" in the plan's op numbering (including re-attempts after
+    /// backpressure), so frames can be torn, bit-flipped, or dropped in
+    /// flight — a dropped batch is what a crashed network link produces,
+    /// and cursor catch-up or the resync pass repairs the divergence.
     pub fn with_transport_faults(mut self, faults: Arc<FaultInjector>) -> Self {
         self.transport_faults = Some(faults);
         self
     }
 
-    /// Ships one batch (blocks only when the queue is full).
-    pub fn ship(&self, batch: &[OplogEntry]) {
+    /// Ships one batch without blocking. A full queue comes back as
+    /// [`ShipOutcome::Backpressured`] with nothing consumed and nothing
+    /// lost; only an injected transport fault can swallow the frame.
+    pub fn ship(&self, batch: &[OplogEntry]) -> ShipOutcome {
         if batch.is_empty() {
-            return;
+            return ShipOutcome::Enqueued;
         }
         let mut frame = encode_batch(batch);
         if let Some(inj) = &self.transport_faults {
@@ -92,19 +161,73 @@ impl AsyncReplicator {
                 Ok(WriteOutcome::Proceed) => {}
                 Ok(WriteOutcome::Truncated(n)) => frame.truncate(n),
                 Ok(WriteOutcome::Dropped) | Err(_) => {
-                    // The frame never reaches the wire; the secondary
-                    // diverges until anti-entropy repairs it.
-                    self.counters.dropped_batches.fetch_add(1, Ordering::Relaxed);
-                    return;
+                    self.note_loss();
+                    return ShipOutcome::LostInTransit;
                 }
             }
         }
-        self.counters.bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
-        self.counters.batches.fetch_add(1, Ordering::Relaxed);
-        if let Some(tx) = &self.tx {
-            // A disconnected receiver means the apply thread died; the
-            // error surfaces via `apply_errors` / join.
-            let _ = tx.send(frame);
+        let Some(tx) = &self.tx else {
+            return ShipOutcome::Disconnected;
+        };
+        let frame_len = frame.len() as u64;
+        match tx.try_send(frame) {
+            Ok(()) => {
+                // Counted only on delivery: backpressured attempts cost no
+                // wire bytes.
+                self.counters.bytes.fetch_add(frame_len, Ordering::Relaxed);
+                self.counters.batches.fetch_add(1, Ordering::Relaxed);
+                ShipOutcome::Enqueued
+            }
+            Err(TrySendError::Full(_)) => {
+                self.counters.backpressured.fetch_add(1, Ordering::Relaxed);
+                ShipOutcome::Backpressured
+            }
+            // The apply thread died; the error surfaces via
+            // `apply_errors` / join.
+            Err(TrySendError::Disconnected(_)) => ShipOutcome::Disconnected,
+        }
+    }
+
+    /// Ships one batch, absorbing backpressure with jittered exponential
+    /// backoff for up to `deadline`. Returns the final outcome — still
+    /// [`ShipOutcome::Backpressured`] if the queue never drained in time,
+    /// at which point the caller falls back to cursor catch-up.
+    pub fn ship_with_deadline(
+        &self,
+        batch: &[OplogEntry],
+        deadline: Duration,
+        seed: u64,
+    ) -> ShipOutcome {
+        let cfg = BackoffConfig {
+            max_attempts: u32::MAX,
+            deadline: Some(deadline),
+            ..BackoffConfig::default()
+        };
+        let mut backoff = Backoff::new(cfg, Arc::clone(&self.clock), seed);
+        loop {
+            match self.ship(batch) {
+                ShipOutcome::Backpressured => {
+                    if !backoff.sleep() {
+                        return ShipOutcome::Backpressured;
+                    }
+                }
+                outcome => return outcome,
+            }
+        }
+    }
+
+    fn note_loss(&self) {
+        // Saturating on purpose: a wrapped counter would read as "almost
+        // no loss" exactly when loss was catastrophic.
+        let _ =
+            self.counters
+                .dropped_batches
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_add(1)));
+        if !self.counters.loss_logged.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "dbdedup-repl: transport fault dropped a replication frame; \
+                 the replica diverges until catch-up or resync (logged once)"
+            );
         }
     }
 
@@ -133,6 +256,11 @@ impl AsyncReplicator {
         self.counters.dropped_batches.load(Ordering::Relaxed)
     }
 
+    /// Ship attempts refused because the apply queue was full.
+    pub fn backpressure_events(&self) -> u64 {
+        self.counters.backpressured.load(Ordering::Relaxed)
+    }
+
     /// Most recent apply-side error message, if any.
     pub fn last_error(&self) -> Option<String> {
         self.last_error.lock().clone()
@@ -155,24 +283,30 @@ impl AsyncReplicator {
     }
 }
 
-/// Applies one entry with bounded retry-with-backoff for transient errors.
+/// Applies one entry with bounded jittered-backoff retry for transient
+/// errors (shared [`Backoff`] helper, driven by the replicator's clock).
 fn apply_with_retry(
     secondary: &mut DedupEngine,
     entry: &OplogEntry,
     counters: &Counters,
     last_error: &Mutex<Option<String>>,
+    clock: &Arc<dyn Clock>,
+    seed: u64,
 ) {
-    let mut attempt = 0u32;
+    let cfg = BackoffConfig { max_attempts: MAX_APPLY_ATTEMPTS - 1, ..BackoffConfig::default() };
+    let mut backoff = Backoff::new(cfg, Arc::clone(clock), seed);
     loop {
         match secondary.apply_oplog_entry(entry) {
             Ok(()) => return,
-            Err(err) if is_transient(&err) && attempt + 1 < MAX_APPLY_ATTEMPTS => {
-                attempt += 1;
-                counters.apply_retries.fetch_add(1, Ordering::Relaxed);
-                secondary.record_apply_retry();
-                // Exponential backoff, deliberately tiny: the point is to
-                // yield and reorder, not to model a real network.
-                std::thread::sleep(std::time::Duration::from_millis(1 << attempt.min(6)));
+            Err(err) if is_transient(&err) => {
+                if backoff.sleep() {
+                    counters.apply_retries.fetch_add(1, Ordering::Relaxed);
+                    secondary.record_apply_retry();
+                } else {
+                    counters.apply_errors.fetch_add(1, Ordering::Relaxed);
+                    *last_error.lock() = Some(err.to_string());
+                    return;
+                }
             }
             Err(err) => {
                 counters.apply_errors.fetch_add(1, Ordering::Relaxed);
@@ -198,6 +332,9 @@ mod tests {
     use dbdedup_core::EngineConfig;
     use dbdedup_workloads::{Op, Wikipedia};
 
+    /// Generous deadline for tests that want the old blocking semantics.
+    const TEST_DEADLINE: Duration = Duration::from_secs(10);
+
     fn engine() -> DedupEngine {
         let mut cfg = EngineConfig::default();
         cfg.min_benefit_bytes = 16;
@@ -215,12 +352,12 @@ mod tests {
                 ids.push(id);
                 // Ship as we go, in small batches.
                 let batch = primary.take_oplog_batch(64 << 10);
-                repl.ship(&batch);
+                assert!(repl.ship_with_deadline(&batch, TEST_DEADLINE, id.0).is_enqueued());
             }
         }
         // Drain the tail.
         let batch = primary.take_oplog_batch(usize::MAX);
-        repl.ship(&batch);
+        assert!(repl.ship_with_deadline(&batch, TEST_DEADLINE, 0).is_enqueued());
         assert_eq!(repl.apply_errors(), 0, "apply error: {:?}", repl.last_error());
         let mut secondary = repl.join().unwrap();
         primary.flush_all_writebacks().unwrap();
@@ -242,7 +379,8 @@ mod tests {
             primary.insert("db", dbdedup_util::ids::RecordId(i), &vec![i as u8; 2_000]).unwrap();
         }
         let batch = primary.take_oplog_batch(usize::MAX);
-        repl.ship(&batch);
+        assert_eq!(repl.ship(&batch), ShipOutcome::Enqueued);
+        assert!(repl.bytes_shipped() > 0);
         let secondary = repl.join().unwrap();
         assert_eq!(secondary.store().len(), 5);
     }
@@ -250,9 +388,108 @@ mod tests {
     #[test]
     fn empty_batches_ignored() {
         let repl = AsyncReplicator::spawn(engine(), 1);
-        repl.ship(&[]);
+        assert_eq!(repl.ship(&[]), ShipOutcome::Enqueued);
         assert_eq!(repl.bytes_shipped(), 0);
         let _ = repl.join().unwrap();
+    }
+
+    /// A depth-1 replicator whose apply thread blocks until `gate` fires,
+    /// so tests can hold the queue full deterministically.
+    fn gated_replicator(clock: Arc<dyn Clock>) -> (AsyncReplicator, std::sync::mpsc::Sender<()>) {
+        let (tx, rx) = bounded::<Vec<u8>>(1);
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let counters = Arc::new(Counters::default());
+        let last_error = Arc::new(Mutex::new(None));
+        let c2 = Arc::clone(&counters);
+        let e2 = Arc::clone(&last_error);
+        let apply_clock = Arc::clone(&clock);
+        let handle = std::thread::spawn(move || {
+            let mut secondary = engine();
+            let _ = gate_rx.recv();
+            let mut seed = 0u64;
+            for frame in rx.iter() {
+                let entries = decode_batch(&frame).expect("test frames are valid");
+                c2.entries.fetch_add(entries.len() as u64, Ordering::Relaxed);
+                for entry in &entries {
+                    seed += 1;
+                    apply_with_retry(&mut secondary, entry, &c2, &e2, &apply_clock, seed);
+                }
+            }
+            secondary
+        });
+        let repl = AsyncReplicator {
+            tx: Some(tx),
+            handle: Some(handle),
+            counters,
+            last_error,
+            transport_faults: None,
+            clock,
+        };
+        (repl, gate_tx)
+    }
+
+    #[test]
+    fn backpressure_never_loses_an_acked_batch() {
+        // Regression for the silent-loss footgun: a full queue must
+        // surface as Backpressured with the batch still in the caller's
+        // hands — never a quiet drop.
+        let mut primary = engine();
+        let mut batches = Vec::new();
+        for op in Wikipedia::insert_only(6, 6) {
+            if let Op::Insert { id, data } = op {
+                primary.insert("wikipedia", id, &data).unwrap();
+                batches.push(primary.take_oplog_batch(usize::MAX));
+            }
+        }
+        let (repl, gate) = gated_replicator(system_clock());
+        // Depth-1 queue, gated apply thread: the first ship lands, the
+        // second is refused — deterministically.
+        assert_eq!(repl.ship(&batches[0]), ShipOutcome::Enqueued);
+        assert_eq!(repl.ship(&batches[1]), ShipOutcome::Backpressured);
+        assert!(repl.backpressure_events() >= 1);
+        gate.send(()).unwrap();
+        // Nothing was lost: re-shipping the refused batch (and the rest)
+        // delivers every entry the primary acked.
+        for batch in &batches[1..] {
+            assert!(repl.ship_with_deadline(batch, TEST_DEADLINE, 9).is_enqueued());
+        }
+        assert_eq!(repl.dropped_batches(), 0, "backpressure must never drop");
+        assert_eq!(repl.apply_errors(), 0, "{:?}", repl.last_error());
+        let secondary = repl.join().unwrap();
+        assert_eq!(secondary.store().len(), 6);
+    }
+
+    #[test]
+    fn ship_with_deadline_expires_backpressured() {
+        use dbdedup_util::VirtualClock;
+        // Queue full and apply gated: with a virtual clock the backoff
+        // burns through the deadline without wall-clock waiting and the
+        // caller gets a typed Backpressured back instead of blocking
+        // forever.
+        let mut primary = engine();
+        for i in 0..2u64 {
+            primary.insert("db", dbdedup_util::ids::RecordId(i), &vec![i as u8; 4_000]).unwrap();
+        }
+        let clock = VirtualClock::shared();
+        let (repl, gate) = gated_replicator(clock.clone());
+        let b0 = primary.take_oplog_batch(2_000);
+        let b1 = primary.take_oplog_batch(usize::MAX);
+        assert_eq!(repl.ship(&b0), ShipOutcome::Enqueued);
+        let deadline = Duration::from_millis(50);
+        assert_eq!(repl.ship_with_deadline(&b1, deadline, 7), ShipOutcome::Backpressured);
+        assert!(clock.now() >= deadline, "the backoff waited out the whole deadline");
+        // The refused batch is still the caller's: once the gate opens it
+        // delivers in full. (Spin on the real scheduler here — the virtual
+        // clock would burn any deadline before the apply thread wakes.)
+        gate.send(()).unwrap();
+        let mut outcome = repl.ship(&b1);
+        while outcome == ShipOutcome::Backpressured {
+            std::thread::yield_now();
+            outcome = repl.ship(&b1);
+        }
+        assert!(outcome.is_enqueued());
+        let secondary = repl.join().unwrap();
+        assert_eq!(secondary.store().len(), 2);
     }
 
     #[test]
@@ -281,7 +518,9 @@ mod tests {
                 ids.push(id);
             }
         }
-        repl.ship(&primary.take_oplog_batch(usize::MAX));
+        assert!(repl
+            .ship_with_deadline(&primary.take_oplog_batch(usize::MAX), TEST_DEADLINE, 1)
+            .is_enqueued());
         // Counters race with the apply thread; keep a handle and read them
         // after join() has drained it.
         let counters = Arc::clone(&repl.counters);
@@ -302,24 +541,34 @@ mod tests {
 
         // Frame 1 is torn to nothing mid-flight (decode error on the
         // secondary), and the crash drops everything after — the primary
-        // keeps running either way.
+        // keeps running either way, and every loss is typed and counted.
         let inj = Arc::new(FaultInjector::new(
             FaultPlan::new().fault_at(1, FaultKind::ShortWrite { keep: 0 }),
         ));
         let mut primary = engine();
         let repl = AsyncReplicator::spawn(engine(), 4).with_transport_faults(inj);
+        let mut lost = 0u64;
         for op in Wikipedia::insert_only(9, 8) {
             if let Op::Insert { id, data } = op {
                 primary.insert("wikipedia", id, &data).unwrap();
-                repl.ship(&primary.take_oplog_batch(usize::MAX));
+                match repl.ship_with_deadline(
+                    &primary.take_oplog_batch(usize::MAX),
+                    TEST_DEADLINE,
+                    id.0,
+                ) {
+                    ShipOutcome::LostInTransit => lost += 1,
+                    ShipOutcome::Enqueued => {}
+                    other => panic!("unexpected {other:?}"),
+                }
             }
         }
         assert!(repl.apply_errors() > 0, "the torn frame must fail to decode");
         assert!(repl.dropped_batches() > 0, "post-crash frames are dropped");
+        assert_eq!(repl.dropped_batches(), lost, "every loss reported to the caller");
         let secondary = repl.join().unwrap();
         assert!(
             secondary.store().len() < primary.store().len(),
-            "lost batches must leave the secondary behind (resync's job)"
+            "lost batches must leave the secondary behind (catch-up/resync's job)"
         );
     }
 
@@ -335,6 +584,7 @@ mod tests {
             counters: Arc::new(Counters::default()),
             last_error: Arc::new(Mutex::new(None)),
             transport_faults: None,
+            clock: system_clock(),
         };
         match repl.join() {
             Err(EngineError::ReplicaPanicked(msg)) => {

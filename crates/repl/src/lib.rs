@@ -20,20 +20,39 @@
 //!   asynchronous push model, with bounded retry for transient apply
 //!   errors and optional transport fault injection.
 //!
+//! Replication is lossless under overload: shipping reports a typed
+//! [`asynch::ShipOutcome`] (backpressure is the caller's to absorb, with
+//! [`asynch::AsyncReplicator::ship_with_deadline`] for bounded blocking),
+//! and a replica that missed traffic — full queue, partition, crash —
+//! replays the gap from the primary's retained oplog window by LSN
+//! (*cursor catch-up*) before anything as expensive as a full resync is
+//! considered. Every link carries a [`health::HealthTracker`] state
+//! machine (Healthy → Lagging → Partitioned → CatchingUp) surfaced
+//! through the engine's metrics.
+//!
 //! When the stream alone cannot re-converge a replica (corruption
-//! quarantined records, a fault dropped batches), [`resync::anti_entropy`]
-//! checksum-compares the live record sets and re-ships raw payloads for
-//! the divergent records only.
+//! quarantined records, the retention window slid past its cursor),
+//! [`resync::anti_entropy`] checksum-compares the live record sets and
+//! re-ships raw payloads for the divergent records only.
+//!
+//! The [`sim`] module is a deterministic simulation harness driving a
+//! primary and N replicas through seeded schedules of partitions, crashes,
+//! overload bursts and slow applies on a virtual clock — a failing seed is
+//! a reproducible counterexample.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod asynch;
+pub mod health;
 pub mod pair;
 pub mod resync;
 pub mod set;
+pub mod sim;
 
-pub use asynch::AsyncReplicator;
+pub use asynch::{AsyncReplicator, ShipOutcome};
+pub use health::{HealthTracker, ReplicaHealth};
 pub use pair::{NetworkStats, ReplicaPair};
-pub use resync::{anti_entropy, ResyncReport};
+pub use resync::{anti_entropy, anti_entropy_with_clock, ResyncReport};
 pub use set::ReplicaSet;
+pub use sim::{SimConfig, SimReport, Simulation};

@@ -59,6 +59,10 @@ impl ReplicaPair {
         loop {
             let batch = self.primary.take_oplog_batch(self.batch_budget);
             if batch.is_empty() {
+                // The secondary applied everything synchronously, so the
+                // whole retained window is acknowledged and may trim.
+                let head = self.primary.oplog_next_lsn();
+                self.primary.oplog_ack_shipped(head);
                 return Ok(shipped);
             }
             // Serialize exactly as a network transport would.

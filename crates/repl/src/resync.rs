@@ -16,29 +16,34 @@ use dbdedup_core::{DedupEngine, EngineError};
 use dbdedup_storage::store::StoreError;
 use dbdedup_util::hash::fx::FxHashSet;
 use dbdedup_util::ids::RecordId;
+use dbdedup_util::time::system_clock;
+use dbdedup_util::{Backoff, BackoffConfig, Clock};
+use std::sync::Arc;
 
 /// Attempts per destination repair before a transient error sticks.
 const MAX_REPAIR_ATTEMPTS: u32 = 4;
 
-/// Retries `f` with tiny exponential backoff while it fails transiently
-/// (I/O conditions clear; semantic errors don't). The resync pass is the
-/// recovery path of last resort, so it absorbs the same class of faults
-/// the replicator's apply loop does.
+/// Retries `f` with jittered exponential backoff (the shared [`Backoff`]
+/// helper) while it fails transiently — I/O conditions clear; semantic
+/// errors don't. The resync pass is the recovery path of last resort, so
+/// it absorbs the same class of faults the replicator's apply loop does.
 fn with_retry(
     dst: &mut DedupEngine,
+    clock: &Arc<dyn Clock>,
+    seed: u64,
     mut f: impl FnMut(&mut DedupEngine) -> Result<(), EngineError>,
 ) -> Result<(), EngineError> {
-    let mut attempt = 0u32;
+    let cfg = BackoffConfig { max_attempts: MAX_REPAIR_ATTEMPTS - 1, ..BackoffConfig::default() };
+    let mut backoff = Backoff::new(cfg, Arc::clone(clock), seed);
     loop {
         match f(dst) {
             Ok(()) => return Ok(()),
-            Err(e @ (EngineError::Store(StoreError::Io(_)) | EngineError::Oplog(_)))
-                if attempt + 1 < MAX_REPAIR_ATTEMPTS =>
-            {
-                attempt += 1;
-                dst.record_apply_retry();
-                std::thread::sleep(std::time::Duration::from_millis(1 << attempt.min(6)));
-                let _ = e;
+            Err(e @ (EngineError::Store(StoreError::Io(_)) | EngineError::Oplog(_))) => {
+                if backoff.sleep() {
+                    dst.record_apply_retry();
+                } else {
+                    return Err(e);
+                }
             }
             Err(e) => return Err(e),
         }
@@ -85,6 +90,17 @@ pub fn anti_entropy(
     src: &mut DedupEngine,
     dst: &mut DedupEngine,
 ) -> Result<ResyncReport, EngineError> {
+    anti_entropy_with_clock(src, dst, &system_clock())
+}
+
+/// [`anti_entropy`] with an explicit clock driving the repair-retry
+/// backoff, so the deterministic simulator can run resync passes without
+/// wall-clock sleeps.
+pub fn anti_entropy_with_clock(
+    src: &mut DedupEngine,
+    dst: &mut DedupEngine,
+    clock: &Arc<dyn Clock>,
+) -> Result<ResyncReport, EngineError> {
     let mut report = ResyncReport::default();
     let src_ids = src.live_record_ids();
     let src_set: FxHashSet<RecordId> = src_ids.iter().copied().collect();
@@ -93,13 +109,13 @@ pub fn anti_entropy(
     // doesn't: remove. Covers tombstones lost with a torn tail.
     for id in dst.live_record_ids() {
         if !src_set.contains(&id) {
-            with_retry(dst, |d| d.repair_remove(id))?;
+            with_retry(dst, clock, id.0, |d| d.repair_remove(id))?;
             report.removed += 1;
         }
     }
     for id in dst.broken_records() {
         if !src_set.contains(&id) {
-            with_retry(dst, |d| d.repair_remove(id))?;
+            with_retry(dst, clock, id.0, |d| d.repair_remove(id))?;
             report.removed += 1;
         }
     }
@@ -120,7 +136,7 @@ pub fn anti_entropy(
                 report.mismatched += 1;
                 let data = src.read(id)?;
                 report.shipped_bytes += data.len() as u64 + REPAIR_FRAME_OVERHEAD;
-                with_retry(dst, |d| d.repair_record(id, &data))?;
+                with_retry(dst, clock, id.0, |d| d.repair_record(id, &data))?;
                 report.repaired += 1;
             }
         }

@@ -3,10 +3,23 @@
 //! deployment the paper's introduction motivates. Every secondary receives
 //! the same forward-encoded batches, so replication traffic is paid once
 //! per replica but the dedup encoding cost is paid once, on the primary.
+//!
+//! Each link keeps its own *oplog cursor* (the next LSN its replica will
+//! apply) and pulls batches via [`DedupEngine::oplog_entries_from`], so a
+//! partitioned or lagging replica simply stops advancing its cursor and
+//! streams the gap when it returns — no other link is held back, and the
+//! primary trims retention only below the slowest cursor. A cursor that
+//! falls below the retention floor triggers the full anti-entropy fallback
+//! (the decision table in DESIGN.md §7.2).
 
+use crate::health::{HealthTracker, ReplicaHealth};
 use crate::pair::NetworkStats;
+use crate::resync::anti_entropy;
 use dbdedup_core::{DedupEngine, EngineConfig, EngineError};
-use dbdedup_storage::oplog::{decode_batch, encode_batch};
+use dbdedup_storage::oplog::{decode_batch, encode_batch, CursorGap};
+
+/// Lag (oplog entries) past which a link is declared `Lagging`.
+const DEFAULT_LAG_THRESHOLD: u64 = 64;
 
 /// A primary plus N secondaries joined by byte-counted in-process links.
 pub struct ReplicaSet {
@@ -16,6 +29,12 @@ pub struct ReplicaSet {
     pub secondaries: Vec<DedupEngine>,
     batch_budget: usize,
     per_link: Vec<NetworkStats>,
+    /// Next LSN each secondary will apply.
+    cursors: Vec<u64>,
+    /// Links currently unreachable (no traffic flows).
+    partitioned: Vec<bool>,
+    health: Vec<HealthTracker>,
+    full_resyncs: u64,
 }
 
 impl ReplicaSet {
@@ -31,31 +50,106 @@ impl ReplicaSet {
             secondaries,
             batch_budget: 1 << 20,
             per_link: vec![NetworkStats::default(); n],
+            cursors: vec![0; n],
+            partitioned: vec![false; n],
+            health: (0..n).map(|_| HealthTracker::new(DEFAULT_LAG_THRESHOLD)).collect(),
+            full_resyncs: 0,
         })
     }
 
-    /// Ships every pending oplog entry to every secondary. Returns entries
-    /// replicated.
-    pub fn sync(&mut self) -> Result<u64, EngineError> {
-        let mut shipped = 0u64;
-        loop {
-            let batch = self.primary.take_oplog_batch(self.batch_budget);
-            if batch.is_empty() {
-                return Ok(shipped);
-            }
-            let frame = encode_batch(&batch);
-            for (i, sec) in self.secondaries.iter_mut().enumerate() {
-                let st = &mut self.per_link[i];
-                st.batches += 1;
-                st.bytes += frame.len() as u64;
-                st.entries += batch.len() as u64;
-                let decoded = decode_batch(&frame).expect("self-encoded frame is valid");
-                for entry in &decoded {
-                    sec.apply_oplog_entry(entry)?;
-                }
-            }
-            shipped += batch.len() as u64;
+    /// Cuts or restores link `i`. While cut, `sync` skips the link; on
+    /// restore the replica enters catch-up and streams its gap from the
+    /// primary's retained oplog.
+    pub fn set_partitioned(&mut self, i: usize, on: bool) {
+        self.partitioned[i] = on;
+        let changed =
+            if on { self.health[i].partitioned() } else { self.health[i].begin_catchup() };
+        if changed {
+            self.primary.record_health_transition();
         }
+    }
+
+    /// Health of link `i`.
+    pub fn link_health(&self, i: usize) -> ReplicaHealth {
+        self.health[i].state()
+    }
+
+    /// Full anti-entropy passes forced by retention-floor gaps.
+    pub fn full_resyncs(&self) -> u64 {
+        self.full_resyncs
+    }
+
+    /// Ships pending oplog entries to every reachable secondary from its
+    /// own cursor. Returns the most entries applied on any single link.
+    pub fn sync(&mut self) -> Result<u64, EngineError> {
+        let head = self.primary.oplog_next_lsn();
+        let mut best = 0u64;
+        for i in 0..self.secondaries.len() {
+            if self.partitioned[i] {
+                let lag = head - self.cursors[i];
+                self.primary.observe_replica_lag(lag);
+                continue;
+            }
+            best = best.max(self.pump_link(i, head)?);
+        }
+        // Only after every reachable link has pulled do the entries count
+        // as shipped (which makes them eligible for retention trimming) —
+        // marking them earlier could trim entries a healthy link had not
+        // read yet. Then acknowledge up to the slowest cursor; a
+        // partitioned link's stalled cursor is exactly what holds the
+        // retention window open for its eventual catch-up.
+        let _ = self.primary.take_oplog_batch(usize::MAX);
+        if let Some(&min) = self.cursors.iter().min() {
+            self.primary.oplog_ack_shipped(min);
+        }
+        Ok(best)
+    }
+
+    /// Advances link `i` from its cursor to `head`, one budgeted batch at
+    /// a time. Falls back to full anti-entropy when the cursor is below
+    /// the retention floor.
+    fn pump_link(&mut self, i: usize, head: u64) -> Result<u64, EngineError> {
+        let mut applied = 0u64;
+        let catching_up = self.health[i].state() == ReplicaHealth::CatchingUp;
+        while self.cursors[i] < head {
+            let entries = match self.primary.oplog_entries_from(self.cursors[i], self.batch_budget)
+            {
+                Ok(entries) => entries,
+                Err(CursorGap::TrimmedBelowFloor { .. }) => {
+                    // The gap predates the retention window: only a full
+                    // checksum walk can re-converge this replica.
+                    self.full_resyncs += 1;
+                    let report = anti_entropy(&mut self.primary, &mut self.secondaries[i])?;
+                    self.per_link[i].bytes += report.shipped_bytes;
+                    self.cursors[i] = head;
+                    break;
+                }
+            };
+            if entries.is_empty() {
+                break;
+            }
+            let frame = encode_batch(&entries);
+            let st = &mut self.per_link[i];
+            st.batches += 1;
+            st.bytes += frame.len() as u64;
+            st.entries += entries.len() as u64;
+            if catching_up {
+                self.primary.record_catchup_batch();
+            }
+            let decoded = decode_batch(&frame).expect("self-encoded frame is valid");
+            let sec = &mut self.secondaries[i];
+            for entry in &decoded {
+                sec.apply_oplog_entry(entry)?;
+            }
+            self.cursors[i] += decoded.len() as u64;
+            applied += decoded.len() as u64;
+        }
+        let lag = head - self.cursors[i];
+        self.primary.observe_replica_lag(lag);
+        if self.health[i].observe_lag(lag) {
+            self.primary.record_health_transition();
+        }
+        Ok(applied)
     }
 
     /// Per-link network counters (one per secondary).
@@ -139,6 +233,86 @@ mod tests {
         assert_eq!(set.sync().unwrap(), 0);
         for sec in &mut set.secondaries {
             assert_eq!(sec.store().len(), 5);
+        }
+    }
+
+    #[test]
+    fn partitioned_link_catches_up_from_cursor() {
+        let mut set = ReplicaSet::open_temp(cfg(), 2).unwrap();
+        let mut ids = Vec::new();
+        let ops: Vec<_> = Wikipedia::insert_only(30, 4).collect();
+        // First third replicates everywhere.
+        for op in &ops[..10] {
+            if let Op::Insert { id, data } = op {
+                set.primary.insert("wikipedia", *id, data).unwrap();
+                ids.push(*id);
+            }
+        }
+        set.sync().unwrap();
+        // Partition link 1 mid-workload; link 0 keeps replicating.
+        set.set_partitioned(1, true);
+        assert_eq!(set.link_health(1), ReplicaHealth::Partitioned);
+        for op in &ops[10..] {
+            if let Op::Insert { id, data } = op {
+                set.primary.insert("wikipedia", *id, data).unwrap();
+                ids.push(*id);
+            }
+        }
+        set.sync().unwrap();
+        assert_eq!(set.secondaries[0].store().len(), 30);
+        assert_eq!(set.secondaries[1].store().len(), 10, "partitioned link frozen");
+        // Heal: the link streams its gap from the retained cursor window —
+        // no full resync.
+        set.set_partitioned(1, false);
+        assert_eq!(set.link_health(1), ReplicaHealth::CatchingUp);
+        set.sync().unwrap();
+        assert_eq!(set.link_health(1), ReplicaHealth::Healthy);
+        assert_eq!(set.full_resyncs(), 0, "catch-up must suffice");
+        set.flush_all().unwrap();
+        for id in &ids {
+            let want = set.primary.read(*id).unwrap();
+            for sec in &mut set.secondaries {
+                assert_eq!(&sec.read(*id).unwrap()[..], &want[..], "record {id}");
+            }
+        }
+        let m = set.primary.metrics();
+        assert!(m.catchup_batches > 0, "gap must ship via catch-up batches");
+        assert!(m.health_transitions >= 3, "Healthy→Partitioned→CatchingUp→Healthy");
+        assert!(m.max_replica_lag >= 20, "lag observed while partitioned");
+    }
+
+    #[test]
+    fn trimmed_cursor_falls_back_to_full_resync() {
+        // Tiny retention: while link 1 is partitioned, the window slides
+        // past its cursor, so healing cannot replay the gap and the set
+        // must fall back to anti-entropy — and still converge.
+        let mut c = cfg();
+        c.oplog_retain_bytes = 2_000;
+        let mut set = ReplicaSet::open_temp(c, 2).unwrap();
+        let ops: Vec<_> = Wikipedia::insert_only(20, 5).collect();
+        let mut ids = Vec::new();
+        for op in &ops[..5] {
+            if let Op::Insert { id, data } = op {
+                set.primary.insert("wikipedia", *id, data).unwrap();
+                ids.push(*id);
+            }
+        }
+        set.sync().unwrap();
+        set.set_partitioned(1, true);
+        for op in &ops[5..] {
+            if let Op::Insert { id, data } = op {
+                set.primary.insert("wikipedia", *id, data).unwrap();
+                ids.push(*id);
+            }
+        }
+        set.sync().unwrap();
+        set.set_partitioned(1, false);
+        set.sync().unwrap();
+        assert!(set.full_resyncs() >= 1, "trimmed window forces resync");
+        set.flush_all().unwrap();
+        for id in &ids {
+            let want = set.primary.read(*id).unwrap();
+            assert_eq!(&set.secondaries[1].read(*id).unwrap()[..], &want[..]);
         }
     }
 }

@@ -183,6 +183,14 @@ impl FaultInjector {
     pub fn crashed(&self) -> bool {
         self.crashed.load(Ordering::SeqCst)
     }
+
+    /// Clears the crashed state: writes flow again. On a transport
+    /// injector this models a network partition healing — the frames
+    /// swallowed while crashed stay lost (the replica re-converges via
+    /// oplog-cursor catch-up), but new traffic gets through.
+    pub fn heal(&self) {
+        self.crashed.store(false, Ordering::SeqCst);
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +237,17 @@ mod tests {
         let mut b = vec![0u8; 64];
         assert_eq!(inj.on_write(&mut b).unwrap(), WriteOutcome::Truncated(5));
         assert_eq!(inj.on_write(&mut b).unwrap(), WriteOutcome::Dropped);
+    }
+
+    #[test]
+    fn heal_restores_write_flow_after_crash() {
+        let inj = FaultInjector::new(FaultPlan::new().crash_at_write(0));
+        let mut b = vec![1u8];
+        assert_eq!(inj.on_write(&mut b).unwrap(), WriteOutcome::Dropped);
+        assert_eq!(inj.on_write(&mut b).unwrap(), WriteOutcome::Dropped);
+        inj.heal();
+        assert!(!inj.crashed());
+        assert_eq!(inj.on_write(&mut b).unwrap(), WriteOutcome::Proceed);
     }
 
     #[test]

@@ -39,5 +39,5 @@ pub mod store;
 
 pub use fault::{FaultInjector, FaultKind, FaultPlan, WriteOutcome};
 pub use iometer::IoMeter;
-pub use oplog::{Oplog, OplogEntry, OplogKind, OplogPayload};
+pub use oplog::{CursorGap, Oplog, OplogEntry, OplogKind, OplogPayload};
 pub use store::{RecordStore, RecoveryReport, StorageForm, StoreConfig, StoreError, StoredRecord};

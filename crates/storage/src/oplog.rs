@@ -160,19 +160,97 @@ pub fn decode_batch(frame: &[u8]) -> Result<Vec<OplogEntry>, CodecError> {
     Ok(out)
 }
 
-/// The primary's in-memory oplog with a ship cursor.
-#[derive(Debug, Default)]
+/// Why a cursor read could not be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CursorGap {
+    /// The requested LSN precedes the retention floor: the gap has been
+    /// trimmed and only a full anti-entropy resync can re-converge the
+    /// replica.
+    TrimmedBelowFloor {
+        /// The LSN the replica asked for.
+        requested: u64,
+        /// The lowest LSN still retained.
+        floor: u64,
+    },
+}
+
+impl std::fmt::Display for CursorGap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CursorGap::TrimmedBelowFloor { requested, floor } => write!(
+                f,
+                "oplog cursor {requested} precedes retention floor {floor}; full resync required"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CursorGap {}
+
+/// The primary's in-memory oplog with a ship cursor and bounded retention
+/// of already-shipped entries.
+///
+/// Shipment no longer discards entries: the queue keeps a contiguous run
+/// `[floor_lsn, next_lsn)` and a cursor separating shipped from pending.
+/// A replica that missed traffic (full queue, partition, crash) re-reads
+/// the gap by LSN via [`read_from`](Self::read_from) — *oplog-cursor
+/// catch-up* — instead of needing a full anti-entropy pass. Shipped
+/// entries are trimmed once they exceed the retention budget (or when the
+/// caller acknowledges replica progress via
+/// [`ack_shipped`](Self::ack_shipped)); a cursor that falls below the
+/// floor gets a typed [`CursorGap`] telling it catch-up is impossible.
+#[derive(Debug)]
 pub struct Oplog {
-    entries: VecDeque<OplogEntry>,
+    /// Retained entries with their wire lengths; `entries[i]` has LSN
+    /// `floor_lsn + i` (LSNs are contiguous by construction).
+    entries: VecDeque<(OplogEntry, u32)>,
     next_lsn: u64,
+    /// LSN of `entries.front()`.
+    floor_lsn: u64,
+    /// Index (relative to `floor_lsn`) of the first unshipped entry.
+    cursor: usize,
     /// Total unsynchronized payload bytes (used for batch thresholds).
     pending_bytes: usize,
+    /// Wire bytes of retained, already-shipped entries.
+    shipped_bytes: usize,
+    /// Budget for retained shipped entries before trimming.
+    retain_bytes: usize,
+}
+
+/// Default retention budget for already-shipped entries (catch-up window).
+pub const DEFAULT_OPLOG_RETAIN_BYTES: usize = 8 << 20;
+
+impl Default for Oplog {
+    fn default() -> Self {
+        Self::with_retention(DEFAULT_OPLOG_RETAIN_BYTES)
+    }
 }
 
 impl Oplog {
-    /// Creates an empty oplog.
+    /// Creates an empty oplog with the default retention budget.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty oplog retaining up to `retain_bytes` of shipped
+    /// entries for cursor catch-up.
+    pub fn with_retention(retain_bytes: usize) -> Self {
+        Self {
+            entries: VecDeque::new(),
+            next_lsn: 0,
+            floor_lsn: 0,
+            cursor: 0,
+            pending_bytes: 0,
+            shipped_bytes: 0,
+            retain_bytes,
+        }
+    }
+
+    /// Adjusts the retention budget in place, trimming immediately if the
+    /// new budget is already exceeded.
+    pub fn set_retention(&mut self, retain_bytes: usize) {
+        self.retain_bytes = retain_bytes;
+        self.trim_to_budget();
     }
 
     /// Appends an operation, assigning it the next LSN. Returns the entry's
@@ -183,13 +261,13 @@ impl Oplog {
         let entry = OplogEntry { lsn, kind };
         let wire_len = entry.encode().len();
         self.pending_bytes += wire_len;
-        self.entries.push_back(entry);
+        self.entries.push_back((entry, wire_len as u32));
         (lsn, wire_len)
     }
 
     /// Entries not yet shipped.
     pub fn pending(&self) -> usize {
-        self.entries.len()
+        self.entries.len() - self.cursor
     }
 
     /// Unshipped payload bytes.
@@ -197,21 +275,85 @@ impl Oplog {
         self.pending_bytes
     }
 
+    /// The next LSN to be assigned (one past the newest entry).
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// The lowest LSN still retained (== `next_lsn` when empty).
+    pub fn floor_lsn(&self) -> u64 {
+        self.floor_lsn
+    }
+
     /// Takes up to `max_bytes` of entries for shipment (at least one entry
-    /// when non-empty).
+    /// when non-empty). Shipped entries stay retained for catch-up until
+    /// trimmed by the retention budget or [`ack_shipped`](Self::ack_shipped).
     pub fn take_batch(&mut self, max_bytes: usize) -> Vec<OplogEntry> {
         let mut out = Vec::new();
         let mut bytes = 0usize;
-        while let Some(front) = self.entries.front() {
-            let len = front.encode().len();
+        while let Some(&(ref entry, len)) = self.entries.get(self.cursor) {
+            let len = len as usize;
             if !out.is_empty() && bytes + len > max_bytes {
                 break;
             }
             bytes += len;
             self.pending_bytes -= len;
-            out.push(self.entries.pop_front().expect("front checked"));
+            self.shipped_bytes += len;
+            out.push(entry.clone());
+            self.cursor += 1;
         }
+        self.trim_to_budget();
         out
+    }
+
+    /// Reads up to `max_bytes` of retained entries starting at `from_lsn`
+    /// (at least one entry when any exist at or past it), without moving
+    /// the ship cursor — the replica-driven catch-up read. `from_lsn` may
+    /// point into the pending region; pending entries it returns are *not*
+    /// marked shipped (the caller acknowledges progress separately).
+    pub fn read_from(&self, from_lsn: u64, max_bytes: usize) -> Result<Vec<OplogEntry>, CursorGap> {
+        if from_lsn < self.floor_lsn {
+            return Err(CursorGap::TrimmedBelowFloor {
+                requested: from_lsn,
+                floor: self.floor_lsn,
+            });
+        }
+        let start = (from_lsn - self.floor_lsn) as usize;
+        let mut out = Vec::new();
+        let mut bytes = 0usize;
+        for &(ref entry, len) in self.entries.iter().skip(start) {
+            if !out.is_empty() && bytes + len as usize > max_bytes {
+                break;
+            }
+            bytes += len as usize;
+            out.push(entry.clone());
+        }
+        Ok(out)
+    }
+
+    /// Acknowledges that every replica has applied entries below `lsn`:
+    /// marks them shipped (if the cursor lagged) and trims them from
+    /// retention. Entries at or above the cursor that are still pending
+    /// are never trimmed past — `lsn` is clamped to the pending boundary.
+    pub fn ack_shipped(&mut self, lsn: u64) {
+        let upto = lsn.min(self.floor_lsn + self.cursor as u64);
+        while self.floor_lsn < upto {
+            let (_, len) = self.entries.pop_front().expect("floor below cursor implies entries");
+            self.shipped_bytes -= len as usize;
+            self.floor_lsn += 1;
+            self.cursor -= 1;
+        }
+    }
+
+    /// Drops the oldest shipped entries once they exceed the retention
+    /// budget. Pending entries are never trimmed.
+    fn trim_to_budget(&mut self) {
+        while self.shipped_bytes > self.retain_bytes && self.cursor > 0 {
+            let (_, len) = self.entries.pop_front().expect("cursor > 0 implies shipped entries");
+            self.shipped_bytes -= len as usize;
+            self.floor_lsn += 1;
+            self.cursor -= 1;
+        }
     }
 }
 
@@ -236,6 +378,7 @@ impl DurableOplog {
         file.read_to_end(&mut buf)?;
         let mut inner = Oplog::new();
         let mut off = 0usize;
+        let mut min_lsn = None;
         let mut max_lsn = None;
         while off + 4 <= buf.len() {
             let len = u32::from_le_bytes(buf[off..off + 4].try_into().expect("len 4")) as usize;
@@ -245,14 +388,18 @@ impl DurableOplog {
             let mut r = ByteReader::new(&buf[off + 4..off + 4 + len]);
             match OplogEntry::decode(&mut r) {
                 Ok(e) => {
+                    min_lsn = Some(min_lsn.map_or(e.lsn, |m: u64| m.min(e.lsn)));
                     max_lsn = Some(max_lsn.map_or(e.lsn, |m: u64| m.max(e.lsn)));
                     inner.pending_bytes += len;
-                    inner.entries.push_back(e);
+                    inner.entries.push_back((e, len as u32));
                 }
                 Err(_) => break, // corrupt tail: stop replay
             }
             off += 4 + len;
         }
+        // Replayed entries are all pending again (re-shipping is idempotent
+        // by id/LSN); the retention floor restarts at the replayed prefix.
+        inner.floor_lsn = min_lsn.unwrap_or(0);
         inner.next_lsn = max_lsn.map_or(0, |m| m + 1);
         Ok(Self { inner, file })
     }
@@ -261,7 +408,7 @@ impl DurableOplog {
     pub fn append(&mut self, kind: OplogKind) -> std::io::Result<(u64, usize)> {
         use std::io::Write;
         let (lsn, wire_len) = self.inner.append(kind);
-        let entry = self.inner.entries.back().expect("just appended").encode();
+        let entry = self.inner.entries.back().expect("just appended").0.encode();
         let mut framed = Vec::with_capacity(entry.len() + 4);
         framed.extend_from_slice(&(entry.len() as u32).to_le_bytes());
         framed.extend_from_slice(&entry);
@@ -284,6 +431,33 @@ impl DurableOplog {
     /// by retention policy, which is orthogonal to this reproduction).
     pub fn take_batch(&mut self, max_bytes: usize) -> Vec<OplogEntry> {
         self.inner.take_batch(max_bytes)
+    }
+
+    /// Replica-driven catch-up read (see [`Oplog::read_from`]).
+    pub fn read_from(&self, from_lsn: u64, max_bytes: usize) -> Result<Vec<OplogEntry>, CursorGap> {
+        self.inner.read_from(from_lsn, max_bytes)
+    }
+
+    /// Acknowledges replica progress (see [`Oplog::ack_shipped`]). Only
+    /// the in-memory retention window shrinks; the on-disk log keeps
+    /// everything.
+    pub fn ack_shipped(&mut self, lsn: u64) {
+        self.inner.ack_shipped(lsn);
+    }
+
+    /// The next LSN to be assigned.
+    pub fn next_lsn(&self) -> u64 {
+        self.inner.next_lsn()
+    }
+
+    /// The lowest LSN still retained in memory for catch-up.
+    pub fn floor_lsn(&self) -> u64 {
+        self.inner.floor_lsn()
+    }
+
+    /// Adjusts the in-memory retention budget (see [`Oplog::set_retention`]).
+    pub fn set_retention(&mut self, retain_bytes: usize) {
+        self.inner.set_retention(retain_bytes);
     }
 }
 
@@ -429,6 +603,102 @@ mod tests {
         }
         let log = DurableOplog::open(&path).unwrap();
         assert_eq!(log.pending(), 1, "intact prefix replayed, torn tail dropped");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shipped_entries_are_retained_for_cursor_reads() {
+        let mut log = Oplog::new();
+        for i in 0..10u64 {
+            log.append(OplogKind::Insert { id: RecordId(i), payload: raw(&[i as u8; 50]) });
+        }
+        let batch = log.take_batch(usize::MAX);
+        assert_eq!(batch.len(), 10);
+        assert_eq!(log.pending(), 0);
+        // A replica that missed LSNs 4.. re-reads them from the cursor.
+        let gap = log.read_from(4, usize::MAX).unwrap();
+        assert_eq!(gap.len(), 6);
+        assert_eq!(gap[0].lsn, 4);
+        assert_eq!(gap[5].lsn, 9);
+    }
+
+    #[test]
+    fn read_from_spans_shipped_and_pending() {
+        let mut log = Oplog::new();
+        for i in 0..6u64 {
+            log.append(OplogKind::Delete { id: RecordId(i) });
+        }
+        let _ = log.take_batch(30); // ship a prefix
+        let shipped = 6 - log.pending() as u64;
+        assert!(shipped > 0 && log.pending() > 0, "need both regions");
+        let all = log.read_from(0, usize::MAX).unwrap();
+        assert_eq!(all.len(), 6, "cursor reads cross the ship boundary");
+        // Reading pending entries does not mark them shipped.
+        assert_eq!(log.pending(), 6 - shipped as usize);
+    }
+
+    #[test]
+    fn read_from_below_floor_is_a_typed_gap() {
+        let mut log = Oplog::with_retention(0); // trim everything shipped
+        for i in 0..5u64 {
+            log.append(OplogKind::Delete { id: RecordId(i) });
+        }
+        let _ = log.take_batch(usize::MAX);
+        assert_eq!(log.floor_lsn(), 5, "zero retention trims all shipped entries");
+        match log.read_from(2, usize::MAX) {
+            Err(CursorGap::TrimmedBelowFloor { requested: 2, floor: 5 }) => {}
+            other => panic!("expected trimmed gap, got {other:?}"),
+        }
+        // At the floor itself the read is legal (and empty).
+        assert!(log.read_from(5, usize::MAX).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ack_trims_retention_but_never_pending() {
+        let mut log = Oplog::new();
+        for i in 0..8u64 {
+            log.append(OplogKind::Delete { id: RecordId(i) });
+        }
+        let taken = log.take_batch(20).len() as u64; // partial ship
+        assert!(taken < 8);
+        // Ack beyond the ship cursor clamps to it: pending survives.
+        log.ack_shipped(8);
+        assert_eq!(log.floor_lsn(), taken);
+        assert_eq!(log.pending(), (8 - taken) as usize);
+        assert_eq!(log.read_from(taken, usize::MAX).unwrap().len(), (8 - taken) as usize);
+    }
+
+    #[test]
+    fn retention_budget_bounds_shipped_memory() {
+        let mut log = Oplog::with_retention(200);
+        for i in 0..50u64 {
+            log.append(OplogKind::Insert { id: RecordId(i), payload: raw(&[0u8; 40]) });
+        }
+        let _ = log.take_batch(usize::MAX);
+        assert!(log.floor_lsn() > 0, "old shipped entries must be trimmed");
+        assert!(log.next_lsn() == 50);
+        // Whatever remains is still a contiguous, readable suffix.
+        let tail = log.read_from(log.floor_lsn(), usize::MAX).unwrap();
+        assert_eq!(tail.last().unwrap().lsn, 49);
+        assert_eq!(tail.first().unwrap().lsn, log.floor_lsn());
+    }
+
+    #[test]
+    fn durable_oplog_supports_cursor_reads_after_reopen() {
+        let path =
+            std::env::temp_dir().join(format!("dbdedup-oplog-cursor-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut log = DurableOplog::open(&path).unwrap();
+            for i in 0..4u64 {
+                log.append(OplogKind::Delete { id: RecordId(i) }).unwrap();
+            }
+            log.sync().unwrap();
+        }
+        let log = DurableOplog::open(&path).unwrap();
+        assert_eq!(log.floor_lsn(), 0);
+        assert_eq!(log.next_lsn(), 4);
+        assert_eq!(log.read_from(2, usize::MAX).unwrap().len(), 2);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -15,16 +15,26 @@
 //! * [`dist`] — deterministic samplers (Zipf, log-normal, split-mix RNG)
 //!   used by the synthetic workload generators.
 //! * [`fmt`] — human-readable byte-size formatting for experiment output.
+//! * [`time`] — the pluggable [`time::Clock`] (real or virtual) that the
+//!   retry/backoff paths wait on, so the deterministic simulator controls
+//!   the passage of time.
+//! * [`backoff`] — the shared jittered-exponential, deadline-aware retry
+//!   policy used by replication apply, anti-entropy repair, and blocking
+//!   shipment.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod codec;
 pub mod dist;
 pub mod fmt;
 pub mod hash;
 pub mod ids;
 pub mod stats;
+pub mod time;
 
+pub use backoff::{Backoff, BackoffConfig};
 pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use ids::RecordId;
+pub use time::{Clock, SystemClock, VirtualClock};

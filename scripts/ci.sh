@@ -15,4 +15,10 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# Deterministic replication simulator over the fixed CI seed sweep
+# (tests/sim_harness.rs). A failure prints the seed; re-running that seed
+# replays the exact schedule.
+echo "==> sim-smoke"
+cargo test -q --test sim_harness
+
 echo "==> ci.sh: all green"

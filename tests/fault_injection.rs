@@ -3,7 +3,7 @@
 //! and fault-injected replication that re-converges through anti-entropy
 //! resync.
 
-use dbdedup::repl::{anti_entropy, AsyncReplicator};
+use dbdedup::repl::{anti_entropy, AsyncReplicator, ShipOutcome};
 use dbdedup::storage::store::{RecordStore, StorageForm, StoreConfig};
 use dbdedup::util::dist::SplitMix64;
 use dbdedup::workloads::{Enron, MessageBoards, Op, StackExchange, Wikipedia, Workload};
@@ -212,7 +212,15 @@ fn converges_after_faults(name: &str, ops: Vec<Op>, transport_seed: u64) {
         if let Op::Insert { id, data } = op {
             primary.insert(name, id, &data).expect("insert");
             ids.push((id, data));
-            repl.ship(&primary.take_oplog_batch(usize::MAX));
+            let batch = primary.take_oplog_batch(usize::MAX);
+            // LostInTransit is this test's point (the injected transport
+            // faults create the divergence resync must repair); only a
+            // full queue warrants a retry.
+            let mut outcome = repl.ship(&batch);
+            while outcome == ShipOutcome::Backpressured {
+                std::thread::yield_now();
+                outcome = repl.ship(&batch);
+            }
         }
     }
     let mut secondary = repl.join().expect("join");

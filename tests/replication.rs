@@ -1,7 +1,7 @@
 //! Replication integration: forward-encoded shipping, secondary
 //! re-encoding, convergence under mixed mutations, async pipeline.
 
-use dbdedup::repl::AsyncReplicator;
+use dbdedup::repl::{AsyncReplicator, ShipOutcome};
 use dbdedup::workloads::{standard_suite, Op};
 use dbdedup::{DedupEngine, EngineConfig, RecordId, ReplicaPair};
 
@@ -105,10 +105,15 @@ fn async_replicator_under_load() {
             primary.insert("enron", id, &data).expect("insert");
             ids.push(id);
             let batch = primary.take_oplog_batch(32 << 10);
-            repl.ship(&batch);
+            // A full queue surfaces as Backpressured with the batch still
+            // ours; block until the apply thread makes room.
+            let outcome = repl.ship_with_deadline(&batch, std::time::Duration::from_secs(30), id.0);
+            assert_eq!(outcome, ShipOutcome::Enqueued, "ship refused under load");
         }
     }
-    repl.ship(&primary.take_oplog_batch(usize::MAX));
+    let tail = primary.take_oplog_batch(usize::MAX);
+    let outcome = repl.ship_with_deadline(&tail, std::time::Duration::from_secs(30), 0);
+    assert_eq!(outcome, ShipOutcome::Enqueued);
     assert_eq!(repl.apply_errors(), 0, "apply error: {:?}", repl.last_error());
     let mut secondary = repl.join().expect("join");
     primary.flush_all_writebacks().expect("flush");
