@@ -26,6 +26,23 @@ pub fn scale() -> usize {
     std::env::var("DBDEDUP_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(2000)
 }
 
+/// How many operations between periodic metrics emissions in
+/// [`run_trace`] when `DBDEDUP_METRICS_JSON` is set.
+const METRICS_EMIT_EVERY: u64 = 4096;
+
+/// Appends one metrics-registry snapshot to `path` as a JSONL line, so a
+/// long benchmark run leaves a time series of schema-stable snapshots.
+pub fn emit_metrics_line(engine: &DedupEngine, path: &std::path::Path) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(f, "{}", engine.metrics().to_json())
+}
+
+/// Writes the engine's structured event log to `path` as JSONL.
+pub fn dump_events(engine: &DedupEngine, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, engine.event_log().to_jsonl())
+}
+
 /// Outcome of driving a trace through an engine.
 pub struct RunResult {
     /// Final engine metrics.
@@ -53,6 +70,11 @@ impl RunResult {
 /// write-back path with real elapsed time every few operations — the
 /// background-thread behaviour of the paper's integration.
 pub fn run_trace(engine: &mut DedupEngine, db: &str, ops: impl Iterator<Item = Op>) -> RunResult {
+    // Optional telemetry export: DBDEDUP_METRICS_JSON appends a snapshot
+    // line every METRICS_EMIT_EVERY ops (plus one final), and
+    // DBDEDUP_EVENTS_JSONL receives the structured event log at the end.
+    let metrics_path = std::env::var_os("DBDEDUP_METRICS_JSON").map(std::path::PathBuf::from);
+    let events_path = std::env::var_os("DBDEDUP_EVENTS_JSONL").map(std::path::PathBuf::from);
     let start = Instant::now();
     let mut latency = LogHistogram::new();
     let mut count = 0u64;
@@ -74,8 +96,19 @@ pub fn run_trace(engine: &mut DedupEngine, db: &str, ops: impl Iterator<Item = O
             last_pump = Instant::now();
             engine.pump(dt, 32).expect("pump");
         }
+        if count.is_multiple_of(METRICS_EMIT_EVERY) {
+            if let Some(p) = &metrics_path {
+                emit_metrics_line(engine, p).expect("metrics emission");
+            }
+        }
     }
     engine.flush_all_writebacks().expect("final flush");
+    if let Some(p) = &metrics_path {
+        emit_metrics_line(engine, p).expect("metrics emission");
+    }
+    if let Some(p) = &events_path {
+        dump_events(engine, p).expect("events dump");
+    }
     RunResult {
         metrics: engine.metrics(),
         elapsed: start.elapsed().as_secs_f64(),
@@ -137,5 +170,33 @@ mod tests {
     fn insert_sizes_extracts_writes_only() {
         let sizes = insert_sizes(Wikipedia::mixed(10, 0.5, 2));
         assert_eq!(sizes.len(), 10);
+    }
+
+    #[test]
+    fn metrics_emission_appends_parseable_jsonl() {
+        let dir = std::env::temp_dir().join(format!("dbdedup-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut cfg = EngineConfig::default();
+        cfg.min_benefit_bytes = 16;
+        let mut e = engine_for(cfg);
+        let r = run_trace(&mut e, "wikipedia", Wikipedia::mixed(30, 0.5, 3));
+        emit_metrics_line(&e, &path).unwrap();
+        emit_metrics_line(&e, &path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2, "each emission appends one line");
+        for line in lines {
+            let json = dbdedup_obs::json::parse(line).expect("snapshot is valid JSON");
+            let obj = json.as_obj().expect("snapshot is an object");
+            assert!(obj.iter().any(|(k, _)| k == "stage.chunk.count"));
+            assert!(obj.iter().any(|(k, _)| k == "io_idle_fraction"));
+        }
+        let events = dir.join("events.jsonl");
+        dump_events(&e, &events).unwrap();
+        let _ = std::fs::read_to_string(&events).unwrap();
+        assert!(r.ops >= 30);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -55,6 +55,12 @@ pub struct EngineConfig {
     /// replica cursor catch-up. A replica whose cursor falls below the
     /// retention floor must fall back to a full anti-entropy resync.
     pub oplog_retain_bytes: usize,
+    /// Stage-latency tracing samples one operation in this many
+    /// (`0` disables tracing entirely). The default keeps the insert-path
+    /// overhead within the ≤ 2 % budget the telemetry self-test enforces.
+    pub trace_sample_every: u32,
+    /// Maximum events retained by the structured event log ring buffer.
+    pub event_log_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -78,6 +84,8 @@ impl Default for EngineConfig {
             synchronous_writebacks: false,
             oplog_path: None,
             oplog_retain_bytes: dbdedup_storage::oplog::DEFAULT_OPLOG_RETAIN_BYTES,
+            trace_sample_every: 32,
+            event_log_capacity: 1024,
         }
     }
 }

@@ -12,12 +12,15 @@ use dbdedup_delta::ops::DeltaError;
 use dbdedup_delta::{reencode, DbDeltaConfig, DbDeltaEncoder, Delta};
 use dbdedup_encoding::{ChainManager, Writeback};
 use dbdedup_index::{CuckooConfig, PartitionedFeatureIndex};
+use dbdedup_obs::{EventKind, EventLog, Severity, Stage, StageSet, StageTracer};
 use dbdedup_storage::oplog::{CursorGap, DurableOplog};
 use dbdedup_storage::store::{RecordStore, StorageForm, StoreConfig, StoreError};
 use dbdedup_storage::{IoMeter, Oplog, OplogEntry, OplogKind, OplogPayload};
 use dbdedup_util::hash::crc32::crc32;
 use dbdedup_util::hash::fx::{FxHashMap, FxHashSet};
 use dbdedup_util::ids::RecordId;
+use dbdedup_util::time::Clock;
+use std::sync::Arc;
 
 /// Errors surfaced by engine operations.
 #[derive(Debug)]
@@ -224,6 +227,10 @@ pub struct DedupEngine {
     /// its priority work-list.
     broken: FxHashSet<RecordId>,
     metrics: EngineMetrics,
+    /// Sampling per-stage latency tracer (insert workflow, read decode).
+    tracer: StageTracer,
+    /// Structured incident log, shared with replication components.
+    events: Arc<EventLog>,
 }
 
 impl std::fmt::Debug for DedupEngine {
@@ -277,7 +284,24 @@ impl DedupEngine {
                 (id, base)
             }));
         }
+        let tracer = StageTracer::new(config.trace_sample_every);
+        let events = EventLog::shared(config.event_log_capacity);
+        // Surface what salvage recovery found on the way up: quarantined
+        // checksum failures and torn-tail truncation are the first things
+        // an operator reads after a crash.
+        let recovery = store.io_stats();
+        if recovery.quarantined_entries > 0 || recovery.truncated_tail_bytes > 0 {
+            events.record(
+                Severity::Error,
+                EventKind::Salvage {
+                    quarantined: recovery.quarantined_entries,
+                    truncated_bytes: recovery.truncated_tail_bytes,
+                },
+            );
+        }
         Ok(Self {
+            tracer,
+            events,
             extractor,
             encoder,
             index,
@@ -328,6 +352,9 @@ impl DedupEngine {
         if self.store.contains(id) {
             return Err(EngineError::DuplicateId(id));
         }
+        // One sampling decision per insert; unsampled operations skip
+        // every clock read below.
+        self.tracer.sample();
         self.metrics.original_bytes += data.len() as u64;
 
         if !self.config.dedup_enabled {
@@ -357,8 +384,15 @@ impl DedupEngine {
         }
 
         // ① Feature extraction.
-        let sketch = self.extractor.extract(data);
+        let t = self.tracer.start();
+        let mut chunks = Vec::new();
+        self.extractor.chunker().chunk_into(data, &mut chunks);
+        self.tracer.stop(t, Stage::Chunk);
+        let t = self.tracer.start();
+        let sketch = self.extractor.extract_from_chunks(data, &chunks);
+        self.tracer.stop(t, Stage::Sketch);
         // ② Index lookup (and registration of the new record's features).
+        let t = self.tracer.start();
         let slot = self.slots.assign(id);
         let mut counts: FxHashMap<u32, u32> = FxHashMap::default();
         {
@@ -371,6 +405,7 @@ impl DedupEngine {
                 }
             }
         }
+        self.tracer.stop(t, Stage::IndexLookup);
         // ③ Cache-aware source selection (§3.1.3).
         let mut best: Option<(u32, RecordId)> = None;
         for (&cand_slot, &feature_score) in &counts {
@@ -399,7 +434,10 @@ impl DedupEngine {
         };
 
         // ④ Delta compression (forward first, then re-encode backward).
-        let src_content = match self.fetch_for_encode(source) {
+        let t = self.tracer.start();
+        let fetched = self.fetch_for_encode(source);
+        self.tracer.stop(t, Stage::SourceFetch);
+        let src_content = match fetched {
             Ok(c) => c,
             Err(EngineError::ChainBroken { .. } | EngineError::NotFound(_)) => {
                 // The chosen source is corrupt or vanished. The new data is
@@ -411,7 +449,9 @@ impl DedupEngine {
             }
             Err(e) => return Err(e),
         };
+        let t = self.tracer.start();
         let forward = self.encoder.encode(&src_content, data);
+        self.tracer.stop(t, Stage::DeltaEncode);
         let saved = data.len() as i64 - forward.encoded_len() as i64;
         if saved < self.config.min_benefit_bytes as i64 {
             self.record_governor(db, data.len() as u64, data.len() as u64);
@@ -430,6 +470,7 @@ impl DedupEngine {
     fn record_governor(&mut self, db: &str, original: u64, stored: u64) {
         if let GovernorVerdict::DisableNow = self.governor.record_insert(db, original, stored) {
             self.index.drop_partition(db);
+            self.events.record(Severity::Warn, EventKind::GovernorDisabled { db: db.to_string() });
         }
     }
 
@@ -456,7 +497,9 @@ impl DedupEngine {
             })?;
             self.metrics.network_bytes += wire as u64;
         }
+        let t = self.tracer.start();
         self.store.put(id, StorageForm::Raw, data)?;
+        self.tracer.stop(t, Stage::StoreAppend);
         self.io.submit(1);
         self.slots.assign(id);
 
@@ -522,7 +565,9 @@ impl DedupEngine {
             payload: OplogPayload::Raw(Bytes::copy_from_slice(data)),
         })?;
         self.metrics.network_bytes += wire as u64;
+        let t = self.tracer.start();
         self.store.put(id, StorageForm::Raw, data)?;
+        self.tracer.stop(t, Stage::StoreAppend);
         self.io.submit(1);
         self.chains.start_chain(id);
         self.metrics.unique_inserts += 1;
@@ -560,7 +605,11 @@ impl DedupEngine {
         if let Some(s) = self.shadow.get(&id) {
             return Ok(s.clone());
         }
-        let (content, path, contents) = self.decode_with_path(id)?;
+        self.tracer.sample();
+        let t = self.tracer.start();
+        let decoded = self.decode_with_path(id);
+        self.tracer.stop(t, Stage::DecodeChain);
+        let (content, path, contents) = decoded?;
         self.metrics.read_retrievals.record((path.len() - 1) as u64);
         self.gc_on_path(&path, &contents)?;
         Ok(content)
@@ -585,6 +634,8 @@ impl DedupEngine {
         self.broken.insert(id);
         self.broken.insert(broken_at);
         self.metrics.chain_broken_reads += 1;
+        self.events
+            .record(Severity::Error, EventKind::ChainBroken { id: id.0, broken_at: broken_at.0 });
         EngineError::ChainBroken { id, broken_at, detail: detail.into() }
     }
 
@@ -897,6 +948,9 @@ impl DedupEngine {
     /// CPU under overload. Reversible, unlike the governor's per-database
     /// disable.
     pub fn set_replication_pressure(&mut self, on: bool) {
+        if self.governor.is_overloaded() != on {
+            self.events.record(Severity::Warn, EventKind::OverloadGate { on });
+        }
         self.governor.set_overloaded(on);
     }
 
@@ -909,6 +963,14 @@ impl DedupEngine {
     /// forward-encoded inserts against local data and regenerates the same
     /// backward deltas the primary stores.
     pub fn apply_oplog_entry(&mut self, entry: &OplogEntry) -> Result<(), EngineError> {
+        self.tracer.sample();
+        let t = self.tracer.start();
+        let result = self.apply_oplog_inner(entry);
+        self.tracer.stop(t, Stage::ReplApply);
+        result
+    }
+
+    fn apply_oplog_inner(&mut self, entry: &OplogEntry) -> Result<(), EngineError> {
         match &entry.kind {
             OplogKind::Insert { id, payload: OplogPayload::Raw(data) } => {
                 self.metrics.original_bytes += data.len() as u64;
@@ -1039,6 +1101,7 @@ impl DedupEngine {
         self.slots.assign(id);
         self.broken.remove(&id);
         self.metrics.repaired_records += 1;
+        self.events.record(Severity::Info, EventKind::Repaired { id: id.0 });
         Ok(())
     }
 
@@ -1105,6 +1168,35 @@ impl DedupEngine {
         self.metrics.max_replica_lag = self.metrics.max_replica_lag.max(lag);
     }
 
+    /// A shared handle to the engine's structured event log (the
+    /// replication layer records its incidents here too).
+    pub fn event_log(&self) -> Arc<EventLog> {
+        self.events.clone()
+    }
+
+    /// The per-stage latency histograms accumulated so far.
+    pub fn stage_timings(&self) -> &StageSet {
+        self.tracer.stages()
+    }
+
+    /// Records one span observation into `stage` directly (callers that
+    /// time work outside the engine — e.g. the replication shipper — but
+    /// want it in the same stage table).
+    pub fn record_stage_ns(&mut self, stage: Stage, ns: u64) {
+        if self.tracer.is_enabled() {
+            self.tracer.stages_mut().record(stage, ns);
+        }
+    }
+
+    /// Points the telemetry clock (span timing and event timestamps) at
+    /// `clock`. The deterministic simulator passes its shared virtual
+    /// clock so two runs with the same seed produce byte-identical
+    /// event traces.
+    pub fn set_telemetry_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.tracer.set_clock(clock.clone());
+        self.events.set_clock(clock);
+    }
+
     /// A consistent snapshot of every figure-relevant metric.
     pub fn metrics(&self) -> MetricsSnapshot {
         let io = self.store.io_stats();
@@ -1133,6 +1225,11 @@ impl DedupEngine {
             catchup_batches: self.metrics.catchup_batches,
             health_transitions: self.metrics.health_transitions,
             max_replica_lag: self.metrics.max_replica_lag,
+            stages: self.tracer.stages().clone(),
+            io_queue_depth: self.io.queue_len(),
+            io_idle_fraction: self.io.idle_fraction(),
+            events_logged: self.events.logged(),
+            events_dropped: self.events.dropped(),
         }
     }
 }

@@ -1,6 +1,13 @@
 //! Engine metrics: everything the paper's figures report.
+//!
+//! The snapshot renders through the [`Registry`] from `dbdedup-obs`: each
+//! field is registered by name (duplicates panic eagerly) and the JSON is
+//! schema-stable — same fields, same order, every time. The legacy key set
+//! of the old hand-rolled `to_json` is preserved verbatim as a prefix, so
+//! downstream plotting scripts keep working.
 
 use dbdedup_cache::{SourceCacheStats, WritebackCacheStats};
+use dbdedup_obs::{Registry, Stage, StageSet};
 use dbdedup_util::stats::LogHistogram;
 
 /// Running counters maintained by the engine.
@@ -99,59 +106,77 @@ pub struct MetricsSnapshot {
     pub health_transitions: u64,
     /// Worst replication lag observed (oplog entries).
     pub max_replica_lag: u64,
+    /// Per-stage latency histograms (nanoseconds) from the sampling
+    /// stage tracer; merged across shards by [`ShardedEngine::metrics`].
+    ///
+    /// [`ShardedEngine::metrics`]: crate::sharded::ShardedEngine::metrics
+    pub stages: StageSet,
+    /// Current modeled I/O queue depth (the §3.3.2 idleness signal).
+    pub io_queue_depth: f64,
+    /// Fraction of metered time the modeled device has been idle.
+    pub io_idle_fraction: f64,
+    /// Events ever recorded into the structured event log.
+    pub events_logged: u64,
+    /// Events dropped by the event log's ring bound.
+    pub events_dropped: u64,
 }
 
 impl MetricsSnapshot {
-    /// Renders the snapshot as a JSON object (hand-rolled — every field is
-    /// numeric, so no escaping is needed). Handy for piping harness output
-    /// into plotting scripts.
+    /// Builds the unified metrics registry: every engine counter, cache
+    /// stat, store/oplog stat, replica-health counter, I/O gauge, and
+    /// per-stage latency percentile, each registered exactly once. The
+    /// first 28 fields are the legacy `to_json` key set in its original
+    /// order.
+    pub fn registry(&self) -> Registry {
+        let mut r = Registry::new();
+        r.set_u64("original_bytes", self.original_bytes);
+        r.set_u64("stored_bytes", self.stored_bytes);
+        r.set_u64("stored_uncompressed_bytes", self.stored_uncompressed_bytes);
+        r.set_u64("network_bytes", self.network_bytes);
+        r.set_u64("index_bytes", self.index_bytes as u64);
+        r.set_u64("deduped_inserts", self.deduped_inserts);
+        r.set_u64("unique_inserts", self.unique_inserts);
+        r.set_u64("bypassed_size", self.bypassed_size);
+        r.set_u64("bypassed_governor", self.bypassed_governor);
+        r.set_f64("storage_ratio", self.storage_ratio());
+        r.set_f64("network_ratio", self.network_ratio());
+        r.set_f64("dedup_only_ratio", self.dedup_only_ratio());
+        r.set_f64("source_cache_miss_ratio", self.source_cache.miss_ratio());
+        r.set_u64("writebacks_flushed", self.writeback_cache.flushed);
+        r.set_u64("writebacks_dropped", self.writeback_cache.dropped);
+        r.set_u64("max_read_retrievals", self.max_read_retrievals);
+        r.set_f64("mean_read_retrievals", self.mean_read_retrievals);
+        r.set_u64("gc_spliced", self.gc_spliced);
+        r.set_u64("quarantined_entries", self.quarantined_entries);
+        r.set_u64("truncated_tail_bytes", self.truncated_tail_bytes);
+        r.set_u64("chain_broken_reads", self.chain_broken_reads);
+        r.set_u64("apply_retries", self.apply_retries);
+        r.set_u64("repaired_records", self.repaired_records);
+        r.set_u64("bypassed_overload", self.bypassed_overload);
+        r.set_u64("backpressure_events", self.backpressure_events);
+        r.set_u64("catchup_batches", self.catchup_batches);
+        r.set_u64("health_transitions", self.health_transitions);
+        r.set_u64("max_replica_lag", self.max_replica_lag);
+        r.set_u64("source_cache_hits", self.source_cache.hits);
+        r.set_u64("source_cache_misses", self.source_cache.misses);
+        r.set_u64("source_cache_evictions", self.source_cache.evictions);
+        r.set_u64("writebacks_inserted", self.writeback_cache.inserted);
+        r.set_u64("writebacks_invalidated", self.writeback_cache.invalidated);
+        r.set_u64("writebacks_lost_savings", self.writeback_cache.lost_savings);
+        r.set_f64("io_queue_depth", self.io_queue_depth);
+        r.set_f64("io_idle_fraction", self.io_idle_fraction);
+        r.set_u64("events_logged", self.events_logged);
+        r.set_u64("events_dropped", self.events_dropped);
+        for stage in Stage::ALL {
+            r.set_histogram(&format!("stage.{}", stage.name()), self.stages.get(stage));
+        }
+        r
+    }
+
+    /// Renders the snapshot as one flat JSON object (via the registry).
+    /// Handy for piping harness output into plotting scripts.
     pub fn to_json(&self) -> String {
-        format!(
-            concat!(
-                "{{\"original_bytes\":{},\"stored_bytes\":{},",
-                "\"stored_uncompressed_bytes\":{},\"network_bytes\":{},",
-                "\"index_bytes\":{},\"deduped_inserts\":{},\"unique_inserts\":{},",
-                "\"bypassed_size\":{},\"bypassed_governor\":{},",
-                "\"storage_ratio\":{:.4},\"network_ratio\":{:.4},",
-                "\"dedup_only_ratio\":{:.4},\"source_cache_miss_ratio\":{:.4},",
-                "\"writebacks_flushed\":{},\"writebacks_dropped\":{},",
-                "\"max_read_retrievals\":{},\"mean_read_retrievals\":{:.4},",
-                "\"gc_spliced\":{},\"quarantined_entries\":{},",
-                "\"truncated_tail_bytes\":{},\"chain_broken_reads\":{},",
-                "\"apply_retries\":{},\"repaired_records\":{},",
-                "\"bypassed_overload\":{},\"backpressure_events\":{},",
-                "\"catchup_batches\":{},\"health_transitions\":{},",
-                "\"max_replica_lag\":{}}}"
-            ),
-            self.original_bytes,
-            self.stored_bytes,
-            self.stored_uncompressed_bytes,
-            self.network_bytes,
-            self.index_bytes,
-            self.deduped_inserts,
-            self.unique_inserts,
-            self.bypassed_size,
-            self.bypassed_governor,
-            self.storage_ratio(),
-            self.network_ratio(),
-            self.dedup_only_ratio(),
-            self.source_cache.miss_ratio(),
-            self.writeback_cache.flushed,
-            self.writeback_cache.dropped,
-            self.max_read_retrievals,
-            self.mean_read_retrievals,
-            self.gc_spliced,
-            self.quarantined_entries,
-            self.truncated_tail_bytes,
-            self.chain_broken_reads,
-            self.apply_retries,
-            self.repaired_records,
-            self.bypassed_overload,
-            self.backpressure_events,
-            self.catchup_batches,
-            self.health_transitions,
-            self.max_replica_lag,
-        )
+        self.registry().to_json()
     }
 
     /// Storage compression ratio: original / stored.
@@ -212,6 +237,11 @@ mod tests {
             catchup_batches: 0,
             health_transitions: 0,
             max_replica_lag: 0,
+            stages: StageSet::new(),
+            io_queue_depth: 0.0,
+            io_idle_fraction: 1.0,
+            events_logged: 0,
+            events_dropped: 0,
         }
     }
 
@@ -241,6 +271,19 @@ mod tests {
         ] {
             assert!(j.contains(needle), "{needle} missing from {j}");
         }
+    }
+
+    #[test]
+    fn json_carries_stage_percentiles_and_io_gauges() {
+        let mut s = snap();
+        s.stages.record(Stage::Chunk, 1_000);
+        s.io_queue_depth = 3.5;
+        let j = s.to_json();
+        assert!(j.contains("\"stage.chunk.count\":1"), "{j}");
+        assert!(j.contains("\"stage.chunk.p50\":"), "{j}");
+        assert!(j.contains("\"stage.decode_chain.p999\":"), "{j}");
+        assert!(j.contains("\"io_queue_depth\":3.5000"), "{j}");
+        assert!(j.contains("\"io_idle_fraction\":1.0000"), "{j}");
     }
 
     #[test]

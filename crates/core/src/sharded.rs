@@ -114,7 +114,14 @@ impl ShardedEngine {
             total.bypassed_governor += s.bypassed_governor;
             total.gc_spliced += s.gc_spliced;
             total.max_read_retrievals = total.max_read_retrievals.max(s.max_read_retrievals);
+            total.stages.merge(&s.stages);
+            total.io_queue_depth += s.io_queue_depth;
+            // Deployment-wide idleness is the mean across shard devices.
+            total.io_idle_fraction += s.io_idle_fraction;
+            total.events_logged += s.events_logged;
+            total.events_dropped += s.events_dropped;
         }
+        total.io_idle_fraction /= self.shards.len() as f64;
         total
     }
 }

@@ -1,0 +1,424 @@
+//! The structured event log: a bounded ring buffer of typed incidents.
+//!
+//! Metrics answer "how much"; the event log answers "what happened and
+//! when". Replication incidents — health transitions, salvage recovery,
+//! backpressure, governor and overload-gate flips, chain-broken reads,
+//! catch-up sessions, dropped frames — are recorded with a sequence
+//! number, a clock timestamp and a typed payload, and can be exported as
+//! JSONL for post-mortem queries and deterministic simulation traces.
+//!
+//! The buffer is bounded: when full, the oldest event is dropped and the
+//! drop is counted, so the log can run on the hot path forever without
+//! growing. Recording goes through a mutex (`&self`), so one log can be
+//! shared between an engine and a replicator thread via `Arc`.
+
+use dbdedup_util::time::{system_clock, Clock};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// How loud an event is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Expected lifecycle events (catch-up sessions, gate flips).
+    Info,
+    /// Degraded but self-healing conditions (backpressure, lost frames).
+    Warn,
+    /// Data-affecting incidents (chain-broken reads, salvage quarantine).
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name for the JSON encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// The typed payload of one event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A replication link's health state machine moved.
+    HealthTransition {
+        /// Link / replica index.
+        replica: u64,
+        /// State left (stable name, e.g. `"healthy"`).
+        from: &'static str,
+        /// State entered.
+        to: &'static str,
+    },
+    /// A replica became unreachable.
+    Partition {
+        /// Link / replica index.
+        replica: u64,
+    },
+    /// A partitioned replica became reachable again.
+    Heal {
+        /// Link / replica index.
+        replica: u64,
+    },
+    /// A replica crash-restarted, losing its volatile in-flight queue.
+    CrashRestart {
+        /// Link / replica index.
+        replica: u64,
+    },
+    /// A replica entered a slow-apply spell.
+    SlowSpell {
+        /// Link / replica index.
+        replica: u64,
+        /// Spell length in scheduler ticks.
+        ticks: u64,
+    },
+    /// A shipment was refused by a full apply queue.
+    Backpressure {
+        /// Link / replica index.
+        replica: u64,
+    },
+    /// A transport fault swallowed a replication frame in flight.
+    DroppedBatch {
+        /// Running total of dropped frames on this transport.
+        total: u64,
+    },
+    /// A transient transport fault swallowed a fetch (cursor holds).
+    TransportDrop {
+        /// Link / replica index.
+        replica: u64,
+    },
+    /// A batch was delivered to a replica in the CatchingUp state.
+    CatchupBatch {
+        /// Link / replica index.
+        replica: u64,
+    },
+    /// A cursor fell below the retention floor: full anti-entropy resync.
+    FullResync {
+        /// Link / replica index.
+        replica: u64,
+    },
+    /// The replication-pressure overload gate flipped.
+    OverloadGate {
+        /// `true` when raised (dedup shed), `false` when lowered.
+        on: bool,
+    },
+    /// Salvage recovery quarantined entries / truncated a torn tail.
+    Salvage {
+        /// Entries quarantined for bad checksums.
+        quarantined: u64,
+        /// Torn-tail bytes truncated from the active segment.
+        truncated_bytes: u64,
+    },
+    /// A read failed because corruption broke the decode chain.
+    ChainBroken {
+        /// The record whose read failed.
+        id: u64,
+        /// The decode-path node that is actually damaged.
+        broken_at: u64,
+    },
+    /// The governor disabled dedup for an unproductive database.
+    GovernorDisabled {
+        /// The database name.
+        db: String,
+    },
+    /// A record was re-materialized from authoritative peer content.
+    Repaired {
+        /// The repaired record.
+        id: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case kind name for the JSON encoding.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::HealthTransition { .. } => "health_transition",
+            EventKind::Partition { .. } => "partition",
+            EventKind::Heal { .. } => "heal",
+            EventKind::CrashRestart { .. } => "crash_restart",
+            EventKind::SlowSpell { .. } => "slow_spell",
+            EventKind::Backpressure { .. } => "backpressure",
+            EventKind::DroppedBatch { .. } => "dropped_batch",
+            EventKind::TransportDrop { .. } => "transport_drop",
+            EventKind::CatchupBatch { .. } => "catchup_batch",
+            EventKind::FullResync { .. } => "full_resync",
+            EventKind::OverloadGate { .. } => "overload_gate",
+            EventKind::Salvage { .. } => "salvage",
+            EventKind::ChainBroken { .. } => "chain_broken",
+            EventKind::GovernorDisabled { .. } => "governor_disabled",
+            EventKind::Repaired { .. } => "repaired",
+        }
+    }
+}
+
+/// Escapes a string for a JSON string literal (control chars, quote,
+/// backslash).
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number (never reused, survives ring drops).
+    pub seq: u64,
+    /// Clock timestamp, nanoseconds since the clock's epoch.
+    pub at_ns: u64,
+    /// Severity.
+    pub severity: Severity,
+    /// Typed payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Renders the event as one JSON object (one JSONL line, no newline).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"seq\":{},\"t_ns\":{},\"severity\":\"{}\",\"kind\":\"{}\"",
+            self.seq,
+            self.at_ns,
+            self.severity.name(),
+            self.kind.name()
+        );
+        match &self.kind {
+            EventKind::HealthTransition { replica, from, to } => {
+                s.push_str(&format!(",\"replica\":{replica},\"from\":\"{from}\",\"to\":\"{to}\""));
+            }
+            EventKind::Partition { replica }
+            | EventKind::Heal { replica }
+            | EventKind::CrashRestart { replica }
+            | EventKind::Backpressure { replica }
+            | EventKind::TransportDrop { replica }
+            | EventKind::CatchupBatch { replica }
+            | EventKind::FullResync { replica } => {
+                s.push_str(&format!(",\"replica\":{replica}"));
+            }
+            EventKind::SlowSpell { replica, ticks } => {
+                s.push_str(&format!(",\"replica\":{replica},\"ticks\":{ticks}"));
+            }
+            EventKind::DroppedBatch { total } => {
+                s.push_str(&format!(",\"total\":{total}"));
+            }
+            EventKind::OverloadGate { on } => {
+                s.push_str(&format!(",\"on\":{on}"));
+            }
+            EventKind::Salvage { quarantined, truncated_bytes } => {
+                s.push_str(&format!(
+                    ",\"quarantined\":{quarantined},\"truncated_bytes\":{truncated_bytes}"
+                ));
+            }
+            EventKind::ChainBroken { id, broken_at } => {
+                s.push_str(&format!(",\"id\":{id},\"broken_at\":{broken_at}"));
+            }
+            EventKind::GovernorDisabled { db } => {
+                s.push_str(",\"db\":\"");
+                escape_json(db, &mut s);
+                s.push('"');
+            }
+            EventKind::Repaired { id } => {
+                s.push_str(&format!(",\"id\":{id}"));
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+struct Inner {
+    events: VecDeque<Event>,
+    clock: Arc<dyn Clock>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// The bounded structured event log. See module docs.
+pub struct EventLog {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("EventLog")
+            .field("capacity", &self.capacity)
+            .field("len", &inner.events.len())
+            .field("logged", &inner.next_seq)
+            .field("dropped", &inner.dropped)
+            .finish()
+    }
+}
+
+impl EventLog {
+    /// Creates a log holding at most `capacity` events, stamped by the
+    /// system clock.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_clock(capacity, system_clock())
+    }
+
+    /// Creates a log stamped by an explicit clock (a shared
+    /// [`VirtualClock`] makes the trace deterministic).
+    ///
+    /// [`VirtualClock`]: dbdedup_util::time::VirtualClock
+    pub fn with_clock(capacity: usize, clock: Arc<dyn Clock>) -> Self {
+        assert!(capacity >= 1, "event log needs room for at least one event");
+        Self {
+            inner: Mutex::new(Inner {
+                events: VecDeque::with_capacity(capacity.min(1024)),
+                clock,
+                next_seq: 0,
+                dropped: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// A shared handle (the common way to thread one log through an
+    /// engine plus its replication components).
+    pub fn shared(capacity: usize) -> Arc<Self> {
+        Arc::new(Self::new(capacity))
+    }
+
+    /// Swaps the timestamp clock.
+    pub fn set_clock(&self, clock: Arc<dyn Clock>) {
+        self.inner.lock().clock = clock;
+    }
+
+    /// Records one event, dropping (and counting) the oldest if full.
+    pub fn record(&self, severity: Severity, kind: EventKind) {
+        let mut inner = self.inner.lock();
+        let at_ns = inner.clock.now().as_nanos().min(u64::MAX as u128) as u64;
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(Event { seq, at_ns, severity, kind });
+    }
+
+    /// Total events ever recorded (including ones since dropped).
+    pub fn logged(&self) -> u64 {
+        self.inner.lock().next_seq
+    }
+
+    /// Events dropped by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// A copy of the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.inner.lock().events.iter().cloned().collect()
+    }
+
+    /// Retained events whose kind name equals `kind` (test queries).
+    pub fn of_kind(&self, kind: &str) -> Vec<Event> {
+        self.inner.lock().events.iter().filter(|e| e.kind.name() == kind).cloned().collect()
+    }
+
+    /// Renders every retained event as JSONL (one object per line, each
+    /// line newline-terminated). Deterministic given a deterministic
+    /// clock and event order.
+    pub fn to_jsonl(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for e in &inner.events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbdedup_util::time::VirtualClock;
+    use std::time::Duration;
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let log = EventLog::new(2);
+        for i in 0..5u64 {
+            log.record(Severity::Info, EventKind::Backpressure { replica: i });
+        }
+        assert_eq!(log.logged(), 5);
+        assert_eq!(log.dropped(), 3);
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].seq, 3, "oldest retained after drops");
+        assert_eq!(snap[1].seq, 4);
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_on_a_virtual_clock() {
+        let mk = || {
+            let clock = VirtualClock::shared();
+            let log = EventLog::with_clock(16, clock.clone());
+            clock.advance(Duration::from_millis(10));
+            log.record(Severity::Warn, EventKind::Partition { replica: 1 });
+            clock.advance(Duration::from_millis(5));
+            log.record(
+                Severity::Info,
+                EventKind::HealthTransition { replica: 1, from: "healthy", to: "partitioned" },
+            );
+            log.to_jsonl()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a, b, "same schedule must render byte-identical JSONL");
+        assert!(a.contains("\"t_ns\":10000000"));
+        assert!(a.contains("\"kind\":\"partition\""));
+    }
+
+    #[test]
+    fn every_kind_renders_valid_json() {
+        let log = EventLog::new(64);
+        let kinds = vec![
+            EventKind::HealthTransition { replica: 0, from: "healthy", to: "lagging" },
+            EventKind::Partition { replica: 1 },
+            EventKind::Heal { replica: 1 },
+            EventKind::CrashRestart { replica: 2 },
+            EventKind::SlowSpell { replica: 0, ticks: 3 },
+            EventKind::Backpressure { replica: 1 },
+            EventKind::DroppedBatch { total: 7 },
+            EventKind::TransportDrop { replica: 0 },
+            EventKind::CatchupBatch { replica: 2 },
+            EventKind::FullResync { replica: 2 },
+            EventKind::OverloadGate { on: true },
+            EventKind::Salvage { quarantined: 4, truncated_bytes: 512 },
+            EventKind::ChainBroken { id: 9, broken_at: 3 },
+            EventKind::GovernorDisabled { db: "rand\"om".into() },
+            EventKind::Repaired { id: 9 },
+        ];
+        for k in kinds {
+            log.record(Severity::Info, k);
+        }
+        for line in log.to_jsonl().lines() {
+            crate::json::parse(line).unwrap_or_else(|e| panic!("bad JSON {line}: {e}"));
+        }
+    }
+
+    #[test]
+    fn of_kind_filters() {
+        let log = EventLog::new(8);
+        log.record(Severity::Warn, EventKind::Partition { replica: 0 });
+        log.record(Severity::Info, EventKind::Heal { replica: 0 });
+        log.record(Severity::Warn, EventKind::Partition { replica: 1 });
+        assert_eq!(log.of_kind("partition").len(), 2);
+        assert_eq!(log.of_kind("heal").len(), 1);
+        assert_eq!(log.of_kind("salvage").len(), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # dbdedup-obs
+//!
+//! End-to-end telemetry for the dbDedup stack, with zero external
+//! dependencies:
+//!
+//! * [`span`] — lightweight per-stage latency spans feeding HDR-style
+//!   [`LogHistogram`]s (p50/p95/p99/p99.9/max), with a pluggable
+//!   [`Clock`] (wall or virtual) and a configurable 1-in-N sampling rate
+//!   so the hot insert path pays (almost) nothing by default.
+//! * [`event`] — a bounded ring-buffer structured event log: severity +
+//!   typed payload for replication incidents (health flips, salvage,
+//!   backpressure, governor and overload-gate transitions, chain-broken
+//!   reads, catch-up sessions), exportable as deterministic JSONL.
+//! * [`registry`] — the schema-stable metrics registry: an ordered map of
+//!   named gauges/counters rendered as one JSON object in which every
+//!   field appears exactly once.
+//! * [`json`] — a tiny in-repo JSON parser used by schema round-trip
+//!   tests (no serde in this workspace).
+//!
+//! The paper's evaluation (§4, Fig. 12) is built on per-stage latency
+//! breakdowns — chunking, sketching, index lookup, source fetch, delta
+//! encode, store append — and this crate is what attributes wall-clock to
+//! those stages in the reproduction.
+//!
+//! [`LogHistogram`]: dbdedup_util::stats::LogHistogram
+//! [`Clock`]: dbdedup_util::time::Clock
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod registry;
+pub mod span;
+
+pub use event::{Event, EventKind, EventLog, Severity};
+pub use registry::{MetricValue, Registry};
+pub use span::{Stage, StageSet, StageTracer};

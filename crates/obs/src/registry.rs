@@ -1,0 +1,176 @@
+//! The unified metrics registry.
+//!
+//! A [`Registry`] is an ordered list of `name → value` pairs that every
+//! subsystem contributes to (engine counters, cache stats, store/oplog
+//! stats, replica health, stage histograms). It replaces ad-hoc
+//! string-concatenation JSON: the snapshot is built field by field,
+//! duplicate names are rejected eagerly, and the rendered JSON is
+//! schema-stable — same fields, same order, every time.
+
+use dbdedup_util::stats::LogHistogram;
+
+/// One metric value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// A counter or integer gauge.
+    U64(u64),
+    /// A ratio or derived gauge, rendered with four decimal places.
+    F64(f64),
+}
+
+/// An ordered, duplicate-free set of named metrics. See module docs.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    fields: Vec<(String, MetricValue)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, name: &str, value: MetricValue) {
+        assert!(!self.fields.iter().any(|(n, _)| n == name), "duplicate metric name: {name}");
+        self.fields.push((name.to_string(), value));
+    }
+
+    /// Adds an integer counter/gauge. Panics on a duplicate name.
+    pub fn set_u64(&mut self, name: &str, value: u64) {
+        self.push(name, MetricValue::U64(value));
+    }
+
+    /// Adds a float gauge. Panics on a duplicate name.
+    pub fn set_f64(&mut self, name: &str, value: f64) {
+        self.push(name, MetricValue::F64(value));
+    }
+
+    /// Adds the standard percentile breakdown of a latency histogram
+    /// under `prefix` (`prefix.count`, `.p50`, `.p95`, `.p99`, `.p999`,
+    /// `.max` — nanoseconds).
+    pub fn set_histogram(&mut self, prefix: &str, hist: &LogHistogram) {
+        self.set_u64(&format!("{prefix}.count"), hist.count());
+        self.set_u64(&format!("{prefix}.p50"), hist.quantile(0.50));
+        self.set_u64(&format!("{prefix}.p95"), hist.quantile(0.95));
+        self.set_u64(&format!("{prefix}.p99"), hist.quantile(0.99));
+        self.set_u64(&format!("{prefix}.p999"), hist.quantile(0.999));
+        self.set_u64(&format!("{prefix}.max"), hist.max());
+    }
+
+    /// The field names, in insertion (schema) order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.fields.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Looks up a field by name.
+    pub fn get(&self, name: &str) -> Option<MetricValue> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Renders the registry as one flat JSON object. Integer values are
+    /// rendered verbatim; floats with four decimal places (matching the
+    /// legacy `MetricsSnapshot::to_json` precision).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(name);
+            out.push_str("\":");
+            match value {
+                MetricValue::U64(v) => out.push_str(&v.to_string()),
+                MetricValue::F64(v) => {
+                    if v.is_finite() {
+                        out.push_str(&format!("{v:.4}"));
+                    } else {
+                        // JSON has no NaN/Inf; pin to null.
+                        out.push_str("null");
+                    }
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insertion_order_is_preserved() {
+        let mut r = Registry::new();
+        r.set_u64("zebra", 1);
+        r.set_f64("alpha", 0.5);
+        r.set_u64("mid", 2);
+        let keys: Vec<&str> = r.keys().collect();
+        assert_eq!(keys, vec!["zebra", "alpha", "mid"]);
+        assert_eq!(r.to_json(), "{\"zebra\":1,\"alpha\":0.5000,\"mid\":2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric name")]
+    fn duplicate_names_are_rejected() {
+        let mut r = Registry::new();
+        r.set_u64("x", 1);
+        r.set_f64("x", 2.0);
+    }
+
+    #[test]
+    fn histogram_breakdown_keys() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let mut r = Registry::new();
+        r.set_histogram("stage.chunk", &h);
+        let keys: Vec<&str> = r.keys().collect();
+        assert_eq!(
+            keys,
+            vec![
+                "stage.chunk.count",
+                "stage.chunk.p50",
+                "stage.chunk.p95",
+                "stage.chunk.p99",
+                "stage.chunk.p999",
+                "stage.chunk.max"
+            ]
+        );
+        assert_eq!(r.get("stage.chunk.count"), Some(MetricValue::U64(1000)));
+        assert_eq!(r.get("stage.chunk.max"), Some(MetricValue::U64(1000)));
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        let mut r = Registry::new();
+        r.set_f64("nan", f64::NAN);
+        r.set_f64("inf", f64::INFINITY);
+        assert_eq!(r.to_json(), "{\"nan\":null,\"inf\":null}");
+        crate::json::parse(&r.to_json()).expect("null-pinned floats still parse");
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let mut r = Registry::new();
+        r.set_u64("a", u64::MAX);
+        r.set_f64("b", 0.1234);
+        let parsed = crate::json::parse(&r.to_json()).unwrap();
+        let obj = parsed.as_obj().unwrap();
+        assert_eq!(obj.len(), 2);
+        assert_eq!(obj[0].0, "a");
+        assert_eq!(obj[1].0, "b");
+    }
+}

@@ -9,20 +9,22 @@
 //! [`ship_with_deadline`] turns that into bounded blocking via jittered
 //! exponential backoff. The only way a frame disappears is an injected
 //! transport fault ([`ShipOutcome::LostInTransit`]), which is counted,
-//! logged once, and repaired by oplog-cursor catch-up or anti-entropy.
+//! recorded in the structured [`EventLog`], and repaired by oplog-cursor
+//! catch-up or anti-entropy.
 //!
 //! [`ship`]: AsyncReplicator::ship
 //! [`ship_with_deadline`]: AsyncReplicator::ship_with_deadline
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use dbdedup_core::{DedupEngine, EngineError};
+use dbdedup_obs::{EventKind, EventLog, Severity};
 use dbdedup_storage::oplog::{decode_batch, encode_batch, OplogEntry};
 use dbdedup_storage::store::StoreError;
 use dbdedup_storage::{FaultInjector, WriteOutcome};
 use dbdedup_util::time::system_clock;
 use dbdedup_util::{Backoff, BackoffConfig, Clock};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -66,7 +68,6 @@ struct Counters {
     apply_retries: AtomicU64,
     dropped_batches: AtomicU64,
     backpressured: AtomicU64,
-    loss_logged: AtomicBool,
 }
 
 /// Whether an apply error is worth retrying: transient I/O conditions can
@@ -84,6 +85,7 @@ pub struct AsyncReplicator {
     last_error: Arc<Mutex<Option<String>>>,
     transport_faults: Option<Arc<FaultInjector>>,
     clock: Arc<dyn Clock>,
+    events: Arc<EventLog>,
 }
 
 impl AsyncReplicator {
@@ -128,6 +130,7 @@ impl AsyncReplicator {
             }
             secondary
         });
+        let events = Arc::new(EventLog::with_clock(64, Arc::clone(&clock)));
         Self {
             tx: Some(tx),
             handle: Some(handle),
@@ -135,7 +138,20 @@ impl AsyncReplicator {
             last_error,
             transport_faults: None,
             clock,
+            events,
         }
+    }
+
+    /// Routes transport incidents into a shared event log (typically the
+    /// primary engine's, so one JSONL export covers the whole pipeline).
+    pub fn with_event_log(mut self, events: Arc<EventLog>) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// The event log transport incidents are recorded into.
+    pub fn event_log(&self) -> Arc<EventLog> {
+        Arc::clone(&self.events)
     }
 
     /// Injects faults into the shipping transport: each outgoing frame is
@@ -219,16 +235,15 @@ impl AsyncReplicator {
     fn note_loss(&self) {
         // Saturating on purpose: a wrapped counter would read as "almost
         // no loss" exactly when loss was catastrophic.
-        let _ =
-            self.counters
-                .dropped_batches
-                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_add(1)));
-        if !self.counters.loss_logged.swap(true, Ordering::Relaxed) {
-            eprintln!(
-                "dbdedup-repl: transport fault dropped a replication frame; \
-                 the replica diverges until catch-up or resync (logged once)"
-            );
-        }
+        let total = self
+            .counters
+            .dropped_batches
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_add(1)))
+            .map_or(u64::MAX, |prev| prev.saturating_add(1));
+        // Every loss is a queryable event, not a one-shot stderr line: the
+        // payload carries the running total so even ring-dropped history
+        // stays reconstructible from the latest retained event.
+        self.events.record(Severity::Warn, EventKind::DroppedBatch { total });
     }
 
     /// Total frame bytes shipped.
@@ -417,6 +432,7 @@ mod tests {
             }
             secondary
         });
+        let events = Arc::new(EventLog::with_clock(64, Arc::clone(&clock)));
         let repl = AsyncReplicator {
             tx: Some(tx),
             handle: Some(handle),
@@ -424,6 +440,7 @@ mod tests {
             last_error,
             transport_faults: None,
             clock,
+            events,
         };
         (repl, gate_tx)
     }
@@ -565,6 +582,15 @@ mod tests {
         assert!(repl.apply_errors() > 0, "the torn frame must fail to decode");
         assert!(repl.dropped_batches() > 0, "post-crash frames are dropped");
         assert_eq!(repl.dropped_batches(), lost, "every loss reported to the caller");
+        // Losses are queryable incidents, not a one-shot stderr line: one
+        // dropped_batch event per lost frame, the last carrying the total.
+        let drops = repl.event_log().of_kind("dropped_batch");
+        assert_eq!(drops.len() as u64, lost);
+        assert!(drops.iter().all(|e| e.severity == Severity::Warn));
+        assert_eq!(
+            drops.last().map(|e| e.kind.clone()),
+            Some(EventKind::DroppedBatch { total: lost })
+        );
         let secondary = repl.join().unwrap();
         assert!(
             secondary.store().len() < primary.store().len(),
@@ -585,6 +611,7 @@ mod tests {
             last_error: Arc::new(Mutex::new(None)),
             transport_faults: None,
             clock: system_clock(),
+            events: Arc::new(EventLog::new(4)),
         };
         match repl.join() {
             Err(EngineError::ReplicaPanicked(msg)) => {

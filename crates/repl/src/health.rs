@@ -37,6 +37,18 @@ pub enum ReplicaHealth {
     CatchingUp,
 }
 
+impl ReplicaHealth {
+    /// Stable lowercase name used in telemetry event payloads.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplicaHealth::Healthy => "healthy",
+            ReplicaHealth::Lagging => "lagging",
+            ReplicaHealth::Partitioned => "partitioned",
+            ReplicaHealth::CatchingUp => "catching_up",
+        }
+    }
+}
+
 /// Tracks one replica's [`ReplicaHealth`], counting transitions and the
 /// worst lag observed.
 #[derive(Debug)]

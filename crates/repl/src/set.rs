@@ -16,7 +16,13 @@ use crate::health::{HealthTracker, ReplicaHealth};
 use crate::pair::NetworkStats;
 use crate::resync::anti_entropy;
 use dbdedup_core::{DedupEngine, EngineConfig, EngineError};
+use dbdedup_obs::{EventKind, Severity, Stage};
 use dbdedup_storage::oplog::{decode_batch, encode_batch, CursorGap};
+
+/// Nanoseconds elapsed since `t0`, saturated into a `u64`.
+fn elapsed_ns(t0: std::time::Instant) -> u64 {
+    t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
 
 /// Lag (oplog entries) past which a link is declared `Lagging`.
 const DEFAULT_LAG_THRESHOLD: u64 = 64;
@@ -62,10 +68,25 @@ impl ReplicaSet {
     /// primary's retained oplog.
     pub fn set_partitioned(&mut self, i: usize, on: bool) {
         self.partitioned[i] = on;
+        let from = self.health[i].state();
         let changed =
             if on { self.health[i].partitioned() } else { self.health[i].begin_catchup() };
+        let events = self.primary.event_log();
+        if on {
+            events.record(Severity::Warn, EventKind::Partition { replica: i as u64 });
+        } else {
+            events.record(Severity::Info, EventKind::Heal { replica: i as u64 });
+        }
         if changed {
             self.primary.record_health_transition();
+            events.record(
+                Severity::Info,
+                EventKind::HealthTransition {
+                    replica: i as u64,
+                    from: from.name(),
+                    to: self.health[i].state().name(),
+                },
+            );
         }
     }
 
@@ -111,6 +132,7 @@ impl ReplicaSet {
     fn pump_link(&mut self, i: usize, head: u64) -> Result<u64, EngineError> {
         let mut applied = 0u64;
         let catching_up = self.health[i].state() == ReplicaHealth::CatchingUp;
+        let events = self.primary.event_log();
         while self.cursors[i] < head {
             let entries = match self.primary.oplog_entries_from(self.cursors[i], self.batch_budget)
             {
@@ -119,6 +141,7 @@ impl ReplicaSet {
                     // The gap predates the retention window: only a full
                     // checksum walk can re-converge this replica.
                     self.full_resyncs += 1;
+                    events.record(Severity::Warn, EventKind::FullResync { replica: i as u64 });
                     let report = anti_entropy(&mut self.primary, &mut self.secondaries[i])?;
                     self.per_link[i].bytes += report.shipped_bytes;
                     self.cursors[i] = head;
@@ -128,6 +151,7 @@ impl ReplicaSet {
             if entries.is_empty() {
                 break;
             }
+            let t_ship = std::time::Instant::now();
             let frame = encode_batch(&entries);
             let st = &mut self.per_link[i];
             st.batches += 1;
@@ -135,19 +159,34 @@ impl ReplicaSet {
             st.entries += entries.len() as u64;
             if catching_up {
                 self.primary.record_catchup_batch();
+                events.record(Severity::Info, EventKind::CatchupBatch { replica: i as u64 });
             }
             let decoded = decode_batch(&frame).expect("self-encoded frame is valid");
+            self.primary.record_stage_ns(Stage::ReplShip, elapsed_ns(t_ship));
+            let t_apply = std::time::Instant::now();
             let sec = &mut self.secondaries[i];
             for entry in &decoded {
                 sec.apply_oplog_entry(entry)?;
+            }
+            if catching_up {
+                self.primary.record_stage_ns(Stage::CatchUp, elapsed_ns(t_apply));
             }
             self.cursors[i] += decoded.len() as u64;
             applied += decoded.len() as u64;
         }
         let lag = head - self.cursors[i];
         self.primary.observe_replica_lag(lag);
+        let from = self.health[i].state();
         if self.health[i].observe_lag(lag) {
             self.primary.record_health_transition();
+            events.record(
+                Severity::Info,
+                EventKind::HealthTransition {
+                    replica: i as u64,
+                    from: from.name(),
+                    to: self.health[i].state().name(),
+                },
+            );
         }
         Ok(applied)
     }
@@ -279,6 +318,15 @@ mod tests {
         assert!(m.catchup_batches > 0, "gap must ship via catch-up batches");
         assert!(m.health_transitions >= 3, "Healthy→Partitioned→CatchingUp→Healthy");
         assert!(m.max_replica_lag >= 20, "lag observed while partitioned");
+        // The whole incident is reconstructible from the primary's event
+        // log: cut, heal, catch-up traffic, and each health transition.
+        let log = set.primary.event_log();
+        assert_eq!(log.of_kind("partition").len(), 1);
+        assert_eq!(log.of_kind("heal").len(), 1);
+        assert!(!log.of_kind("catchup_batch").is_empty());
+        assert!(log.of_kind("health_transition").len() as u64 >= 3);
+        // Ship latency lands in the primary's stage table.
+        assert!(set.primary.stage_timings().get(Stage::ReplShip).count() > 0);
     }
 
     #[test]

@@ -41,6 +41,7 @@
 use crate::health::{HealthTracker, ReplicaHealth};
 use crate::resync::anti_entropy_with_clock;
 use dbdedup_core::{DedupEngine, EngineConfig, EngineError};
+use dbdedup_obs::{EventKind, EventLog, Severity};
 use dbdedup_storage::oplog::{CursorGap, OplogEntry};
 use dbdedup_util::dist::SplitMix64;
 use dbdedup_util::ids::RecordId;
@@ -177,6 +178,10 @@ pub struct SimReport {
     pub max_lag: u64,
     /// Inserts the primary stored raw because the overload gate was up.
     pub bypassed_overload: u64,
+    /// The primary's structured event trace as JSONL. Timestamps come from
+    /// the shared virtual clock, so the same seed renders the same bytes —
+    /// the trace is part of the determinism contract (`Eq` above).
+    pub events_jsonl: String,
 }
 
 struct SimReplica {
@@ -205,6 +210,8 @@ pub struct Simulation {
     next_id: u64,
     trace: u64,
     report: SimReport,
+    /// The primary's event log (shared handle; virtual-clock timestamps).
+    events: Arc<EventLog>,
 }
 
 /// Order-sensitive trace mixing (SplitMix64 finalizer over a running hash).
@@ -221,13 +228,20 @@ impl Simulation {
         let mut ecfg = EngineConfig::default();
         ecfg.min_benefit_bytes = 16;
         ecfg.oplog_retain_bytes = cfg.oplog_retain_bytes;
-        let primary =
+        // Every engine's telemetry runs on the shared virtual clock, so
+        // span durations and event timestamps replay with the schedule.
+        let clock = VirtualClock::shared();
+        let mut primary =
             DedupEngine::open_temp(ecfg.clone()).map_err(|e| mk(format!("open primary: {e}")))?;
+        primary.set_telemetry_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+        let events = primary.event_log();
         let mut replicas = Vec::with_capacity(cfg.replicas);
         for i in 0..cfg.replicas {
+            let mut engine = DedupEngine::open_temp(ecfg.clone())
+                .map_err(|e| mk(format!("open replica {i}: {e}")))?;
+            engine.set_telemetry_clock(Arc::clone(&clock) as Arc<dyn Clock>);
             replicas.push(SimReplica {
-                engine: DedupEngine::open_temp(ecfg.clone())
-                    .map_err(|e| mk(format!("open replica {i}: {e}")))?,
+                engine,
                 queue: VecDeque::new(),
                 fetch_next: 0,
                 applied_next: 0,
@@ -251,17 +265,19 @@ impl Simulation {
             health_transitions: 0,
             max_lag: 0,
             bypassed_overload: 0,
+            events_jsonl: String::new(),
         };
         Ok(Self {
             rng: SplitMix64::new(seed ^ 0xdbde_d0d0_u64.rotate_left(17)),
             cfg,
-            clock: VirtualClock::shared(),
+            clock,
             primary,
             replicas,
             contents: Vec::new(),
             next_id: 0,
             trace: 0,
             report,
+            events,
         })
     }
 
@@ -277,6 +293,23 @@ impl Simulation {
         self.trace = mix(self.trace, code);
         self.trace = mix(self.trace, a);
         self.trace = mix(self.trace, b);
+    }
+
+    /// Drives replica `i`'s health state machine through `f`; when the
+    /// state changes, bumps the engine counter and records a typed event.
+    fn record_transition(&mut self, i: usize, f: impl FnOnce(&mut HealthTracker) -> bool) {
+        let from = self.replicas[i].health.state();
+        if f(&mut self.replicas[i].health) {
+            self.primary.record_health_transition();
+            self.events.record(
+                Severity::Info,
+                EventKind::HealthTransition {
+                    replica: i as u64,
+                    from: from.name(),
+                    to: self.replicas[i].health.state().name(),
+                },
+            );
+        }
     }
 
     /// Runs the scheduled ticks, heals and drains, verifies the invariants
@@ -296,6 +329,7 @@ impl Simulation {
         self.report.live_records = self.primary.live_record_ids().len();
         self.report.bypassed_overload = self.primary.metrics().bypassed_overload;
         self.report.health_transitions = self.primary.metrics().health_transitions;
+        self.report.events_jsonl = self.events.to_jsonl();
         Ok(self.report.clone())
     }
 
@@ -305,17 +339,15 @@ impl Simulation {
             if self.replicas[i].partitioned {
                 if self.chance(self.cfg.heal_prob) {
                     self.replicas[i].partitioned = false;
-                    if self.replicas[i].health.begin_catchup() {
-                        self.primary.record_health_transition();
-                    }
+                    self.events.record(Severity::Info, EventKind::Heal { replica: i as u64 });
+                    self.record_transition(i, |h| h.begin_catchup());
                     self.report.heals += 1;
                     self.note(2, tick, i as u64);
                 }
             } else if self.chance(self.cfg.partition_prob) {
                 self.replicas[i].partitioned = true;
-                if self.replicas[i].health.partitioned() {
-                    self.primary.record_health_transition();
-                }
+                self.events.record(Severity::Warn, EventKind::Partition { replica: i as u64 });
+                self.record_transition(i, |h| h.partitioned());
                 self.report.partitions += 1;
                 self.note(1, tick, i as u64);
             }
@@ -326,11 +358,16 @@ impl Simulation {
                 let r = &mut self.replicas[i];
                 r.queue.clear();
                 r.fetch_next = r.applied_next;
+                self.events.record(Severity::Warn, EventKind::CrashRestart { replica: i as u64 });
                 self.report.crashes += 1;
                 self.note(3, tick, i as u64);
             }
             if self.chance(self.cfg.slow_prob) {
                 self.replicas[i].slow_until = tick + self.cfg.slow_ticks;
+                self.events.record(
+                    Severity::Info,
+                    EventKind::SlowSpell { replica: i as u64, ticks: self.cfg.slow_ticks },
+                );
                 self.note(4, tick, i as u64);
             }
         }
@@ -406,6 +443,7 @@ impl Simulation {
             if room == 0 {
                 pressured = true;
                 self.primary.record_backpressure();
+                self.events.record(Severity::Warn, EventKind::Backpressure { replica: i as u64 });
                 self.report.backpressure_events += 1;
                 self.note(8, tick, i as u64);
                 continue;
@@ -425,6 +463,7 @@ impl Simulation {
             if self.chance(self.cfg.drop_prob) {
                 // Transient transport fault: the frame evaporates but the
                 // cursor stays, so the next fetch re-reads it. Lossless.
+                self.events.record(Severity::Warn, EventKind::TransportDrop { replica: i as u64 });
                 self.report.transport_drops += 1;
                 self.note(9, tick, i as u64);
                 continue;
@@ -433,6 +472,7 @@ impl Simulation {
             if take < entries.len() {
                 pressured = true;
                 self.primary.record_backpressure();
+                self.events.record(Severity::Warn, EventKind::Backpressure { replica: i as u64 });
                 self.report.backpressure_events += 1;
                 self.note(8, tick, i as u64);
             }
@@ -441,6 +481,7 @@ impl Simulation {
             }
             if self.replicas[i].health.state() == ReplicaHealth::CatchingUp {
                 self.primary.record_catchup_batch();
+                self.events.record(Severity::Info, EventKind::CatchupBatch { replica: i as u64 });
                 self.report.catchup_batches += 1;
                 self.note(13, tick, i as u64);
             }
@@ -461,6 +502,7 @@ impl Simulation {
     /// Retention slid past this replica's cursor: full anti-entropy.
     fn full_resync(&mut self, i: usize) -> Result<(), EngineError> {
         self.report.full_resyncs += 1;
+        self.events.record(Severity::Warn, EventKind::FullResync { replica: i as u64 });
         let clock: Arc<dyn Clock> = Arc::clone(&self.clock) as Arc<dyn Clock>;
         let r = &mut self.replicas[i];
         r.queue.clear();
@@ -468,9 +510,7 @@ impl Simulation {
         let head = self.primary.oplog_next_lsn();
         r.fetch_next = head;
         r.applied_next = head;
-        if r.health.begin_catchup() {
-            self.primary.record_health_transition();
-        }
+        self.record_transition(i, |h| h.begin_catchup());
         Ok(())
     }
 
@@ -508,11 +548,8 @@ impl Simulation {
         self.report.ticks = tick + 1;
         let head = self.primary.oplog_next_lsn();
         for i in 0..self.replicas.len() {
-            let r = &mut self.replicas[i];
-            let lag = head - r.applied_next;
-            if r.health.observe_lag(lag) {
-                self.primary.record_health_transition();
-            }
+            let lag = head - self.replicas[i].applied_next;
+            self.record_transition(i, |h| h.observe_lag(lag));
             self.primary.observe_replica_lag(lag);
             self.report.max_lag = self.report.max_lag.max(lag);
         }
@@ -530,14 +567,12 @@ impl Simulation {
         let base = self.cfg.ticks;
         self.primary.set_replication_pressure(false);
         for i in 0..self.replicas.len() {
-            let r = &mut self.replicas[i];
-            r.slow_until = 0;
-            if r.partitioned {
-                r.partitioned = false;
+            self.replicas[i].slow_until = 0;
+            if self.replicas[i].partitioned {
+                self.replicas[i].partitioned = false;
+                self.events.record(Severity::Info, EventKind::Heal { replica: i as u64 });
                 self.report.heals += 1;
-                if self.replicas[i].health.begin_catchup() {
-                    self.primary.record_health_transition();
-                }
+                self.record_transition(i, |h| h.begin_catchup());
             }
         }
         let head = self.primary.oplog_next_lsn();
@@ -643,6 +678,11 @@ mod tests {
         assert_eq!(report.full_resyncs, 0, "catch-up must suffice: {report:?}");
         assert!(report.health_transitions > 0, "{report:?}");
         assert!(report.live_records > 0, "{report:?}");
+        // The incidents the counters summarize are present as typed
+        // events in the JSONL trace.
+        assert!(report.events_jsonl.contains("\"kind\":\"partition\""));
+        assert!(report.events_jsonl.contains("\"kind\":\"backpressure\""));
+        assert!(report.events_jsonl.contains("\"kind\":\"health_transition\""));
     }
 
     #[test]
@@ -652,6 +692,8 @@ mod tests {
         let b = Simulation::new(cfg).unwrap().run().unwrap_or_else(|e| panic!("{e}"));
         assert_eq!(a, b, "a seed must replay its exact event order");
         assert_eq!(a.trace_hash, b.trace_hash);
+        assert!(!a.events_jsonl.is_empty(), "the schedule must log events");
+        assert_eq!(a.events_jsonl, b.events_jsonl, "event trace must be byte-identical");
     }
 
     #[test]

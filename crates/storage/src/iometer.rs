@@ -17,6 +17,10 @@ pub struct IoMeter {
     drain_per_sec: f64,
     idle_threshold: f64,
     last_auto: Option<Instant>,
+    /// Cumulative metered time and the portion of it spent above the
+    /// idleness threshold — the externally visible idle-fraction gauge.
+    total_secs: f64,
+    busy_secs: f64,
 }
 
 impl IoMeter {
@@ -24,7 +28,14 @@ impl IoMeter {
     /// reporting idle when the queue is below `idle_threshold` operations.
     pub fn new(drain_per_sec: f64, idle_threshold: f64) -> Self {
         assert!(drain_per_sec > 0.0 && idle_threshold >= 0.0);
-        Self { queue: 0.0, drain_per_sec, idle_threshold, last_auto: None }
+        Self {
+            queue: 0.0,
+            drain_per_sec,
+            idle_threshold,
+            last_auto: None,
+            total_secs: 0.0,
+            busy_secs: 0.0,
+        }
     }
 
     /// A profile approximating the paper's HDD testbed: ~200 IOPS drain,
@@ -41,6 +52,13 @@ impl IoMeter {
     /// Advances simulated time by `seconds`, draining the queue.
     pub fn tick(&mut self, seconds: f64) {
         assert!(seconds >= 0.0);
+        // The stretch of this interval the queue stays above the idleness
+        // threshold counts as busy time for the idle-fraction gauge.
+        if self.queue > self.idle_threshold {
+            let to_idle = (self.queue - self.idle_threshold) / self.drain_per_sec;
+            self.busy_secs += to_idle.min(seconds);
+        }
+        self.total_secs += seconds;
         self.queue = (self.queue - seconds * self.drain_per_sec).max(0.0);
     }
 
@@ -61,6 +79,17 @@ impl IoMeter {
     /// Whether the device is idle enough for background writebacks.
     pub fn is_idle(&self) -> bool {
         self.queue <= self.idle_threshold
+    }
+
+    /// Fraction of metered time the device has been idle (below the
+    /// threshold), in `[0, 1]`. A meter that has seen no time yet reports
+    /// fully idle.
+    pub fn idle_fraction(&self) -> f64 {
+        if self.total_secs <= 0.0 {
+            1.0
+        } else {
+            (1.0 - self.busy_secs / self.total_secs).clamp(0.0, 1.0)
+        }
     }
 }
 
@@ -107,6 +136,27 @@ mod tests {
         assert!(m.is_idle(), "exactly at threshold counts as idle");
         m.submit(1);
         assert!(!m.is_idle());
+    }
+
+    #[test]
+    fn idle_fraction_tracks_busy_time() {
+        let mut m = IoMeter::new(100.0, 0.0);
+        assert_eq!(m.idle_fraction(), 1.0, "no metered time yet means idle");
+        // 100 ops at 100 ops/s: busy for exactly 1 s of the 4 s metered.
+        m.submit(100);
+        m.tick(4.0);
+        assert!((m.idle_fraction() - 0.75).abs() < 1e-9, "{}", m.idle_fraction());
+        // Another 4 idle seconds: 7/8 idle overall.
+        m.tick(4.0);
+        assert!((m.idle_fraction() - 0.875).abs() < 1e-9, "{}", m.idle_fraction());
+    }
+
+    #[test]
+    fn idle_fraction_saturated_queue_is_all_busy() {
+        let mut m = IoMeter::new(10.0, 1.0);
+        m.submit(1000);
+        m.tick(2.0); // drains 20 of 1000: busy the whole interval
+        assert!((m.idle_fraction() - 0.0).abs() < 1e-9);
     }
 
     #[test]

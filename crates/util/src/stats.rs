@@ -358,10 +358,60 @@ mod tests {
     #[test]
     fn empty_histogram_is_sane() {
         let h = LogHistogram::new();
-        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.count(), 0);
+        for q in [0.0, 0.5, 0.95, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 0, "empty percentile q={q} must be 0");
+        }
         assert_eq!(h.max(), 0);
         assert_eq!(h.min(), 0);
         assert_eq!(h.mean(), 0.0);
+        assert!(h.cdf_points().is_empty());
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let mut h = LogHistogram::new();
+        h.record(777);
+        assert_eq!(h.count(), 1);
+        // Every quantile lands on the sample's bucket (one sub-bucket of
+        // relative error below, never above the sample).
+        let p50 = h.quantile(0.5);
+        assert!(p50 as f64 >= 777.0 * 0.95 && p50 <= 777, "off-bucket p50: {p50}");
+        for q in [0.0, 0.95, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), p50, "q={q} must match every other quantile");
+        }
+        assert_eq!(h.min(), 777);
+        assert_eq!(h.max(), 777);
+        assert!((h.mean() - 777.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn u64_max_saturates_without_overflow() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.quantile(1.0) > 0, "top bucket must still resolve");
+        // Merging two saturated histograms must not wrap counts either.
+        let mut other = LogHistogram::new();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = LogHistogram::new();
+        a.record(5);
+        a.record(500);
+        let before = (a.count(), a.min(), a.max(), a.quantile(0.5));
+        a.merge(&LogHistogram::new());
+        assert_eq!((a.count(), a.min(), a.max(), a.quantile(0.5)), before);
+        let mut empty = LogHistogram::new();
+        empty.merge(&a);
+        assert_eq!((empty.count(), empty.min(), empty.max()), (2, 5, a.max()));
     }
 
     #[test]

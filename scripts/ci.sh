@@ -21,4 +21,10 @@ cargo test -q
 echo "==> sim-smoke"
 cargo test -q --test sim_harness
 
+# Metrics-registry schema round-trip (crates/core/tests/metrics_schema.rs):
+# the JSON export parses with the in-repo parser, every registry field
+# appears exactly once, and the legacy key set is still a subset.
+echo "==> metrics-schema"
+cargo test -q -p dbdedup-core --test metrics_schema
+
 echo "==> ci.sh: all green"

@@ -50,4 +50,13 @@ fn sim_smoke_is_deterministic() {
     let a = run(cfg.clone());
     let b = run(cfg);
     assert_eq!(a, b, "same seed must produce the identical report");
+    // The structured event trace is part of the contract: byte-identical
+    // JSONL across the two runs, and every line is a valid JSON object.
+    assert!(!a.events_jsonl.is_empty(), "the schedule must log events");
+    assert_eq!(a.events_jsonl, b.events_jsonl, "event trace must be byte-identical");
+    for line in a.events_jsonl.lines() {
+        let obj =
+            dbdedup_obs::json::parse(line).unwrap_or_else(|e| panic!("bad trace line {line}: {e}"));
+        assert!(obj.get("seq").is_some() && obj.get("kind").is_some(), "{line}");
+    }
 }
