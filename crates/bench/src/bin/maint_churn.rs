@@ -1,0 +1,170 @@
+//! Maintenance churn — foreground insert latency with and without the
+//! background maintenance tier, under a delete-heavy workload.
+//!
+//! The paper's §4.1 garbage collection must stay off the client path:
+//! deleted-but-pinned records are re-encoded lazily, never inline with a
+//! client write. This harness drives identical seeded churn (inserts,
+//! updates, deletes) through two engines — one with a budgeted
+//! [`Maintainer`] running in the idle slots between operation batches,
+//! one without — and compares the foreground insert latency CDFs. The
+//! maintained run then quiesces and reports what the tier reclaimed.
+//!
+//! With `DBDEDUP_METRICS_JSON=path` set, the maintained run appends
+//! periodic metrics-registry snapshots plus one final post-quiesce line,
+//! so the `maint.*` gauges can be watched climbing under churn and
+//! draining back to zero.
+
+use dbdedup_bench::emit_metrics_line;
+use dbdedup_core::{DedupEngine, EngineConfig};
+use dbdedup_maint::{MaintConfig, Maintainer};
+use dbdedup_util::dist::SplitMix64;
+use dbdedup_util::ids::RecordId;
+use dbdedup_util::stats::LogHistogram;
+use std::time::Instant;
+
+struct ChurnResult {
+    insert_ns: LogHistogram,
+    inserts: u64,
+    deletes: u64,
+    backlog_peak: usize,
+    gc_reencoded: u64,
+    gc_removed: u64,
+    compact_reclaimed: u64,
+}
+
+fn engine() -> DedupEngine {
+    let mut cfg = EngineConfig::default();
+    cfg.min_benefit_bytes = 16;
+    DedupEngine::open_temp(cfg).expect("temp engine")
+}
+
+fn mutate(doc: &mut [u8], rng: &mut SplitMix64) {
+    for _ in 0..4 {
+        let at = rng.next_index(doc.len().saturating_sub(40).max(1));
+        for b in doc.iter_mut().skip(at).take(32) {
+            *b = (rng.next_u64() % 26 + 97) as u8;
+        }
+    }
+}
+
+/// One churn run: ~30% deletes, ~30% updates, ~40% near-duplicate
+/// inserts, with the write-back pump (and optionally one maintenance
+/// tick) every 64 operations.
+fn churn(n: usize, seed: u64, mut maint: Option<Maintainer>) -> ChurnResult {
+    let metrics_path = maint
+        .is_some()
+        .then(|| std::env::var_os("DBDEDUP_METRICS_JSON").map(std::path::PathBuf::from))
+        .flatten();
+    let mut e = engine();
+    let mut rng = SplitMix64::new(seed);
+    // Random letters, not a periodic fill — periodic content defeats the
+    // similarity sketch and every insert would land unique.
+    let mut doc: Vec<u8> = (0..4096).map(|_| (rng.next_u64() % 26 + 97) as u8).collect();
+    let mut live: Vec<u64> = Vec::new();
+    let mut next_id = 0u64;
+    let mut r = ChurnResult {
+        insert_ns: LogHistogram::new(),
+        inserts: 0,
+        deletes: 0,
+        backlog_peak: 0,
+        gc_reencoded: 0,
+        gc_removed: 0,
+        compact_reclaimed: 0,
+    };
+    for i in 0..n {
+        match rng.next_u64() % 10 {
+            0..=2 if live.len() > 8 => {
+                let at = rng.next_index(live.len());
+                let id = live.swap_remove(at);
+                e.delete(RecordId(id)).expect("delete");
+                r.deletes += 1;
+            }
+            3..=5 if !live.is_empty() => {
+                let id = live[rng.next_index(live.len())];
+                mutate(&mut doc, &mut rng);
+                e.update(RecordId(id), &doc).expect("update");
+            }
+            _ => {
+                mutate(&mut doc, &mut rng);
+                let id = RecordId(next_id);
+                next_id += 1;
+                let t0 = Instant::now();
+                e.insert("churn", id, &doc).expect("insert");
+                r.insert_ns.record(t0.elapsed().as_nanos() as u64);
+                r.inserts += 1;
+                live.push(id.0);
+            }
+        }
+        if (i + 1) % 64 == 0 {
+            r.backlog_peak = r.backlog_peak.max(e.gc_backlog_ids().len());
+            // Grant the modeled HDD a virtual idle window per batch (64
+            // submits against a 200 IOPS drain): real elapsed time in this
+            // tight loop would never drain the queue, and neither
+            // writebacks nor maintenance would ever run.
+            match &mut maint {
+                Some(m) => {
+                    m.pump(&mut e, 0.5, 32).expect("maint pump");
+                }
+                None => {
+                    e.pump(0.5, 32).expect("pump");
+                }
+            }
+        }
+        if (i + 1) % 1024 == 0 {
+            if let Some(p) = &metrics_path {
+                emit_metrics_line(&e, p).expect("metrics emission");
+            }
+        }
+    }
+    e.flush_all_writebacks().expect("final flush");
+    if let Some(m) = &mut maint {
+        let q = m.run_until_quiesced(&mut e).expect("quiesce");
+        assert!(m.quiesced(&e), "maintainer must fully drain: {q:?}");
+    }
+    if let Some(p) = &metrics_path {
+        emit_metrics_line(&e, p).expect("metrics emission");
+    }
+    let snap = e.metrics();
+    r.gc_reencoded = snap.maint_reencoded;
+    r.gc_removed = snap.maint_removed;
+    r.compact_reclaimed = snap.compact.bytes_reclaimed;
+    r
+}
+
+fn main() {
+    let n = dbdedup_bench::scale() * 4;
+    println!("maintenance churn: {n} ops (~30% deletes), insert latency (µs)\n");
+    dbdedup_bench::header(&["config", "inserts", "p50", "p90", "p99", "max"]);
+
+    let mut cfg = MaintConfig::default();
+    cfg.compact_trigger_ratio = 0.10;
+    cfg.compact_budget_bytes = 64 << 10;
+    let runs = [
+        ("no-maint", churn(n, 0xC0DE, None)),
+        ("maint", churn(n, 0xC0DE, Some(Maintainer::new(cfg)))),
+    ];
+    for (name, r) in &runs {
+        dbdedup_bench::row(&[
+            name.to_string(),
+            r.inserts.to_string(),
+            format!("{:.1}", r.insert_ns.quantile(0.50) as f64 / 1000.0),
+            format!("{:.1}", r.insert_ns.quantile(0.90) as f64 / 1000.0),
+            format!("{:.1}", r.insert_ns.quantile(0.99) as f64 / 1000.0),
+            format!("{:.1}", r.insert_ns.max() as f64 / 1000.0),
+        ]);
+    }
+
+    let m = &runs[1].1;
+    println!(
+        "\nmaintained run: {} deletes, backlog peak {}, {} dependents re-encoded, \
+         {} pinned records removed, {} bytes compacted away",
+        m.deletes, m.backlog_peak, m.gc_reencoded, m.gc_removed, m.compact_reclaimed
+    );
+    let p99_delta = m.insert_ns.quantile(0.99) as f64 / runs[0].1.insert_ns.quantile(0.99) as f64;
+    println!("insert p99 ratio maint/no-maint: {p99_delta:.2}x (paper: off the client path)");
+    if std::env::var_os("DBDEDUP_METRICS_JSON").is_some() {
+        println!(
+            "metrics snapshots appended to $DBDEDUP_METRICS_JSON (final line is post-quiesce)"
+        );
+    }
+}

@@ -172,6 +172,53 @@ mod tests {
         assert_eq!(sizes.len(), 10);
     }
 
+    /// The `maint.*` gauges exported through the metrics registry must
+    /// climb while tombstoned records are pinned and drain to zero once a
+    /// maintainer quiesces — the signal an operator watches to know the
+    /// background tier is keeping up.
+    #[test]
+    fn maint_gauges_drain_to_zero_in_metrics_export() {
+        use dbdedup_maint::{MaintConfig, Maintainer};
+        use dbdedup_util::dist::SplitMix64;
+        use dbdedup_util::ids::RecordId;
+
+        let mut cfg = EngineConfig::default();
+        cfg.min_benefit_bytes = 16;
+        let mut e = engine_for(cfg);
+        // Random-letter content: periodic fills defeat the similarity
+        // sketch, so versions must look like real mutated documents.
+        let mut rng = SplitMix64::new(0xBE7C);
+        let mut doc: Vec<u8> = (0..4096).map(|_| (rng.next_u64() % 26 + 97) as u8).collect();
+        for i in 0..6u64 {
+            let at = rng.next_index(doc.len() - 40);
+            for b in doc.iter_mut().skip(at).take(32) {
+                *b = (rng.next_u64() % 26 + 97) as u8;
+            }
+            e.insert("db", RecordId(i), &doc).expect("insert");
+        }
+        e.flush_all_writebacks().expect("flush");
+        // Delete a mid-chain record: it stays pinned as a decode base.
+        e.delete(RecordId(3)).expect("delete");
+
+        let gauge = |e: &DedupEngine, key: &str| -> f64 {
+            let json = dbdedup_obs::json::parse(&e.metrics().to_json()).expect("valid JSON");
+            let obj = json.as_obj().expect("object");
+            obj.iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_num())
+                .unwrap_or_else(|| panic!("missing gauge {key}"))
+        };
+        assert!(gauge(&e, "maint.gc_backlog") > 0.0, "pinned delete must show in the gauge");
+        assert!(gauge(&e, "maint.pinned_dead_bytes") > 0.0);
+
+        let mut m = Maintainer::new(MaintConfig::default());
+        m.run_until_quiesced(&mut e).expect("quiesce");
+        for key in ["maint.gc_backlog", "maint.pinned_dead_bytes", "maint.reclaimable_dead_bytes"] {
+            assert_eq!(gauge(&e, key), 0.0, "{key} must drain to zero after quiesce");
+        }
+        assert!(gauge(&e, "maint.removed") > 0.0, "the pinned record was physically removed");
+    }
+
     #[test]
     fn metrics_emission_appends_parseable_jsonl() {
         let dir = std::env::temp_dir().join(format!("dbdedup-bench-{}", std::process::id()));

@@ -14,7 +14,7 @@ use dbdedup_encoding::{ChainManager, Writeback};
 use dbdedup_index::{CuckooConfig, PartitionedFeatureIndex};
 use dbdedup_obs::{EventKind, EventLog, Severity, Stage, StageSet, StageTracer};
 use dbdedup_storage::oplog::{CursorGap, DurableOplog};
-use dbdedup_storage::store::{RecordStore, StorageForm, StoreConfig, StoreError};
+use dbdedup_storage::store::{CompactStats, RecordStore, StorageForm, StoreConfig, StoreError};
 use dbdedup_storage::{IoMeter, Oplog, OplogEntry, OplogKind, OplogPayload};
 use dbdedup_util::hash::crc32::crc32;
 use dbdedup_util::hash::fx::{FxHashMap, FxHashSet};
@@ -1038,6 +1038,133 @@ impl DedupEngine {
     }
 
     // ------------------------------------------------------------------
+    // Background maintenance (chain GC, compaction, retention)
+    // ------------------------------------------------------------------
+
+    /// Deleted records still lingering in the store because dependents
+    /// decode through them — the chain-GC work list, sorted so a
+    /// deterministic scheduler visits them in a reproducible order.
+    pub fn gc_backlog_ids(&self) -> Vec<RecordId> {
+        self.chains.deleted_ids()
+    }
+
+    /// Bytes held on disk by deleted-but-referenced records. This dead
+    /// space is invisible to segment dead-byte accounting — the entries
+    /// are live in the store directory, only their content is
+    /// client-deleted — so it gets its own gauge.
+    pub fn pinned_dead_bytes(&self) -> u64 {
+        self.chains.deleted_ids().iter().filter_map(|&id| self.store.entry_len(id)).sum()
+    }
+
+    /// Actively splices one deleted record out of its chain — the
+    /// background counterpart of the read-path GC, for tombstones no
+    /// read ever happens to walk past. Every dependent is re-encoded
+    /// against the deleted record's own base (or stored raw when the
+    /// deleted record was terminal), then the record is physically
+    /// removed. Returns how many dependents were re-encoded.
+    ///
+    /// Purely local: re-encoding preserves each dependent's logical
+    /// content, so no oplog entry is emitted and replicas need not run
+    /// GC in lockstep.
+    pub fn gc_record(&mut self, id: RecordId) -> Result<u64, EngineError> {
+        if !self.chains.is_deleted(id) || !self.store.contains(id) {
+            return Ok(0);
+        }
+        self.tracer.sample();
+        let t = self.tracer.start();
+        let result = self.gc_record_inner(id);
+        self.tracer.stop(t, Stage::MaintGc);
+        result
+    }
+
+    fn gc_record_inner(&mut self, id: RecordId) -> Result<u64, EngineError> {
+        let new_base = self.chains.base_of(id);
+        let mut reencoded = 0u64;
+        for dep in self.chains.dependents_of(id) {
+            let dep_content = self.decode_record(dep)?;
+            match new_base {
+                Some(nb) => {
+                    let base_content = self.decode_record(nb)?;
+                    let delta = self.encoder.encode(&base_content, &dep_content);
+                    self.store.put(dep, StorageForm::Delta { base: nb }, &delta.encode())?;
+                    self.chains.splice_base(dep, nb);
+                }
+                None => {
+                    self.store.put(dep, StorageForm::Raw, &dep_content)?;
+                    self.chains.clear_base(dep);
+                }
+            }
+            self.io.submit(1);
+            self.metrics.gc_spliced += 1;
+            reencoded += 1;
+        }
+        // Queued writebacks that would re-delta something against the
+        // record being removed are worthless now.
+        self.wb_cache.invalidate_by_base(id);
+        self.try_remove_deleted(id)?;
+        if !self.store.contains(id) {
+            self.metrics.maint_removed += 1;
+        }
+        self.metrics.maint_reencoded += reencoded;
+        self.events.record(Severity::Info, EventKind::MaintGc { id: id.0, reencoded });
+        Ok(reencoded)
+    }
+
+    /// Runs one bounded incremental-compaction step (at most `max_bytes`
+    /// of segment bytes processed), accumulating the stats into the
+    /// engine's cumulative compaction counters.
+    pub fn compact_step(&mut self, max_bytes: u64) -> Result<CompactStats, EngineError> {
+        self.tracer.sample();
+        let t = self.tracer.start();
+        let stats = self.store.compact_step(max_bytes)?;
+        self.tracer.stop(t, Stage::MaintCompact);
+        if !stats.is_noop() {
+            self.io.submit(1);
+            self.metrics.compact.merge(stats);
+        }
+        if stats.segments_rewritten > 0 {
+            self.events.record(
+                Severity::Info,
+                EventKind::MaintCompact {
+                    segments: stats.segments_rewritten,
+                    reclaimed_bytes: stats.bytes_reclaimed,
+                },
+            );
+        }
+        Ok(stats)
+    }
+
+    /// Dead segment bytes compaction can still reclaim (excludes
+    /// tombstone frames that must survive until the stale puts they
+    /// shadow are rewritten away).
+    pub fn reclaimable_dead_bytes(&self) -> u64 {
+        self.store.reclaimable_dead_bytes()
+    }
+
+    /// Retires up to `max_records` versions sitting more than `max_tail`
+    /// hops behind their chain head, deleting them locally (no oplog
+    /// entry — retention is a per-node storage policy, and replicas
+    /// apply their own). Returns the retired ids, sorted.
+    pub fn retire_tail_versions(
+        &mut self,
+        max_tail: u64,
+        max_records: usize,
+    ) -> Result<Vec<RecordId>, EngineError> {
+        let mut retired = Vec::new();
+        for id in self.chains.retention_candidates(max_tail) {
+            if retired.len() >= max_records {
+                break;
+            }
+            let depth = self.chains.depth_behind_head(id).unwrap_or(0);
+            self.apply_delete(id, false)?;
+            self.metrics.maint_retired += 1;
+            self.events.record(Severity::Info, EventKind::MaintRetired { id: id.0, depth });
+            retired.push(id);
+        }
+        Ok(retired)
+    }
+
+    // ------------------------------------------------------------------
     // Corruption repair (anti-entropy resync support)
     // ------------------------------------------------------------------
 
@@ -1230,6 +1357,14 @@ impl DedupEngine {
             io_idle_fraction: self.io.idle_fraction(),
             events_logged: self.events.logged(),
             events_dropped: self.events.dropped(),
+            maint_gc_backlog: self.chains.deleted_ids().len() as u64,
+            maint_pinned_dead_bytes: self.pinned_dead_bytes(),
+            maint_dead_bytes: self.store.dead_bytes(),
+            maint_reclaimable_dead_bytes: self.store.reclaimable_dead_bytes(),
+            maint_reencoded: self.metrics.maint_reencoded,
+            maint_removed: self.metrics.maint_removed,
+            maint_retired: self.metrics.maint_retired,
+            compact: self.metrics.compact,
         }
     }
 }
@@ -1692,5 +1827,104 @@ mod tests {
         for (i, d) in docs.iter().enumerate() {
             assert_eq!(&e.read(RecordId(i as u64)).unwrap()[..], &d[..], "version {i}");
         }
+    }
+
+    #[test]
+    fn gc_record_collects_pinned_deletes_without_reads() {
+        let mut e = engine();
+        let docs = versioned_docs(5, 40);
+        for (i, d) in docs.iter().enumerate() {
+            e.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        e.flush_all_writebacks().unwrap();
+        // Delete a mid-chain record: dependents pin it in the store.
+        e.delete(RecordId(2)).unwrap();
+        assert_eq!(e.gc_backlog_ids(), vec![RecordId(2)]);
+        assert!(e.pinned_dead_bytes() > 0);
+        // Background GC splices it out with no foreground read involved.
+        let reencoded = e.gc_record(RecordId(2)).unwrap();
+        assert!(reencoded >= 1, "dependent must be re-encoded, got {reencoded}");
+        assert!(e.gc_backlog_ids().is_empty());
+        assert_eq!(e.pinned_dead_bytes(), 0);
+        assert!(!e.store().contains(RecordId(2)));
+        assert_eq!(e.metrics().maint_removed, 1);
+        // Surviving versions still read back exactly.
+        for i in [0u64, 1, 3, 4] {
+            assert_eq!(&e.read(RecordId(i)).unwrap()[..], &docs[i as usize][..], "record {i}");
+        }
+        assert!(matches!(e.read(RecordId(2)), Err(EngineError::NotFound(_))));
+    }
+
+    #[test]
+    fn gc_record_on_terminal_base_makes_dependent_raw() {
+        let mut e = engine();
+        let docs = versioned_docs(2, 41);
+        e.insert("db", RecordId(1), &docs[0]).unwrap();
+        e.insert("db", RecordId(2), &docs[1]).unwrap();
+        e.flush_all_writebacks().unwrap();
+        // Record 1 decodes through 2 (backward encoding); delete 2.
+        e.delete(RecordId(2)).unwrap();
+        assert!(e.store().contains(RecordId(2)), "pinned by its dependent");
+        e.gc_record(RecordId(2)).unwrap();
+        assert!(!e.store().contains(RecordId(2)));
+        assert_eq!(e.retrievals_for(RecordId(1)), Some(0), "dependent re-stored raw");
+        assert_eq!(&e.read(RecordId(1)).unwrap()[..], &docs[0][..]);
+    }
+
+    #[test]
+    fn gc_record_is_a_noop_for_live_records() {
+        let mut e = engine();
+        e.insert("db", RecordId(1), &versioned_docs(1, 42)[0]).unwrap();
+        assert_eq!(e.gc_record(RecordId(1)).unwrap(), 0);
+        assert!(e.store().contains(RecordId(1)));
+    }
+
+    #[test]
+    fn compact_step_accumulates_cumulative_stats() {
+        let mut e = engine();
+        let docs = versioned_docs(8, 43);
+        for (i, d) in docs.iter().enumerate() {
+            e.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        e.flush_all_writebacks().unwrap();
+        assert!(e.reclaimable_dead_bytes() > 0, "writebacks leave superseded frames");
+        let mut steps = 0;
+        while e.reclaimable_dead_bytes() > 0 {
+            let s = e.compact_step(4096).unwrap();
+            assert!(!s.is_noop(), "steps must make progress while dead space remains");
+            steps += 1;
+            assert!(steps < 10_000, "compaction failed to converge");
+        }
+        let m = e.metrics();
+        assert!(m.compact.bytes_reclaimed > 0, "{:?}", m.compact);
+        assert!(m.compact.bytes_scanned > 0);
+        for (i, d) in docs.iter().enumerate() {
+            assert_eq!(&e.read(RecordId(i as u64)).unwrap()[..], &d[..], "version {i}");
+        }
+    }
+
+    #[test]
+    fn retention_retires_deep_tail_versions_locally() {
+        let mut e = engine();
+        let docs = versioned_docs(6, 44);
+        for (i, d) in docs.iter().enumerate() {
+            e.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        e.flush_all_writebacks().unwrap();
+        let oplog_before = e.oplog_next_lsn();
+        // Chain is 0←1←…←5 with head 5; cap the tail at 3 versions.
+        let retired = e.retire_tail_versions(3, usize::MAX).unwrap();
+        assert_eq!(retired, vec![RecordId(0), RecordId(1)]);
+        assert_eq!(e.metrics().maint_retired, 2);
+        assert_eq!(e.oplog_next_lsn(), oplog_before, "retention must not hit the oplog");
+        // Retired versions flow through the normal GC path.
+        for id in retired {
+            e.gc_record(id).unwrap();
+        }
+        assert!(e.gc_backlog_ids().is_empty());
+        for i in 2..6u64 {
+            assert_eq!(&e.read(RecordId(i)).unwrap()[..], &docs[i as usize][..], "record {i}");
+        }
+        assert!(matches!(e.read(RecordId(0)), Err(EngineError::NotFound(_))));
     }
 }

@@ -8,6 +8,7 @@
 
 use dbdedup_cache::{SourceCacheStats, WritebackCacheStats};
 use dbdedup_obs::{Registry, Stage, StageSet};
+use dbdedup_storage::CompactStats;
 use dbdedup_util::stats::LogHistogram;
 
 /// Running counters maintained by the engine.
@@ -52,6 +53,14 @@ pub struct EngineMetrics {
     pub health_transitions: u64,
     /// Worst replication lag observed, in oplog entries.
     pub max_replica_lag: u64,
+    /// Dependents re-encoded by background chain GC.
+    pub maint_reencoded: u64,
+    /// Tombstoned records physically removed by background chain GC.
+    pub maint_removed: u64,
+    /// Old versions retired by the retention policy.
+    pub maint_retired: u64,
+    /// Cumulative incremental-compaction stats.
+    pub compact: CompactStats,
 }
 
 /// A point-in-time copy of every metric the figures need, combining engine
@@ -119,6 +128,24 @@ pub struct MetricsSnapshot {
     pub events_logged: u64,
     /// Events dropped by the event log's ring bound.
     pub events_dropped: u64,
+    /// Deleted records still pinned in the store by dependents (the
+    /// chain-GC backlog).
+    pub maint_gc_backlog: u64,
+    /// Bytes held by those pinned, deleted-but-referenced records.
+    pub maint_pinned_dead_bytes: u64,
+    /// Dead bytes in sealed/active segments (superseded frames).
+    pub maint_dead_bytes: u64,
+    /// Dead bytes compaction can actually reclaim right now (excludes
+    /// still-needed tombstone frames).
+    pub maint_reclaimable_dead_bytes: u64,
+    /// Dependents re-encoded by background chain GC.
+    pub maint_reencoded: u64,
+    /// Tombstoned records physically removed by background chain GC.
+    pub maint_removed: u64,
+    /// Old versions retired by the retention policy.
+    pub maint_retired: u64,
+    /// Cumulative incremental-compaction stats.
+    pub compact: CompactStats,
 }
 
 impl MetricsSnapshot {
@@ -167,6 +194,17 @@ impl MetricsSnapshot {
         r.set_f64("io_idle_fraction", self.io_idle_fraction);
         r.set_u64("events_logged", self.events_logged);
         r.set_u64("events_dropped", self.events_dropped);
+        r.set_u64("maint.gc_backlog", self.maint_gc_backlog);
+        r.set_u64("maint.pinned_dead_bytes", self.maint_pinned_dead_bytes);
+        r.set_u64("maint.dead_bytes", self.maint_dead_bytes);
+        r.set_u64("maint.reclaimable_dead_bytes", self.maint_reclaimable_dead_bytes);
+        r.set_u64("maint.reencoded", self.maint_reencoded);
+        r.set_u64("maint.removed", self.maint_removed);
+        r.set_u64("maint.retired", self.maint_retired);
+        r.set_u64("compact.segments_rewritten", self.compact.segments_rewritten);
+        r.set_u64("compact.bytes_reclaimed", self.compact.bytes_reclaimed);
+        r.set_u64("compact.entries_skipped", self.compact.entries_skipped);
+        r.set_u64("compact.bytes_scanned", self.compact.bytes_scanned);
         for stage in Stage::ALL {
             r.set_histogram(&format!("stage.{}", stage.name()), self.stages.get(stage));
         }
@@ -242,6 +280,14 @@ mod tests {
             io_idle_fraction: 1.0,
             events_logged: 0,
             events_dropped: 0,
+            maint_gc_backlog: 0,
+            maint_pinned_dead_bytes: 0,
+            maint_dead_bytes: 0,
+            maint_reclaimable_dead_bytes: 0,
+            maint_reencoded: 0,
+            maint_removed: 0,
+            maint_retired: 0,
+            compact: CompactStats::default(),
         }
     }
 
@@ -284,6 +330,28 @@ mod tests {
         assert!(j.contains("\"stage.decode_chain.p999\":"), "{j}");
         assert!(j.contains("\"io_queue_depth\":3.5000"), "{j}");
         assert!(j.contains("\"io_idle_fraction\":1.0000"), "{j}");
+    }
+
+    #[test]
+    fn json_carries_maintenance_gauges() {
+        let mut s = snap();
+        s.maint_gc_backlog = 4;
+        s.maint_pinned_dead_bytes = 4096;
+        s.maint_reclaimable_dead_bytes = 512;
+        s.maint_removed = 2;
+        s.compact.segments_rewritten = 3;
+        s.compact.bytes_reclaimed = 9999;
+        let j = s.to_json();
+        for needle in [
+            "\"maint.gc_backlog\":4",
+            "\"maint.pinned_dead_bytes\":4096",
+            "\"maint.reclaimable_dead_bytes\":512",
+            "\"maint.removed\":2",
+            "\"compact.segments_rewritten\":3",
+            "\"compact.bytes_reclaimed\":9999",
+        ] {
+            assert!(j.contains(needle), "{needle} missing from {j}");
+        }
     }
 
     #[test]

@@ -120,6 +120,14 @@ impl ShardedEngine {
             total.io_idle_fraction += s.io_idle_fraction;
             total.events_logged += s.events_logged;
             total.events_dropped += s.events_dropped;
+            total.maint_gc_backlog += s.maint_gc_backlog;
+            total.maint_pinned_dead_bytes += s.maint_pinned_dead_bytes;
+            total.maint_dead_bytes += s.maint_dead_bytes;
+            total.maint_reclaimable_dead_bytes += s.maint_reclaimable_dead_bytes;
+            total.maint_reencoded += s.maint_reencoded;
+            total.maint_removed += s.maint_removed;
+            total.maint_retired += s.maint_retired;
+            total.compact.merge(s.compact);
         }
         total.io_idle_fraction /= self.shards.len() as f64;
         total

@@ -345,6 +345,59 @@ impl ChainManager {
             .unwrap_or_default()
     }
 
+    /// Every record id currently tracked, in ascending id order (sorted
+    /// so maintenance sweeps iterate deterministically).
+    pub fn tracked_ids(&self) -> Vec<RecordId> {
+        let mut ids: Vec<RecordId> = self.records.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Records marked deleted but not yet physically removed — the chain
+    /// GC backlog. Ascending id order.
+    pub fn deleted_ids(&self) -> Vec<RecordId> {
+        let mut ids: Vec<RecordId> =
+            self.records.iter().filter(|(_, r)| r.deleted).map(|(&id, _)| id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Records whose committed decode base is `id` (the records pinning
+    /// it). Ascending id order. Their count equals `refcount(id)`.
+    pub fn dependents_of(&self, id: RecordId) -> Vec<RecordId> {
+        let mut ids: Vec<RecordId> =
+            self.records.iter().filter(|(_, r)| r.base == Some(id)).map(|(&id, _)| id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// How many records have been appended to `id`'s chain after it —
+    /// its distance behind the chain head in versions. Retention policies
+    /// cap this depth.
+    pub fn depth_behind_head(&self, id: RecordId) -> Option<u64> {
+        let r = self.records.get(&id)?;
+        let chain = &self.chains[r.chain as usize];
+        Some((chain.next_index - 1).saturating_sub(r.index))
+    }
+
+    /// Records more than `max_tail` versions behind their chain head and
+    /// not already deleted — what a length-capped retention policy
+    /// retires next. Ascending id order.
+    pub fn retention_candidates(&self, max_tail: u64) -> Vec<RecordId> {
+        let mut ids: Vec<RecordId> = self
+            .records
+            .iter()
+            .filter(|(_, r)| {
+                !r.deleted
+                    && (self.chains[r.chain as usize].next_index - 1).saturating_sub(r.index)
+                        > max_tail
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// Clears `target`'s committed base: the record is raw again (client
     /// update compaction, or GC of a terminal deleted base). Decrements the
     /// old base's refcount.
@@ -599,6 +652,39 @@ mod tests {
         m.append(RecordId(11), RecordId(10));
         assert!(!m.is_head(RecordId(10)));
         assert!(m.is_head(RecordId(11)));
+    }
+
+    #[test]
+    fn maintenance_accessors_enumerate_deterministically() {
+        let mut m = build_chain(EncodingPolicy::Backward, 5);
+        assert_eq!(m.tracked_ids(), ids(5));
+        assert!(m.deleted_ids().is_empty());
+        // Chain 0←1←2←3←4: record 2's sole dependent is record 1.
+        assert_eq!(m.dependents_of(RecordId(2)), vec![RecordId(1)]);
+        assert_eq!(m.dependents_of(RecordId(0)), Vec::<RecordId>::new());
+        m.mark_deleted(RecordId(3));
+        m.mark_deleted(RecordId(1));
+        assert_eq!(m.deleted_ids(), vec![RecordId(1), RecordId(3)], "sorted backlog");
+        assert_eq!(
+            m.dependents_of(RecordId(3)).len() as u32,
+            m.refcount(RecordId(3)),
+            "dependents agree with refcount"
+        );
+    }
+
+    #[test]
+    fn depth_and_retention_candidates() {
+        let m = build_chain(EncodingPolicy::Backward, 6);
+        assert_eq!(m.depth_behind_head(RecordId(5)), Some(0), "head has depth 0");
+        assert_eq!(m.depth_behind_head(RecordId(0)), Some(5));
+        assert_eq!(m.depth_behind_head(RecordId(99)), None);
+        // Cap the tail at 2 versions: records 0, 1, 2 are over-deep.
+        assert_eq!(m.retention_candidates(2), vec![RecordId(0), RecordId(1), RecordId(2)]);
+        assert!(m.retention_candidates(5).is_empty());
+        // Already-deleted records are not re-proposed.
+        let mut m = build_chain(EncodingPolicy::Backward, 6);
+        m.mark_deleted(RecordId(0));
+        assert_eq!(m.retention_candidates(2), vec![RecordId(1), RecordId(2)]);
     }
 
     #[test]

@@ -1,0 +1,440 @@
+//! # dbdedup-maint
+//!
+//! The online maintenance tier: the background work dbDedup's foreground
+//! path defers so inserts and reads stay fast (§4.1 discusses the GC; the
+//! bounded-pause compaction generalizes the host store's space reclaim).
+//!
+//! A [`Maintainer`] owns no data — it schedules bounded slices of three
+//! engine-side task types against a [`DedupEngine`]:
+//!
+//! 1. **Chain GC** — deleted records pinned in the store because live
+//!    dependents decode through them. The read path splices these out
+//!    opportunistically, but cold chains are never read; the maintainer
+//!    walks the backlog ([`DedupEngine::gc_backlog_ids`]) and re-encodes
+//!    dependents so the tombstoned content can be physically removed.
+//! 2. **Incremental compaction** — superseded segment frames are
+//!    reclaimed one budgeted [`DedupEngine::compact_step`] at a time
+//!    (copy-forward of live frames, then truncate), instead of a
+//!    stop-the-world segment rewrite.
+//! 3. **Retention** — an optional policy capping how many versions a
+//!    chain keeps behind its head; retired versions are deleted locally
+//!    and flow through the same GC path.
+//!
+//! Everything here is **local-only**: re-encoding, compaction, and
+//! retention never touch the oplog, so replicas converge regardless of
+//! when (or whether) each node runs maintenance. Scheduling is
+//! deterministic — sorted work lists, no clocks, no randomness — so the
+//! deterministic replication simulator can interleave maintenance ticks
+//! and still produce byte-identical traces per seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dbdedup_core::{DedupEngine, EngineError};
+use dbdedup_storage::CompactStats;
+use dbdedup_util::ids::RecordId;
+
+/// Tuning for the maintenance scheduler. Defaults are conservative:
+/// small per-tick budgets that keep foreground pauses bounded.
+#[derive(Debug, Clone)]
+pub struct MaintConfig {
+    /// Dead-space fraction of stored bytes above which compaction kicks
+    /// in. Once started, compaction runs to empty (hysteresis), so a
+    /// segment mid-rewrite is always finished.
+    pub compact_trigger_ratio: f64,
+    /// Segment bytes processed per compaction step — the knob bounding
+    /// how long one tick can stall the foreground.
+    pub compact_budget_bytes: u64,
+    /// Deleted records spliced out per tick.
+    pub gc_per_tick: usize,
+    /// Cap on versions kept behind each chain head; `None` disables the
+    /// retention task (the default — retention is an opt-in policy).
+    pub max_tail_versions: Option<u64>,
+    /// Versions retired per tick when retention is enabled.
+    pub retire_per_tick: usize,
+    /// Skip maintenance ticks while the replication-pressure gate is
+    /// raised, so background I/O never competes with an overloaded
+    /// ingest path.
+    pub pause_under_pressure: bool,
+}
+
+impl Default for MaintConfig {
+    fn default() -> Self {
+        Self {
+            compact_trigger_ratio: 0.25,
+            compact_budget_bytes: 256 * 1024,
+            gc_per_tick: 4,
+            max_tail_versions: None,
+            retire_per_tick: 4,
+            pause_under_pressure: true,
+        }
+    }
+}
+
+/// What one maintenance tick accomplished.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TickReport {
+    /// Deleted records the GC task processed.
+    pub gc_records: u64,
+    /// Dependents re-encoded while splicing them out.
+    pub reencoded: u64,
+    /// Versions retired by the retention task.
+    pub retired: u64,
+    /// Compaction progress this tick.
+    pub compact: CompactStats,
+    /// The tick was skipped because the replication-pressure gate was up.
+    pub paused: bool,
+}
+
+impl TickReport {
+    /// Whether the tick did any work at all.
+    pub fn is_idle(&self) -> bool {
+        self.gc_records == 0 && self.retired == 0 && self.compact.is_noop() && !self.paused
+    }
+}
+
+/// Summary of a full [`Maintainer::run_until_quiesced`] drain.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct QuiesceReport {
+    /// Passes over the backlog before quiescence.
+    pub iterations: u64,
+    /// Total dependents re-encoded.
+    pub reencoded: u64,
+    /// Total versions retired.
+    pub retired: u64,
+    /// Total compaction work.
+    pub compact: CompactStats,
+    /// Deleted records skipped because corruption broke their chains
+    /// (they stay in the backlog for anti-entropy repair to resolve).
+    pub skipped_broken: Vec<RecordId>,
+}
+
+/// The background maintenance scheduler. See the crate docs for the task
+/// types; [`tick`](Self::tick) runs one bounded slice of each, and
+/// [`pump`](Self::pump) piggybacks a tick on the engine's writeback pump
+/// so embedders keep a single periodic call.
+#[derive(Debug)]
+pub struct Maintainer {
+    cfg: MaintConfig,
+    /// Compaction hysteresis: once the trigger ratio fires, keep stepping
+    /// until the reclaimable dead space is gone.
+    compacting: bool,
+    ticks: u64,
+    paused_ticks: u64,
+}
+
+impl Maintainer {
+    /// Creates a scheduler with the given tuning.
+    pub fn new(cfg: MaintConfig) -> Self {
+        Self { cfg, compacting: false, ticks: 0, paused_ticks: 0 }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MaintConfig {
+        &self.cfg
+    }
+
+    /// Ticks run so far (including paused ones).
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Ticks skipped because the replication-pressure gate was raised.
+    pub fn paused_ticks(&self) -> u64 {
+        self.paused_ticks
+    }
+
+    /// Whether the engine has no maintenance work left: the GC backlog is
+    /// empty and every reclaimable dead byte has been compacted away.
+    /// (Tombstone frames still shadowing stale puts are *not* reclaimable
+    /// and do not count against quiescence.)
+    pub fn quiesced(&self, engine: &DedupEngine) -> bool {
+        engine.gc_backlog_ids().is_empty() && engine.reclaimable_dead_bytes() == 0
+    }
+
+    /// Runs one bounded maintenance tick: retention, then chain GC, then
+    /// at most one budgeted compaction step. Each task's slice is capped
+    /// by the config, so a tick's foreground impact is bounded no matter
+    /// how much backlog has accumulated.
+    pub fn tick(&mut self, engine: &mut DedupEngine) -> Result<TickReport, EngineError> {
+        self.ticks += 1;
+        let mut report = TickReport::default();
+        if self.cfg.pause_under_pressure && engine.replication_pressure() {
+            self.paused_ticks += 1;
+            report.paused = true;
+            return Ok(report);
+        }
+        if let Some(max_tail) = self.cfg.max_tail_versions {
+            report.retired =
+                engine.retire_tail_versions(max_tail, self.cfg.retire_per_tick)?.len() as u64;
+        }
+        for id in engine.gc_backlog_ids().into_iter().take(self.cfg.gc_per_tick) {
+            match engine.gc_record(id) {
+                Ok(n) => {
+                    report.gc_records += 1;
+                    report.reencoded += n;
+                }
+                // A corruption-broken chain is anti-entropy's problem; GC
+                // leaves it pinned rather than erroring the whole tick.
+                Err(EngineError::ChainBroken { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if self.should_compact(engine) {
+            report.compact = engine.compact_step(self.cfg.compact_budget_bytes)?;
+            if engine.reclaimable_dead_bytes() == 0 {
+                self.compacting = false;
+            }
+        }
+        Ok(report)
+    }
+
+    fn should_compact(&mut self, engine: &DedupEngine) -> bool {
+        let reclaimable = engine.reclaimable_dead_bytes();
+        if reclaimable == 0 {
+            self.compacting = false;
+            return false;
+        }
+        if self.compacting {
+            return true;
+        }
+        let stored = engine.store().stored_payload_bytes();
+        let ratio = reclaimable as f64 / (stored + reclaimable).max(1) as f64;
+        if ratio >= self.cfg.compact_trigger_ratio {
+            self.compacting = true;
+        }
+        self.compacting
+    }
+
+    /// The embedder's single periodic call: advances the engine's I/O
+    /// clock and flushes writebacks while the device is idle (exactly
+    /// [`DedupEngine::pump`]), then runs one maintenance tick. Returns
+    /// (writebacks flushed, tick report).
+    pub fn pump(
+        &mut self,
+        engine: &mut DedupEngine,
+        seconds: f64,
+        max_flushes: usize,
+    ) -> Result<(usize, TickReport), EngineError> {
+        let flushed = engine.pump(seconds, max_flushes)?;
+        let report = self.tick(engine)?;
+        Ok((flushed, report))
+    }
+
+    /// Drains every maintenance backlog: loops retention + GC + compaction
+    /// (ignoring per-tick budgets' pacing but not their safety) until the
+    /// engine is [`quiesced`](Self::quiesced) or no further progress is
+    /// possible (e.g. every remaining backlog entry is corruption-broken).
+    /// The pressure pause is intentionally *not* honored here — callers
+    /// asking for a full drain want it unconditionally.
+    pub fn run_until_quiesced(
+        &mut self,
+        engine: &mut DedupEngine,
+    ) -> Result<QuiesceReport, EngineError> {
+        let mut report = QuiesceReport::default();
+        loop {
+            report.iterations += 1;
+            let mut progress = false;
+            if let Some(max_tail) = self.cfg.max_tail_versions {
+                let retired = engine.retire_tail_versions(max_tail, usize::MAX)?;
+                report.retired += retired.len() as u64;
+                progress |= !retired.is_empty();
+            }
+            report.skipped_broken.clear();
+            for id in engine.gc_backlog_ids() {
+                match engine.gc_record(id) {
+                    Ok(n) => {
+                        report.reencoded += n;
+                        progress = true;
+                    }
+                    Err(EngineError::ChainBroken { .. }) => report.skipped_broken.push(id),
+                    Err(e) => return Err(e),
+                }
+            }
+            while engine.reclaimable_dead_bytes() > 0 {
+                let stats = engine.compact_step(self.cfg.compact_budget_bytes)?;
+                if stats.is_noop() {
+                    break;
+                }
+                report.compact.merge(stats);
+                progress = true;
+            }
+            let backlog = engine.gc_backlog_ids();
+            let only_broken = backlog.iter().all(|id| report.skipped_broken.contains(id));
+            if (backlog.is_empty() || only_broken) && engine.reclaimable_dead_bytes() == 0 {
+                return Ok(report);
+            }
+            if !progress {
+                // Nothing moved and work remains: surface it rather than
+                // spinning (should be unreachable outside fault tests).
+                return Ok(report);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbdedup_core::EngineConfig;
+    use dbdedup_util::dist::SplitMix64;
+
+    fn engine() -> DedupEngine {
+        let mut cfg = EngineConfig::default();
+        cfg.min_benefit_bytes = 16;
+        DedupEngine::open_temp(cfg).expect("temp engine")
+    }
+
+    fn versioned_docs(n: usize, seed: u64) -> Vec<Vec<u8>> {
+        let mut rng = SplitMix64::new(seed);
+        let mut doc: Vec<u8> = (0..10_000).map(|_| (rng.next_u64() % 26 + 97) as u8).collect();
+        let mut out = vec![doc.clone()];
+        for _ in 1..n {
+            for _ in 0..5 {
+                let at = rng.next_index(doc.len() - 50);
+                for b in doc.iter_mut().skip(at).take(40) {
+                    *b = (rng.next_u64() % 26 + 97) as u8;
+                }
+            }
+            out.push(doc.clone());
+        }
+        out
+    }
+
+    #[test]
+    fn quiesce_reclaims_all_tombstoned_records() {
+        let mut e = engine();
+        let docs = versioned_docs(10, 1);
+        for (i, d) in docs.iter().enumerate() {
+            e.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        e.flush_all_writebacks().unwrap();
+        for i in [1u64, 3, 5, 7] {
+            e.delete(RecordId(i)).unwrap();
+        }
+        assert!(!e.gc_backlog_ids().is_empty(), "deletes should pin mid-chain records");
+        let mut m = Maintainer::new(MaintConfig::default());
+        let report = m.run_until_quiesced(&mut e).unwrap();
+        assert!(m.quiesced(&e));
+        assert!(report.reencoded > 0, "{report:?}");
+        assert!(report.skipped_broken.is_empty());
+        assert_eq!(e.pinned_dead_bytes(), 0);
+        for i in [0u64, 2, 4, 6, 8, 9] {
+            assert_eq!(&e.read(RecordId(i)).unwrap()[..], &docs[i as usize][..], "record {i}");
+        }
+    }
+
+    #[test]
+    fn ticks_bound_gc_work_per_slice() {
+        let mut e = engine();
+        let docs = versioned_docs(12, 2);
+        for (i, d) in docs.iter().enumerate() {
+            e.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        e.flush_all_writebacks().unwrap();
+        for i in 1..9u64 {
+            e.delete(RecordId(i)).unwrap();
+        }
+        let backlog = e.gc_backlog_ids().len();
+        assert!(backlog >= 4, "backlog {backlog}");
+        let mut cfg = MaintConfig::default();
+        cfg.gc_per_tick = 2;
+        let mut m = Maintainer::new(cfg);
+        let r = m.tick(&mut e).unwrap();
+        assert_eq!(r.gc_records, 2, "{r:?}");
+        assert_eq!(e.gc_backlog_ids().len(), backlog - 2);
+    }
+
+    #[test]
+    fn pressure_gate_pauses_ticks() {
+        let mut e = engine();
+        let docs = versioned_docs(4, 3);
+        for (i, d) in docs.iter().enumerate() {
+            e.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        e.flush_all_writebacks().unwrap();
+        e.delete(RecordId(1)).unwrap();
+        let mut m = Maintainer::new(MaintConfig::default());
+        e.set_replication_pressure(true);
+        let r = m.tick(&mut e).unwrap();
+        assert!(r.paused);
+        assert_eq!(r.gc_records, 0);
+        assert_eq!(m.paused_ticks(), 1);
+        e.set_replication_pressure(false);
+        let r = m.tick(&mut e).unwrap();
+        assert!(!r.paused);
+        assert!(r.gc_records > 0);
+    }
+
+    #[test]
+    fn compaction_triggers_on_ratio_and_drains_with_hysteresis() {
+        let mut e = engine();
+        let docs = versioned_docs(10, 4);
+        for (i, d) in docs.iter().enumerate() {
+            e.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        // Writebacks supersede raw frames, creating dead space.
+        e.flush_all_writebacks().unwrap();
+        assert!(e.reclaimable_dead_bytes() > 0);
+        let mut cfg = MaintConfig::default();
+        cfg.compact_trigger_ratio = 0.01;
+        cfg.compact_budget_bytes = 4096;
+        let mut m = Maintainer::new(cfg);
+        let mut ticks = 0;
+        while e.reclaimable_dead_bytes() > 0 {
+            let r = m.tick(&mut e).unwrap();
+            assert!(!r.compact.is_noop(), "tick must compact while dead space remains");
+            ticks += 1;
+            assert!(ticks < 10_000, "compaction failed to converge");
+        }
+        assert!(ticks > 1, "budget should force multiple steps, got {ticks}");
+        for (i, d) in docs.iter().enumerate() {
+            assert_eq!(&e.read(RecordId(i as u64)).unwrap()[..], &d[..], "record {i}");
+        }
+    }
+
+    #[test]
+    fn retention_caps_chain_tail_depth() {
+        let mut e = engine();
+        let docs = versioned_docs(9, 5);
+        for (i, d) in docs.iter().enumerate() {
+            e.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        e.flush_all_writebacks().unwrap();
+        let mut cfg = MaintConfig::default();
+        cfg.max_tail_versions = Some(3);
+        let mut m = Maintainer::new(cfg);
+        let report = m.run_until_quiesced(&mut e).unwrap();
+        assert!(report.retired > 0, "{report:?}");
+        // Only head + 3 trailing versions survive.
+        for i in 0..5u64 {
+            assert!(e.read(RecordId(i)).is_err(), "record {i} should be retired");
+        }
+        for i in 5..9u64 {
+            assert_eq!(&e.read(RecordId(i)).unwrap()[..], &docs[i as usize][..], "record {i}");
+        }
+        assert_eq!(e.metrics().maint_retired, 5);
+    }
+
+    #[test]
+    fn pump_combines_writeback_flush_and_tick() {
+        let mut e = engine();
+        let docs = versioned_docs(6, 6);
+        for (i, d) in docs.iter().enumerate() {
+            e.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        e.delete(RecordId(2)).unwrap();
+        let mut m = Maintainer::new(MaintConfig::default());
+        let mut flushed_total = 0;
+        for _ in 0..100 {
+            let (flushed, _) = m.pump(&mut e, 1.0, 8).unwrap();
+            flushed_total += flushed;
+            if e.pending_writebacks() == 0 && m.quiesced(&e) {
+                break;
+            }
+        }
+        assert!(flushed_total > 0, "pump must flush writebacks");
+        assert!(e.pending_writebacks() == 0);
+        assert!(m.quiesced(&e), "pump ticks must drain maintenance backlogs");
+    }
+}

@@ -127,6 +127,28 @@ pub enum EventKind {
         /// The repaired record.
         id: u64,
     },
+    /// Background chain GC collected a tombstoned record, re-encoding
+    /// the records that pinned it.
+    MaintGc {
+        /// The record physically removed.
+        id: u64,
+        /// Dependent records re-encoded (spliced / rebased) to release it.
+        reencoded: u64,
+    },
+    /// Background compaction finished an increment.
+    MaintCompact {
+        /// Segment files emptied this increment.
+        segments: u64,
+        /// Physical bytes freed this increment.
+        reclaimed_bytes: u64,
+    },
+    /// The retention policy retired an over-deep chain-tail version.
+    MaintRetired {
+        /// The retired record.
+        id: u64,
+        /// Its depth behind the chain head when retired.
+        depth: u64,
+    },
 }
 
 impl EventKind {
@@ -148,6 +170,9 @@ impl EventKind {
             EventKind::ChainBroken { .. } => "chain_broken",
             EventKind::GovernorDisabled { .. } => "governor_disabled",
             EventKind::Repaired { .. } => "repaired",
+            EventKind::MaintGc { .. } => "maint_gc",
+            EventKind::MaintCompact { .. } => "maint_compact",
+            EventKind::MaintRetired { .. } => "maint_retired",
         }
     }
 }
@@ -228,6 +253,17 @@ impl Event {
             }
             EventKind::Repaired { id } => {
                 s.push_str(&format!(",\"id\":{id}"));
+            }
+            EventKind::MaintGc { id, reencoded } => {
+                s.push_str(&format!(",\"id\":{id},\"reencoded\":{reencoded}"));
+            }
+            EventKind::MaintCompact { segments, reclaimed_bytes } => {
+                s.push_str(&format!(
+                    ",\"segments\":{segments},\"reclaimed_bytes\":{reclaimed_bytes}"
+                ));
+            }
+            EventKind::MaintRetired { id, depth } => {
+                s.push_str(&format!(",\"id\":{id},\"depth\":{depth}"));
             }
         }
         s.push('}');
@@ -402,6 +438,9 @@ mod tests {
             EventKind::ChainBroken { id: 9, broken_at: 3 },
             EventKind::GovernorDisabled { db: "rand\"om".into() },
             EventKind::Repaired { id: 9 },
+            EventKind::MaintGc { id: 5, reencoded: 2 },
+            EventKind::MaintCompact { segments: 1, reclaimed_bytes: 4096 },
+            EventKind::MaintRetired { id: 3, depth: 40 },
         ];
         for k in kinds {
             log.record(Severity::Info, k);

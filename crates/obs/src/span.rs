@@ -17,8 +17,10 @@ use std::time::Duration;
 /// Every pipeline stage the telemetry layer can attribute latency to.
 ///
 /// The first seven are the paper's per-stage breakdown (§4, Fig. 12):
-/// the insert workflow plus the read path's decode-chain walk. The last
-/// three cover the replication ship/apply/catch-up paths.
+/// the insert workflow plus the read path's decode-chain walk. The next
+/// three cover the replication ship/apply/catch-up paths, and the last
+/// two the background maintenance tier (chain GC and incremental
+/// compaction).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(usize)]
 pub enum Stage {
@@ -42,11 +44,16 @@ pub enum Stage {
     ReplApply,
     /// Applying one cursor catch-up batch on a healing link.
     CatchUp,
+    /// Background chain GC: re-encoding dependents and removing a
+    /// tombstoned record.
+    MaintGc,
+    /// Background incremental compaction: one bounded copy-forward step.
+    MaintCompact,
 }
 
 impl Stage {
     /// Every stage, in stable schema order.
-    pub const ALL: [Stage; 10] = [
+    pub const ALL: [Stage; 12] = [
         Stage::Chunk,
         Stage::Sketch,
         Stage::IndexLookup,
@@ -57,6 +64,8 @@ impl Stage {
         Stage::ReplShip,
         Stage::ReplApply,
         Stage::CatchUp,
+        Stage::MaintGc,
+        Stage::MaintCompact,
     ];
 
     /// The stage's stable snake_case name (metric key component).
@@ -72,6 +81,8 @@ impl Stage {
             Stage::ReplShip => "repl_ship",
             Stage::ReplApply => "repl_apply",
             Stage::CatchUp => "catchup",
+            Stage::MaintGc => "maint_gc",
+            Stage::MaintCompact => "maint_compact",
         }
     }
 }

@@ -41,6 +41,7 @@
 use crate::health::{HealthTracker, ReplicaHealth};
 use crate::resync::anti_entropy_with_clock;
 use dbdedup_core::{DedupEngine, EngineConfig, EngineError};
+use dbdedup_maint::{MaintConfig, Maintainer};
 use dbdedup_obs::{EventKind, EventLog, Severity};
 use dbdedup_storage::oplog::{CursorGap, OplogEntry};
 use dbdedup_util::dist::SplitMix64;
@@ -95,6 +96,12 @@ pub struct SimConfig {
     /// Primary oplog retention budget; small values force the full-resync
     /// fallback when a partition outlives the window.
     pub oplog_retain_bytes: usize,
+    /// Run one background-maintenance tick on the **primary only** every
+    /// this many scheduler ticks (0 disables). Maintenance is local-only
+    /// (no oplog traffic), so the convergence invariants must hold no
+    /// matter how its schedule interleaves with faults — which is exactly
+    /// what the simulator checks.
+    pub maint_every: u64,
 }
 
 impl Default for SimConfig {
@@ -118,6 +125,7 @@ impl Default for SimConfig {
             slow_ticks: 3,
             lag_threshold: 8,
             oplog_retain_bytes: 8 << 20,
+            maint_every: 4,
         }
     }
 }
@@ -178,6 +186,12 @@ pub struct SimReport {
     pub max_lag: u64,
     /// Inserts the primary stored raw because the overload gate was up.
     pub bypassed_overload: u64,
+    /// Deleted records the primary's background GC spliced out.
+    pub maint_gc_records: u64,
+    /// Segment bytes the primary's incremental compaction reclaimed.
+    pub maint_reclaimed_bytes: u64,
+    /// Maintenance ticks skipped because the overload gate was up.
+    pub maint_paused_ticks: u64,
     /// The primary's structured event trace as JSONL. Timestamps come from
     /// the shared virtual clock, so the same seed renders the same bytes —
     /// the trace is part of the determinism contract (`Eq` above).
@@ -209,6 +223,9 @@ pub struct Simulation {
     contents: Vec<(RecordId, Vec<u8>)>,
     next_id: u64,
     trace: u64,
+    /// The primary's background maintenance scheduler (replicas run none —
+    /// asymmetry is the point: convergence must not depend on it).
+    maintainer: Maintainer,
     report: SimReport,
     /// The primary's event log (shared handle; virtual-clock timestamps).
     events: Arc<EventLog>,
@@ -265,8 +282,16 @@ impl Simulation {
             health_transitions: 0,
             max_lag: 0,
             bypassed_overload: 0,
+            maint_gc_records: 0,
+            maint_reclaimed_bytes: 0,
+            maint_paused_ticks: 0,
             events_jsonl: String::new(),
         };
+        // Eager trigger + small budget: the simulator wants maintenance
+        // interleaved with faults as often as possible, in bounded bites.
+        let mut mcfg = MaintConfig::default();
+        mcfg.compact_trigger_ratio = 0.05;
+        mcfg.compact_budget_bytes = 8 << 10;
         Ok(Self {
             rng: SplitMix64::new(seed ^ 0xdbde_d0d0_u64.rotate_left(17)),
             cfg,
@@ -276,6 +301,7 @@ impl Simulation {
             contents: Vec::new(),
             next_id: 0,
             trace: 0,
+            maintainer: Maintainer::new(mcfg),
             report,
             events,
         })
@@ -322,8 +348,20 @@ impl Simulation {
             self.ship(tick).map_err(|e| self.fail(tick, format!("ship: {e}")))?;
             self.apply(tick).map_err(|e| self.fail(tick, format!("apply: {e}")))?;
             self.settle(tick);
+            self.maintain(tick).map_err(|e| self.fail(tick, format!("maint: {e}")))?;
         }
         self.drain()?;
+        // After the drain, the primary quiesces its maintenance backlogs
+        // entirely — replicas run no maintenance at all, so verification
+        // below proves convergence is independent of the GC schedule.
+        if self.cfg.maint_every > 0 {
+            let q = self
+                .maintainer
+                .run_until_quiesced(&mut self.primary)
+                .map_err(|e| self.fail(self.report.ticks, format!("quiesce: {e}")))?;
+            self.report.maint_reclaimed_bytes += q.compact.bytes_reclaimed;
+            self.note(16, q.reencoded, q.compact.bytes_reclaimed);
+        }
         self.verify()?;
         self.report.trace_hash = self.trace;
         self.report.live_records = self.primary.live_record_ids().len();
@@ -331,6 +369,30 @@ impl Simulation {
         self.report.health_transitions = self.primary.metrics().health_transitions;
         self.report.events_jsonl = self.events.to_jsonl();
         Ok(self.report.clone())
+    }
+
+    /// One scheduled maintenance tick on the primary (see
+    /// [`SimConfig::maint_every`]). The tick's work is mixed into the
+    /// trace hash: maintenance is part of the determinism contract.
+    fn maintain(&mut self, tick: u64) -> Result<(), EngineError> {
+        if self.cfg.maint_every == 0 || !(tick + 1).is_multiple_of(self.cfg.maint_every) {
+            return Ok(());
+        }
+        // `pump` first lets the virtual I/O device drain queued backward
+        // writebacks (committing chain links), then runs the tick — the
+        // same idle-time coupling a real deployment uses.
+        let (flushed, r) = self.maintainer.pump(&mut self.primary, 0.05, 32)?;
+        if r.paused {
+            self.report.maint_paused_ticks += 1;
+        }
+        self.report.maint_gc_records += r.gc_records;
+        self.report.maint_reclaimed_bytes += r.compact.bytes_reclaimed;
+        self.note(
+            15,
+            tick,
+            flushed as u64 ^ r.gc_records.rotate_left(16) ^ (r.compact.bytes_reclaimed << 8),
+        );
+        Ok(())
     }
 
     /// Seeded fault scheduling for one tick.
@@ -707,6 +769,48 @@ mod tests {
             .run()
             .unwrap_or_else(|e| panic!("{e}"));
         assert_ne!(a.trace_hash, b.trace_hash, "seeds must actually steer the schedule");
+    }
+
+    #[test]
+    fn primary_only_maintenance_preserves_convergence() {
+        // Delete-heavy churn with maintenance interleaved on the primary
+        // every other tick. Replicas never GC or compact, yet every run
+        // must converge byte-identically — and two runs of the seed must
+        // agree on the whole schedule, maintenance included.
+        let cfg = SimConfig {
+            seed: 0xBADD_EED5,
+            replicas: 2,
+            ticks: 60,
+            delete_prob: 0.2,
+            update_prob: 0.3,
+            maint_every: 2,
+            ..Default::default()
+        };
+        let a = Simulation::new(cfg.clone()).unwrap().run().unwrap_or_else(|e| panic!("{e}"));
+        assert!(a.maint_gc_records > 0, "deletes must exercise background GC: {a:?}");
+        assert!(a.maint_reclaimed_bytes > 0, "churn must exercise compaction: {a:?}");
+        assert!(a.events_jsonl.contains("\"kind\":\"maint_gc\""), "typed GC events expected");
+        let b = Simulation::new(cfg).unwrap().run().unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(a, b, "maintenance must not break seed determinism");
+        assert_eq!(a.events_jsonl, b.events_jsonl);
+    }
+
+    #[test]
+    fn maintenance_pauses_under_replication_pressure() {
+        // Tiny queues + heavy bursts keep the overload gate up often; the
+        // maintainer must actually skip ticks while it is.
+        let cfg = SimConfig {
+            seed: 0x0BE5E,
+            replicas: 3,
+            ticks: 60,
+            burst_prob: 0.5,
+            queue_depth: 2,
+            maint_every: 1,
+            ..Default::default()
+        };
+        let report = Simulation::new(cfg).unwrap().run().unwrap_or_else(|e| panic!("{e}"));
+        assert!(report.backpressure_events > 0, "{report:?}");
+        assert!(report.maint_paused_ticks > 0, "pressure must pause maintenance: {report:?}");
     }
 
     #[test]

@@ -40,4 +40,6 @@ pub mod store;
 pub use fault::{FaultInjector, FaultKind, FaultPlan, WriteOutcome};
 pub use iometer::IoMeter;
 pub use oplog::{CursorGap, Oplog, OplogEntry, OplogKind, OplogPayload};
-pub use store::{RecordStore, RecoveryReport, StorageForm, StoreConfig, StoreError, StoredRecord};
+pub use store::{
+    CompactStats, RecordStore, RecoveryReport, StorageForm, StoreConfig, StoreError, StoredRecord,
+};

@@ -204,12 +204,61 @@ impl RecoveryReport {
     }
 }
 
+/// What a compaction pass accomplished. Marked `#[must_use]` so callers
+/// either assert on the numbers or export them through the metrics
+/// registry — silently dropping reclamation stats hides regressions.
+#[must_use = "compaction stats report reclaimed space; check or export them"]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Segment files fully processed and emptied.
+    pub segments_rewritten: u64,
+    /// Physical bytes freed (old segment bytes minus bytes copied forward).
+    pub bytes_reclaimed: u64,
+    /// Damaged entries skipped (quarantined) instead of copied.
+    pub entries_skipped: u64,
+    /// Frame bytes examined. A bounded [`RecordStore::compact_step`] can
+    /// make real progress mid-segment without completing one; this field
+    /// distinguishes that from a genuine no-op.
+    pub bytes_scanned: u64,
+}
+
+impl CompactStats {
+    /// Folds another pass's stats into this one.
+    pub fn merge(&mut self, other: CompactStats) {
+        self.segments_rewritten += other.segments_rewritten;
+        self.bytes_reclaimed += other.bytes_reclaimed;
+        self.entries_skipped += other.entries_skipped;
+        self.bytes_scanned += other.bytes_scanned;
+    }
+
+    /// Whether the pass did nothing at all (no progress possible).
+    pub fn is_noop(&self) -> bool {
+        self.segments_rewritten == 0
+            && self.bytes_reclaimed == 0
+            && self.entries_skipped == 0
+            && self.bytes_scanned == 0
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Loc {
     seg: u32,
     off: u64,
     len: u32,
     form: StorageForm,
+}
+
+/// Resume point for incremental compaction: which sealed segment is being
+/// copied forward and how far the frame scan has progressed.
+#[derive(Debug, Clone, Copy)]
+struct CompactCursor {
+    seg: u32,
+    off: u64,
+    file_len: u64,
+    /// Frame bytes copied forward because they were live.
+    live_moved: u64,
+    /// Frame bytes copied forward because they were still-needed tombstones.
+    carried_tombs: u64,
 }
 
 struct Inner {
@@ -224,6 +273,16 @@ struct Inner {
     /// Live payload bytes before block compression.
     live_uncompressed_bytes: u64,
     dead_bytes: u64,
+    /// Bytes of tombstone frames currently on disk. Subset of
+    /// `dead_bytes`; a tombstone can only be dropped once no superseded
+    /// put frame for its id remains, so `dead_bytes - tomb_bytes` is the
+    /// space compaction can actually reclaim right now.
+    tomb_bytes: u64,
+    /// Per-id count of superseded put frames still physically on disk.
+    /// A tombstone whose id has no stale puts left shadows nothing and is
+    /// dropped (not carried) when its segment is compacted.
+    stale_puts: FxHashMap<RecordId, u32>,
+    cursor: Option<CompactCursor>,
     io: IoStats,
     cache: BlockCache,
 }
@@ -312,6 +371,17 @@ fn truncate_file(path: &Path, len: u64) -> std::io::Result<()> {
     OpenOptions::new().write(true).open(path)?.set_len(len)
 }
 
+/// Truncation for the compaction paths: a "crashed" injector means the
+/// process is dead, so the destructive half of copy-then-truncate must
+/// never land either. (The copies preceding it were silently dropped;
+/// truncating the victim anyway would destroy live records.)
+fn fault_truncate(path: &Path, len: u64, fault: Option<&FaultInjector>) -> std::io::Result<()> {
+    if fault.is_some_and(|inj| inj.crashed()) {
+        return Ok(());
+    }
+    truncate_file(path, len)
+}
+
 static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 impl RecordStore {
@@ -337,6 +407,9 @@ impl RecordStore {
                 live_payload_bytes: 0,
                 live_uncompressed_bytes: 0,
                 dead_bytes: 0,
+                tomb_bytes: 0,
+                stale_puts: FxHashMap::default(),
+                cursor: None,
                 io: IoStats::default(),
                 cache: BlockCache::new(config.block_cache_bytes),
             }),
@@ -455,12 +528,15 @@ impl RecordStore {
                     if parsed.tombstone {
                         if let Some(old) = inner.directory.remove(&parsed.id) {
                             inner.dead_bytes += u64::from(old.len);
+                            *inner.stale_puts.entry(parsed.id).or_insert(0) += 1;
                         }
                         live_sizes.remove(&parsed.id);
                         inner.dead_bytes += u64::from(loc.len);
+                        inner.tomb_bytes += u64::from(loc.len);
                     } else {
                         if let Some(old) = inner.directory.insert(parsed.id, loc) {
                             inner.dead_bytes += u64::from(old.len);
+                            *inner.stale_puts.entry(parsed.id).or_insert(0) += 1;
                         }
                         live_sizes.insert(
                             parsed.id,
@@ -565,6 +641,9 @@ impl RecordStore {
         let payload_len = entry_payload_len(&entry).expect("just encoded") as u64;
         if let Some(old) = inner.directory.remove(&id) {
             inner.dead_bytes += u64::from(old.len);
+            // The superseded put frame stays on disk until compaction; a
+            // tombstone for this id must outlive it (see `stale_puts`).
+            *inner.stale_puts.entry(id).or_insert(0) += 1;
             // A damaged old entry has unknowable sizes; the overwrite
             // heals the record, so skip the subtraction rather than fail
             // the put.
@@ -576,6 +655,7 @@ impl RecordStore {
         }
         if tombstone {
             inner.dead_bytes += total as u64;
+            inner.tomb_bytes += total as u64;
         } else {
             inner.directory.insert(id, loc);
             inner.live_payload_bytes += payload_len;
@@ -635,6 +715,27 @@ impl RecordStore {
         self.inner.lock().dead_bytes
     }
 
+    /// Bytes of tombstone frames currently on disk. These are dead but
+    /// not yet reclaimable: a tombstone must outlive every superseded put
+    /// frame for its id or recovery would resurrect the record.
+    pub fn tombstone_bytes(&self) -> u64 {
+        self.inner.lock().tomb_bytes
+    }
+
+    /// Dead bytes compaction can actually free right now (dead space
+    /// minus still-needed tombstone frames). Background maintenance
+    /// quiesces when this reaches zero.
+    pub fn reclaimable_dead_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.dead_bytes.saturating_sub(inner.tomb_bytes)
+    }
+
+    /// On-disk frame length of `id`'s live entry, if present. Lets the
+    /// engine cost deleted-but-referenced records without reading them.
+    pub fn entry_len(&self, id: RecordId) -> Option<u64> {
+        self.inner.lock().directory.get(&id).map(|loc| u64::from(loc.len))
+    }
+
     /// Cumulative I/O counters. With the block cache enabled, `reads`
     /// counts only cache misses that reached the file.
     pub fn io_stats(&self) -> IoStats {
@@ -655,12 +756,30 @@ impl RecordStore {
     /// Rewrites live entries into fresh segments, dropping dead space.
     /// A record whose entry fails verification is quarantined (dropped
     /// from the directory and counted) rather than aborting compaction.
-    pub fn compact(&self) -> Result<(), StoreError> {
+    ///
+    /// Stop-the-world: the store is locked for the whole rewrite. The
+    /// incremental alternative is [`RecordStore::compact_step`].
+    ///
+    /// Superseded segment files are **truncated to zero, not removed** —
+    /// the recovery scan walks segment indices contiguously from zero,
+    /// so removing `seg000000.dat` would make a reopened store blind to
+    /// every later segment.
+    pub fn compact(&self) -> Result<CompactStats, StoreError> {
         let fault = self.config.fault.as_deref();
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
+        let mut stats = CompactStats::default();
         let ids: Vec<RecordId> = inner.directory.keys().copied().collect();
         let new_idx = inner.active_idx + 1;
+        let mut old_total = 0u64;
+        for i in 0..new_idx {
+            if let Ok(meta) = fs::metadata(segment_path(&self.dir, i)) {
+                if meta.len() > 0 {
+                    stats.segments_rewritten += 1;
+                    old_total += meta.len();
+                }
+            }
+        }
         let mut new_file = OpenOptions::new()
             .create(true)
             .append(true)
@@ -676,22 +795,28 @@ impl RecordStore {
                 Ok(raw) => raw,
                 Err(StoreError::Corrupt(_)) => {
                     inner.io.quarantined_entries += 1;
+                    stats.entries_skipped += 1;
                     continue;
                 }
                 Err(e) => return Err(e),
             };
             fault_write(&mut new_file, fault, &raw)?;
+            inner.io.writes += 1;
+            inner.io.write_bytes += u64::from(loc.len);
             if let Ok(p) = parse_entry(&raw[FRAME_HDR..]) {
                 live_payload += p.payload.len() as u64;
                 live_uncompressed += u64::from(p.uncompressed_len);
             }
             new_dir.insert(id, Loc { seg: new_idx, off: new_off, len: loc.len, form: loc.form });
             new_off += u64::from(loc.len);
+            stats.bytes_scanned += u64::from(loc.len);
         }
         new_file.sync_data()?;
-        // Swap in the new segment; remove the old files.
+        // Swap in the new segment; empty the old files (see doc comment
+        // for why truncate, not remove). Every stale put and tombstone is
+        // gone with them.
         for i in 0..new_idx {
-            let _ = fs::remove_file(segment_path(&self.dir, i));
+            let _ = fault_truncate(&segment_path(&self.dir, i), 0, fault);
         }
         inner.readers = (0..=new_idx).map(|_| None).collect();
         inner.active = new_file;
@@ -699,11 +824,323 @@ impl RecordStore {
         inner.active_off = new_off;
         inner.directory = new_dir;
         inner.dead_bytes = 0;
+        inner.tomb_bytes = 0;
+        inner.stale_puts.clear();
+        inner.cursor = None;
         inner.live_payload_bytes = live_payload;
         inner.live_uncompressed_bytes = live_uncompressed;
         inner.cache.clear();
-        Ok(())
+        stats.bytes_reclaimed = old_total.saturating_sub(new_off);
+        Ok(stats)
     }
+
+    /// One bounded increment of background compaction: copies at most
+    /// ~`max_bytes` of frame bytes forward from the best victim segment
+    /// (the sealed segment with the most dead space) into the active
+    /// segment, then returns. Progress persists in a cursor, so repeated
+    /// calls walk whole segments; a finished segment is truncated to zero
+    /// and its dead space reclaimed. When every sealed segment is clean
+    /// but the active segment holds dead bytes, the active segment is
+    /// sealed (rotated) so the next calls can reclaim it too.
+    ///
+    /// Per frame of the victim:
+    /// * the **live** entry (directory points here) is copied forward and
+    ///   the directory re-pointed;
+    /// * a **stale** put (superseded) is dropped — this is the reclaim;
+    /// * a **tombstone** is dropped if its id is live again or no stale
+    ///   put for it remains anywhere, else carried forward (dropping it
+    ///   early would let recovery resurrect the record from a stale put);
+    /// * a **damaged** frame is quarantined like the salvage scan does.
+    ///
+    /// Crash-safe by write ordering: copies land in the active segment
+    /// before the victim is truncated, so a crash anywhere replays to a
+    /// state where every live record decodes (the copy, being later in
+    /// replay order, wins).
+    pub fn compact_step(&self, max_bytes: u64) -> Result<CompactStats, StoreError> {
+        let fault = self.config.fault.as_deref();
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let mut stats = CompactStats::default();
+        let mut spent = 0u64;
+        while spent < max_bytes.max(1) {
+            let Some(mut cur) = inner.cursor else {
+                match self.pick_victim(inner)? {
+                    Some(cur) => {
+                        inner.cursor = Some(cur);
+                        continue;
+                    }
+                    None => break,
+                }
+            };
+            if cur.off == 0 {
+                // Validate the victim header before trusting its frames.
+                let mut hdr = vec![0u8; SEG_HDR_LEN];
+                ensure_reader(inner, &self.dir, cur.seg)?;
+                let f = inner.readers[cur.seg as usize].as_mut().expect("reader opened");
+                f.seek(SeekFrom::Start(0))?;
+                let ok = f.read_exact(&mut hdr).is_ok() && header_valid(&hdr);
+                if !ok {
+                    // Whole segment is junk (recovery already counted it
+                    // as dead); empty it.
+                    fault_truncate(&segment_path(&self.dir, cur.seg), 0, fault)?;
+                    inner.readers[cur.seg as usize] = None;
+                    inner.dead_bytes = inner.dead_bytes.saturating_sub(cur.file_len);
+                    inner.io.quarantined_entries += 1;
+                    stats.entries_skipped += 1;
+                    stats.bytes_reclaimed += cur.file_len;
+                    stats.segments_rewritten += 1;
+                    inner.cursor = None;
+                    continue;
+                }
+                cur.off = SEG_HDR_LEN as u64;
+            }
+            if cur.off >= cur.file_len {
+                // Segment fully processed: free it.
+                fault_truncate(&segment_path(&self.dir, cur.seg), 0, fault)?;
+                inner.readers[cur.seg as usize] = None;
+                // Everything in the victim except the frames that were
+                // live (and moved) was dead space — including the old
+                // copies of carried tombstones, whose fresh copies were
+                // added to `dead_bytes` when appended.
+                let dead_in_victim =
+                    cur.file_len.saturating_sub(SEG_HDR_LEN as u64).saturating_sub(cur.live_moved);
+                inner.dead_bytes = inner.dead_bytes.saturating_sub(dead_in_victim);
+                stats.bytes_reclaimed +=
+                    cur.file_len.saturating_sub(cur.live_moved).saturating_sub(cur.carried_tombs);
+                stats.segments_rewritten += 1;
+                inner.cursor = None;
+                continue;
+            }
+            match self.step_one_frame(inner, &mut cur, fault, &mut stats)? {
+                0 => {
+                    // Unrecoverable scan position; cursor advanced to end.
+                    inner.cursor = Some(cur);
+                }
+                n => {
+                    spent += n;
+                    inner.cursor = Some(cur);
+                }
+            }
+        }
+        stats.bytes_scanned += spent;
+        Ok(stats)
+    }
+
+    /// Chooses the next compaction victim: the sealed segment with the
+    /// most dead bytes, or — if only the active segment holds dead
+    /// space — seals the active segment first and picks it.
+    fn pick_victim(&self, inner: &mut Inner) -> Result<Option<CompactCursor>, StoreError> {
+        if inner.dead_bytes <= inner.tomb_bytes {
+            // Nothing truly reclaimable: every dead byte is a tombstone
+            // that still shadows a stale put somewhere. Rewriting
+            // segments now would only shuffle those tombstones around.
+            return Ok(None);
+        }
+        let mut live_per_seg: FxHashMap<u32, u64> = FxHashMap::default();
+        for loc in inner.directory.values() {
+            *live_per_seg.entry(loc.seg).or_insert(0) += u64::from(loc.len);
+        }
+        let mut best: Option<(u64, u32, u64)> = None; // (dead, seg, file_len)
+        for seg in 0..inner.active_idx {
+            let Ok(meta) = fs::metadata(segment_path(&self.dir, seg)) else { continue };
+            let file_len = meta.len();
+            if file_len == 0 {
+                continue; // already compacted away
+            }
+            let live = live_per_seg.get(&seg).copied().unwrap_or(0);
+            let dead = file_len.saturating_sub(SEG_HDR_LEN as u64).saturating_sub(live);
+            if dead > 0 && best.map(|(d, _, _)| dead > d).unwrap_or(true) {
+                best = Some((dead, seg, file_len));
+            }
+        }
+        if let Some((_, seg, file_len)) = best {
+            return Ok(Some(CompactCursor {
+                seg,
+                off: 0,
+                file_len,
+                live_moved: 0,
+                carried_tombs: 0,
+            }));
+        }
+        // No sealed victim. If the active segment carries the dead
+        // space, seal it (rotate) and compact the now-sealed segment.
+        let active_live = live_per_seg.get(&inner.active_idx).copied().unwrap_or(0);
+        let active_dead =
+            inner.active_off.saturating_sub(SEG_HDR_LEN as u64).saturating_sub(active_live);
+        if active_dead > 0 {
+            let seg = inner.active_idx;
+            let file_len = inner.active_off;
+            rotate_active(inner, &self.dir, self.config.fault.as_deref())?;
+            return Ok(Some(CompactCursor {
+                seg,
+                off: 0,
+                file_len,
+                live_moved: 0,
+                carried_tombs: 0,
+            }));
+        }
+        Ok(None)
+    }
+
+    /// Processes the single frame at the cursor: copy, drop, or
+    /// quarantine. Returns the frame bytes consumed (0 when the scan had
+    /// to abandon the rest of the segment).
+    fn step_one_frame(
+        &self,
+        inner: &mut Inner,
+        cur: &mut CompactCursor,
+        fault: Option<&FaultInjector>,
+        stats: &mut CompactStats,
+    ) -> Result<u64, StoreError> {
+        ensure_reader(inner, &self.dir, cur.seg)?;
+        let f = inner.readers[cur.seg as usize].as_mut().expect("reader opened");
+        f.seek(SeekFrom::Start(cur.off))?;
+        let mut hdr = [0u8; FRAME_HDR];
+        let frame = (|| -> std::io::Result<Option<Vec<u8>>> {
+            f.read_exact(&mut hdr)?;
+            if hdr[..2] != FRAME_MARKER {
+                return Ok(None);
+            }
+            let len = u32::from_le_bytes(hdr[2..6].try_into().expect("4 bytes")) as usize;
+            if len > MAX_ENTRY_BYTES || (cur.off + (FRAME_HDR + len) as u64) > cur.file_len {
+                return Ok(None);
+            }
+            let mut buf = vec![0u8; FRAME_HDR + len];
+            buf[..FRAME_HDR].copy_from_slice(&hdr);
+            f.read_exact(&mut buf[FRAME_HDR..])?;
+            Ok(Some(buf))
+        })()
+        .map_err(StoreError::from)?;
+        let frame = frame.filter(|buf| frame_at(buf, 0).is_some());
+        let Some(frame) = frame else {
+            return self.quarantine_from(inner, cur, stats);
+        };
+        let total = frame.len() as u64;
+        inner.io.reads += 1;
+        inner.io.read_bytes += total;
+        let parsed = match parse_entry(&frame[FRAME_HDR..]) {
+            Ok(p) => p,
+            Err(_) => return self.quarantine_from(inner, cur, stats),
+        };
+        let id = parsed.id;
+        if parsed.tombstone {
+            let needed = !inner.directory.contains_key(&id)
+                && inner.stale_puts.get(&id).copied().unwrap_or(0) > 0;
+            if needed {
+                // Copy the tombstone to the tail: it stays the latest
+                // entry for its id, so replay still ends deleted.
+                copy_frame_to_active(inner, &self.dir, fault, &frame, self.config.segment_bytes)?;
+                inner.dead_bytes += total;
+                cur.carried_tombs += total;
+            } else {
+                inner.tomb_bytes = inner.tomb_bytes.saturating_sub(total);
+            }
+        } else {
+            let live = inner
+                .directory
+                .get(&id)
+                .map(|loc| loc.seg == cur.seg && loc.off == cur.off)
+                .unwrap_or(false);
+            if live {
+                let form = inner.directory[&id].form;
+                let (seg, off) = copy_frame_to_active(
+                    inner,
+                    &self.dir,
+                    fault,
+                    &frame,
+                    self.config.segment_bytes,
+                )?;
+                inner.directory.insert(id, Loc { seg, off, len: total as u32, form });
+                cur.live_moved += total;
+            } else if let Some(n) = inner.stale_puts.get_mut(&id) {
+                *n -= 1;
+                if *n == 0 {
+                    inner.stale_puts.remove(&id);
+                }
+            }
+        }
+        cur.off += total;
+        Ok(total)
+    }
+
+    /// Salvage path for in-segment damage found mid-compaction: drop any
+    /// directory entries pointing into the rest of the segment (they
+    /// could never be read anyway) and advance the cursor to the end so
+    /// the segment gets truncated.
+    fn quarantine_from(
+        &self,
+        inner: &mut Inner,
+        cur: &mut CompactCursor,
+        stats: &mut CompactStats,
+    ) -> Result<u64, StoreError> {
+        let seg = cur.seg;
+        let from = cur.off;
+        let doomed: Vec<(RecordId, u64)> = inner
+            .directory
+            .iter()
+            .filter(|(_, loc)| loc.seg == seg && loc.off >= from)
+            .map(|(&id, loc)| (id, u64::from(loc.len)))
+            .collect();
+        for (id, len) in doomed {
+            inner.directory.remove(&id);
+            // Count the lost entry as dead so the completion-time
+            // subtraction (which assumes non-moved bytes were dead)
+            // balances.
+            inner.dead_bytes += len;
+            inner.io.quarantined_entries += 1;
+            stats.entries_skipped += 1;
+        }
+        inner.io.quarantined_entries += 1;
+        stats.entries_skipped += 1;
+        // The skipped run was dead (or just became dead); completion
+        // accounting treats everything not copied as reclaimed.
+        cur.off = cur.file_len;
+        Ok(0)
+    }
+}
+
+/// Opens the next segment as the active one (same rotation the append
+/// path performs when a segment fills).
+fn rotate_active(
+    inner: &mut Inner,
+    dir: &Path,
+    fault: Option<&FaultInjector>,
+) -> Result<(), StoreError> {
+    inner.active_idx += 1;
+    inner.active = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .read(true)
+        .open(segment_path(dir, inner.active_idx))?;
+    fault_write(&mut inner.active, fault, &segment_header())?;
+    inner.io.writes += 1;
+    inner.io.write_bytes += SEG_HDR_LEN as u64;
+    inner.active_off = SEG_HDR_LEN as u64;
+    if inner.readers.len() <= inner.active_idx as usize {
+        inner.readers.resize_with(inner.active_idx as usize + 1, || None);
+    }
+    Ok(())
+}
+
+/// Appends an already-framed entry verbatim to the active segment
+/// (rotating first if full) and returns its new location.
+fn copy_frame_to_active(
+    inner: &mut Inner,
+    dir: &Path,
+    fault: Option<&FaultInjector>,
+    framed: &[u8],
+    segment_bytes: u64,
+) -> Result<(u32, u64), StoreError> {
+    if inner.active_off >= segment_bytes {
+        rotate_active(inner, dir, fault)?;
+    }
+    fault_write(&mut inner.active, fault, framed)?;
+    let seg = inner.active_idx;
+    let off = inner.active_off;
+    inner.active_off += framed.len() as u64;
+    inner.io.writes += 1;
+    inner.io.write_bytes += framed.len() as u64;
+    Ok((seg, off))
 }
 
 impl Drop for RecordStore {
@@ -987,8 +1424,12 @@ mod tests {
             s.put(RecordId(i), StorageForm::Raw, &[2u8; 10]).unwrap();
         }
         assert!(s.dead_bytes() > 0);
-        s.compact().unwrap();
+        let stats = s.compact().unwrap();
+        assert!(stats.bytes_reclaimed > 0, "stats report the reclaim");
+        assert!(stats.segments_rewritten >= 1);
+        assert_eq!(stats.entries_skipped, 0);
         assert_eq!(s.dead_bytes(), 0);
+        assert_eq!(s.tombstone_bytes(), 0, "full compaction drops all tombstones");
         for i in 25..50u64 {
             assert_eq!(&s.get(RecordId(i)).unwrap().payload[..], &vec![2u8; 10][..]);
         }
@@ -996,6 +1437,131 @@ mod tests {
         // Still writable post-compaction.
         s.put(RecordId(99), StorageForm::Raw, b"after").unwrap();
         assert_eq!(&s.get(RecordId(99)).unwrap().payload[..], b"after");
+    }
+
+    #[test]
+    fn reopen_after_compact_keeps_records() {
+        // Regression: compaction used to *remove* superseded segment
+        // files, but the recovery scan walks indices contiguously from
+        // zero — a reopened store found no seg000000.dat and silently
+        // came up empty.
+        let dir = temp_dir("reopen-compact");
+        {
+            let s = RecordStore::open(&dir, StoreConfig::default()).unwrap();
+            for i in 0..20u64 {
+                s.put(RecordId(i), StorageForm::Raw, &[i as u8; 100]).unwrap();
+            }
+            for i in 0..10u64 {
+                s.delete(RecordId(i)).unwrap();
+            }
+            let _ = s.compact().unwrap();
+        }
+        {
+            let s = RecordStore::open(&dir, StoreConfig::default()).unwrap();
+            assert!(s.recovery_report().is_clean());
+            assert_eq!(s.len(), 10);
+            for i in 10..20u64 {
+                assert_eq!(&s.get(RecordId(i)).unwrap().payload[..], &vec![i as u8; 100][..]);
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_step_drains_dead_space_incrementally() {
+        let cfg = StoreConfig { segment_bytes: 4096, ..Default::default() };
+        let s = RecordStore::open_temp(cfg).unwrap();
+        for i in 0..100u64 {
+            s.put(RecordId(i), StorageForm::Raw, &vec![i as u8; 400]).unwrap();
+        }
+        for i in 0..50u64 {
+            s.delete(RecordId(i)).unwrap();
+        }
+        for i in 50..100u64 {
+            s.put(RecordId(i), StorageForm::Raw, &[i as u8; 40]).unwrap();
+        }
+        assert!(s.reclaimable_dead_bytes() > 0);
+        let mut total = CompactStats::default();
+        let mut steps = 0;
+        while s.reclaimable_dead_bytes() > 0 {
+            let stats = s.compact_step(2048).unwrap();
+            if stats.is_noop() {
+                break;
+            }
+            total.merge(stats);
+            steps += 1;
+            assert!(steps < 10_000, "incremental compaction must terminate");
+        }
+        assert_eq!(s.reclaimable_dead_bytes(), 0, "all reclaimable space drained");
+        assert!(total.bytes_reclaimed > 0);
+        assert!(total.segments_rewritten > 1, "walked multiple segments");
+        assert!(steps > 1, "budget forced multiple bounded steps");
+        for i in 50..100u64 {
+            assert_eq!(&s.get(RecordId(i)).unwrap().payload[..], &[i as u8; 40][..]);
+        }
+        assert_eq!(s.len(), 50);
+        // Still writable, and the store reopens to the same contents.
+        s.put(RecordId(200), StorageForm::Raw, b"post-step").unwrap();
+        assert_eq!(&s.get(RecordId(200)).unwrap().payload[..], b"post-step");
+    }
+
+    #[test]
+    fn compact_step_survives_reopen_midway() {
+        let dir = temp_dir("step-reopen");
+        let cfg = StoreConfig { segment_bytes: 2048, ..Default::default() };
+        {
+            let s = RecordStore::open(&dir, cfg.clone()).unwrap();
+            for i in 0..60u64 {
+                s.put(RecordId(i), StorageForm::Raw, &[i as u8; 200]).unwrap();
+            }
+            for i in 0..30u64 {
+                s.delete(RecordId(i)).unwrap();
+            }
+            // Partial pass only: stop with the cursor mid-segment.
+            let _ = s.compact_step(512).unwrap();
+        }
+        {
+            let s = RecordStore::open(&dir, cfg).unwrap();
+            assert!(s.recovery_report().is_clean());
+            assert_eq!(s.len(), 30);
+            for i in 30..60u64 {
+                assert_eq!(&s.get(RecordId(i)).unwrap().payload[..], &vec![i as u8; 200][..]);
+                assert!(!s.contains(RecordId(i - 30)), "deleted stays deleted");
+            }
+            // And compaction can finish after the reopen.
+            while s.reclaimable_dead_bytes() > 0 {
+                if s.compact_step(4096).unwrap().is_noop() {
+                    break;
+                }
+            }
+            assert_eq!(s.reclaimable_dead_bytes(), 0);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tombstones_dropped_once_stale_puts_are_gone() {
+        let cfg = StoreConfig { segment_bytes: 1 << 20, ..Default::default() };
+        let s = RecordStore::open_temp(cfg).unwrap();
+        s.put(RecordId(1), StorageForm::Raw, &[1u8; 500]).unwrap();
+        s.put(RecordId(2), StorageForm::Raw, &[2u8; 500]).unwrap();
+        s.delete(RecordId(1)).unwrap();
+        assert!(s.tombstone_bytes() > 0);
+        // Everything sits in the active segment; the step seals it and
+        // copies forward. The stale put for id 1 is dropped first, so by
+        // the time the tombstone is scanned it shadows nothing.
+        let mut steps = 0;
+        while s.reclaimable_dead_bytes() > 0 || s.tombstone_bytes() > 0 {
+            if s.compact_step(u64::MAX).unwrap().is_noop() {
+                break;
+            }
+            steps += 1;
+            assert!(steps < 100);
+        }
+        assert_eq!(s.tombstone_bytes(), 0, "tombstone physically gone");
+        assert_eq!(s.dead_bytes(), 0);
+        assert!(!s.contains(RecordId(1)));
+        assert_eq!(&s.get(RecordId(2)).unwrap().payload[..], &[2u8; 500][..]);
     }
 
     #[test]
@@ -1172,6 +1738,57 @@ mod tests {
             assert_eq!(s.len(), 3, "exactly the pre-crash writes survive");
             for i in 0..3u64 {
                 assert_eq!(&s.get(RecordId(i)).unwrap().payload[..], &vec![i as u8; 100][..]);
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_during_compact_step_never_truncates_the_victim() {
+        let dir = temp_dir("crash-compact");
+        // Build a dirty store cleanly, then reattach with a crash plan.
+        {
+            let cfg = StoreConfig { segment_bytes: 2048, ..Default::default() };
+            let s = RecordStore::open(&dir, cfg).unwrap();
+            for i in 0..40u64 {
+                s.put(RecordId(i), StorageForm::Raw, &[i as u8; 200]).unwrap();
+            }
+            for i in 0..20u64 {
+                s.put(RecordId(i), StorageForm::Raw, &[0xAB; 200]).unwrap();
+            }
+        }
+        // Crash on the very first compaction write: every copy-forward is
+        // dropped, so the victim truncation must be suppressed too.
+        for k in 0..6u64 {
+            let inj = Arc::new(FaultInjector::new(FaultPlan::new().crash_at_write(k)));
+            {
+                let cfg = StoreConfig {
+                    segment_bytes: 2048,
+                    fault: Some(Arc::clone(&inj)),
+                    ..Default::default()
+                };
+                let s = RecordStore::open(&dir, cfg).unwrap();
+                while s.reclaimable_dead_bytes() > 0 {
+                    match s.compact_step(1024) {
+                        Ok(stats) if stats.is_noop() => break,
+                        Ok(_) => {}
+                        Err(_) => break,
+                    }
+                    if inj.crashed() {
+                        break;
+                    }
+                }
+            }
+            let s =
+                RecordStore::open(&dir, StoreConfig { segment_bytes: 2048, ..Default::default() })
+                    .unwrap_or_else(|e| panic!("crash at {k}: reopen failed: {e}"));
+            for i in 0..40u64 {
+                let expect = if i < 20 { vec![0xAB; 200] } else { vec![i as u8; 200] };
+                assert_eq!(
+                    &s.get(RecordId(i)).unwrap().payload[..],
+                    &expect[..],
+                    "crash at write {k} lost record {i}"
+                );
             }
         }
         let _ = fs::remove_dir_all(&dir);

@@ -27,4 +27,10 @@ cargo test -q --test sim_harness
 echo "==> metrics-schema"
 cargo test -q -p dbdedup-core --test metrics_schema
 
+# Maintenance tier: lint the crate at -D warnings and run the property
+# sweep (churn → quiesce byte-equality, tombstone scrub, crash sweep).
+echo "==> maint-smoke"
+cargo clippy -p dbdedup-maint -- -D warnings
+cargo test -q -p dbdedup-maint
+
 echo "==> ci.sh: all green"

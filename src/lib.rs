@@ -32,6 +32,7 @@
 //! | [`encoding`] | backward / hop / version-jumping chains, Table 2 analysis |
 //! | [`cache`] | source record cache, lossy write-back cache |
 //! | [`storage`] | record store, oplog, blockz compression, I/O meter |
+//! | [`maint`] | background maintenance: chain GC, incremental compaction, retention |
 //! | [`repl`] | primary/secondary replication |
 //! | [`workloads`] | the four paper dataset generators |
 //! | [`util`] | hashes, codecs, stats, samplers |
@@ -45,6 +46,7 @@ pub use dbdedup_core as engine;
 pub use dbdedup_delta as delta;
 pub use dbdedup_encoding as encoding;
 pub use dbdedup_index as index;
+pub use dbdedup_maint as maint;
 pub use dbdedup_repl as repl;
 pub use dbdedup_storage as storage;
 pub use dbdedup_util as util;
@@ -52,6 +54,7 @@ pub use dbdedup_workloads as workloads;
 
 pub use dbdedup_core::{DedupEngine, EngineConfig, EngineError, InsertOutcome, MetricsSnapshot};
 pub use dbdedup_encoding::EncodingPolicy;
+pub use dbdedup_maint::{MaintConfig, Maintainer};
 pub use dbdedup_repl::{AsyncReplicator, ReplicaPair, ResyncReport};
 pub use dbdedup_storage::{FaultInjector, FaultKind, FaultPlan, RecoveryReport};
 pub use dbdedup_util::ids::RecordId;

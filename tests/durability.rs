@@ -164,7 +164,8 @@ fn compaction_preserves_chains() {
     e.flush_all_writebacks().expect("flush");
     // Writebacks superseded lots of entries; compact and re-verify.
     assert!(e.store().dead_bytes() > 0);
-    e.store().compact().expect("compact");
+    let stats = e.store().compact().expect("compact");
+    assert!(stats.bytes_reclaimed > 0, "compaction should report reclaimed bytes: {stats:?}");
     assert_eq!(e.store().dead_bytes(), 0);
     for (i, rev) in chain.iter().enumerate() {
         assert_eq!(&e.read(RecordId(i as u64)).unwrap()[..], &rev[..], "revision {i}");
