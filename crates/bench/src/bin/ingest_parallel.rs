@@ -1,0 +1,172 @@
+//! Parallel ingest scaling: throughput and client-visible insert latency
+//! for `ParallelIngest` at 1/2/4/8 workers vs the serial engine, at one
+//! and four shards.
+//!
+//! Latency definition: for the serial engine, an insert's latency is the
+//! full `insert()` call; for the pipeline it is the `submit()` call — the
+//! time the *client* is blocked (queue admission incl. backpressure
+//! stalls), since commits complete asynchronously in submission order.
+//! The commit-path p99 (pipeline-internal service time) is reported
+//! separately.
+//!
+//! Speedup is hardware-dependent: chunk/sketch fan-out and per-shard
+//! commit lanes need real cores. The harness prints the machine's
+//! available parallelism; on a single-core container the parallel
+//! configurations measure overhead, not speedup (correctness is covered
+//! by `tests/differential.rs`, which is timing-independent).
+
+use dbdedup_bench::{header, row, scale};
+use dbdedup_core::{
+    DedupEngine, EngineConfig, IngestConfig, IngestSnapshot, ParallelIngest, ShardedEngine,
+};
+use dbdedup_util::dist::{LogNormal, SplitMix64};
+use dbdedup_util::ids::RecordId;
+use dbdedup_util::stats::LogHistogram;
+use std::time::Instant;
+
+fn config() -> EngineConfig {
+    let mut cfg = EngineConfig::default();
+    cfg.min_benefit_bytes = 16;
+    cfg
+}
+
+/// Version-chain insert stream over `dbs` databases (8 KiB documents,
+/// lognormal edit bursts) — the chunk/sketch-heavy shape parallel ingest
+/// targets. Deterministic in `seed`.
+fn workload(seed: u64, n: usize, dbs: usize) -> Vec<(String, RecordId, Vec<u8>)> {
+    let mut rng = SplitMix64::new(seed);
+    let mut docs: Vec<Vec<u8>> = (0..dbs)
+        .map(|d| {
+            let mut doc = Vec::new();
+            while doc.len() < 8 * 1024 {
+                let w = rng.next_u64() % 700;
+                doc.extend_from_slice(format!("db{d} rec{w} field{w} body text. ").as_bytes());
+            }
+            doc
+        })
+        .collect();
+    let burst_len = LogNormal::from_median(64.0, 1.0);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let d = rng.next_index(dbs);
+        let doc = &mut docs[d];
+        for _ in 0..1 + rng.next_index(4) {
+            let len = burst_len.sample_clamped(&mut rng, 8, 1024) as usize;
+            let at = rng.next_index(doc.len().saturating_sub(len + 1).max(1));
+            for b in doc.iter_mut().skip(at).take(len) {
+                *b = (rng.next_u64() % 26 + 97) as u8;
+            }
+        }
+        out.push((format!("db{d}"), RecordId(i as u64), doc.clone()));
+    }
+    out
+}
+
+struct Measured {
+    ops_per_s: f64,
+    mib_per_s: f64,
+    client_p99_us: f64,
+    report: Option<IngestSnapshot>,
+}
+
+fn run_serial(ops: &[(String, RecordId, Vec<u8>)]) -> Measured {
+    let mut engine = DedupEngine::open_temp(config()).expect("serial engine");
+    let mut lat = LogHistogram::new();
+    let bytes: usize = ops.iter().map(|(_, _, d)| d.len()).sum();
+    let t0 = Instant::now();
+    for (db, id, data) in ops {
+        let t = Instant::now();
+        engine.insert(db, *id, data).expect("insert");
+        lat.record(t.elapsed().as_nanos() as u64);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    Measured {
+        ops_per_s: ops.len() as f64 / elapsed,
+        mib_per_s: bytes as f64 / (1 << 20) as f64 / elapsed,
+        client_p99_us: lat.quantile(0.99) as f64 / 1e3,
+        report: None,
+    }
+}
+
+fn run_parallel(ops: &[(String, RecordId, Vec<u8>)], shards: usize, workers: usize) -> Measured {
+    let sharded = ShardedEngine::open_temp(config(), shards).expect("sharded engine");
+    let mut ingest = ParallelIngest::new(sharded, IngestConfig::with_workers(workers));
+    let mut lat = LogHistogram::new();
+    let bytes: usize = ops.iter().map(|(_, _, d)| d.len()).sum();
+    let t0 = Instant::now();
+    for (db, id, data) in ops {
+        let t = Instant::now();
+        ingest.submit(db, *id, data);
+        lat.record(t.elapsed().as_nanos() as u64);
+    }
+    ingest.drain().expect("drain");
+    let elapsed = t0.elapsed().as_secs_f64();
+    let (_, report) = ingest.finish().expect("finish");
+    Measured {
+        ops_per_s: ops.len() as f64 / elapsed,
+        mib_per_s: bytes as f64 / (1 << 20) as f64 / elapsed,
+        client_p99_us: lat.quantile(0.99) as f64 / 1e3,
+        report: Some(report),
+    }
+}
+
+fn main() {
+    let n = scale();
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    println!("Parallel ingest scaling ({n} inserts, ~8 KiB docs, 8 databases)");
+    println!(
+        "note: machine reports {cores} available core(s). Speedup needs real cores;\n\
+         with fewer cores than workers these rows measure coordination overhead.\n\
+         Determinism (byte-identity to serial) is enforced by tests/differential.rs\n\
+         independently of timing.\n"
+    );
+
+    let ops = workload(42, n, 8);
+    let serial = run_serial(&ops);
+    header(&[
+        "mode",
+        "shards",
+        "workers",
+        "ops/s",
+        "MiB/s",
+        "speedup",
+        "client p99 us",
+        "commit p99 us",
+        "util %",
+    ]);
+    row(&[
+        "serial".into(),
+        "-".into(),
+        "-".into(),
+        format!("{:.0}", serial.ops_per_s),
+        format!("{:.1}", serial.mib_per_s),
+        "1.00x".into(),
+        format!("{:.0}", serial.client_p99_us),
+        "-".into(),
+        "-".into(),
+    ]);
+    for shards in [1usize, 4] {
+        for workers in [1usize, 2, 4, 8] {
+            let m = run_parallel(&ops, shards, workers);
+            let report = m.report.expect("parallel report");
+            row(&[
+                "parallel".into(),
+                shards.to_string(),
+                workers.to_string(),
+                format!("{:.0}", m.ops_per_s),
+                format!("{:.1}", m.mib_per_s),
+                format!("{:.2}x", m.ops_per_s / serial.ops_per_s),
+                format!("{:.0}", m.client_p99_us),
+                format!("{:.0}", report.commit_ns.quantile(0.99) as f64 / 1e3),
+                format!("{:.0}", report.worker_utilization() * 100.0),
+            ]);
+        }
+    }
+
+    // One detailed snapshot at the headline configuration (4 workers),
+    // showing the ingest.* registry keys the pipeline exports.
+    let m = run_parallel(&ops, 4, 4);
+    let report = m.report.expect("report");
+    println!("\ningest.* registry snapshot (shards=4, workers=4):");
+    println!("{}", report.to_json());
+}

@@ -77,6 +77,108 @@ fn sketch_shape() {
     }
 }
 
+/// Min/max bounds and exact tiling hold on adversarial content the
+/// rolling hash cannot find natural cut points in: all-zero runs and
+/// short repeating patterns degenerate to max-size forced splits, never
+/// to out-of-bounds chunks.
+#[test]
+fn adversarial_inputs_respect_bounds() {
+    let mut rng = SplitMix64::new(0xC4C_0006);
+    let patterns: Vec<Vec<u8>> = vec![
+        vec![0u8; 40_000],                                                  // all zero
+        vec![0xFFu8; 17_301],                                               // all ones, odd len
+        (0..40_000).map(|i| (i % 2) as u8).collect(),                       // alternating
+        b"ab".iter().cycle().take(33_333).copied().collect(),               // 2-byte period
+        b"0123456789ABCDEF".iter().cycle().take(29_000).copied().collect(), // 16-byte period
+        {
+            // Random 64-byte motif repeated — periodic at exactly the
+            // window scale, the worst case for a 48-byte rolling hash.
+            let motif: Vec<u8> = (0..64).map(|_| rng.next_u64() as u8).collect();
+            motif.iter().cycle().take(37_000).copied().collect()
+        },
+    ];
+    for avg_pow in [4u32, 6, 8, 10] {
+        let cfg = ChunkerConfig::with_avg(1 << avg_pow);
+        let chunker = ContentChunker::new(cfg);
+        for (p, data) in patterns.iter().enumerate() {
+            let chunks = chunker.chunk(data);
+            let mut pos = 0;
+            for (i, c) in chunks.iter().enumerate() {
+                assert_eq!(c.offset, pos, "pattern {p} avg {}: gap/overlap", cfg.avg_size);
+                assert!(c.len > 0, "pattern {p}: empty chunk");
+                assert!(
+                    c.len <= cfg.max_size,
+                    "pattern {p} avg {}: chunk {i} len {} > max {}",
+                    cfg.avg_size,
+                    c.len,
+                    cfg.max_size
+                );
+                if i + 1 != chunks.len() {
+                    assert!(
+                        c.len >= cfg.min_size,
+                        "pattern {p} avg {}: chunk {i} len {} < min {}",
+                        cfg.avg_size,
+                        c.len,
+                        cfg.min_size
+                    );
+                }
+                pos += c.len;
+            }
+            assert_eq!(pos, data.len(), "pattern {p}: chunks must tile the input");
+        }
+    }
+}
+
+/// The localized-resync property the sketch relies on: after a
+/// same-length perturbation of the record's prefix, the two chunkings
+/// share a boundary shortly past the perturbed region, and from that
+/// first common boundary on, *every* subsequent boundary is identical.
+/// (Exact, not statistical: `with_avg` guarantees `min_size >= window`,
+/// so once both chunkings restart from a common boundary the remaining
+/// identical bytes drive identical decisions.)
+#[test]
+fn boundaries_resync_after_prefix_perturbation() {
+    let mut rng = SplitMix64::new(0xC4C_0007);
+    let cfg = ChunkerConfig::with_avg(256);
+    let chunker = ContentChunker::new(cfg);
+    for round in 0..48 {
+        // Text-like content: natural cut points exist densely, unlike the
+        // adversarial constant runs above.
+        let mut data = Vec::new();
+        while data.len() < 16_000 {
+            let w = rng.next_u64() % 500;
+            data.extend_from_slice(format!("token{w} ").as_bytes());
+        }
+        let p = 1 + rng.next_index(700); // perturbed prefix length
+        let mut mutated = data.clone();
+        for b in &mut mutated[..p] {
+            *b = rng.next_u64() as u8;
+        }
+        let bounds = |chunks: &[dbdedup_chunker::Chunk]| -> Vec<usize> {
+            chunks.iter().map(|c| c.offset + c.len).collect()
+        };
+        let a = bounds(&chunker.chunk(&data));
+        let b = bounds(&chunker.chunk(&mutated));
+        // First boundary present in both chunkings whose deciding window
+        // saw only unperturbed bytes.
+        let resync = a
+            .iter()
+            .copied()
+            .find(|&x| x >= p + cfg.window && b.contains(&x))
+            .unwrap_or_else(|| panic!("round {round}: no common boundary after prefix {p}"));
+        assert!(
+            resync <= p + 8 * cfg.max_size,
+            "round {round}: resync at {resync} too far past prefix {p}"
+        );
+        let a_tail: Vec<usize> = a.iter().copied().filter(|&x| x > resync).collect();
+        let b_tail: Vec<usize> = b.iter().copied().filter(|&x| x > resync).collect();
+        assert_eq!(
+            a_tail, b_tail,
+            "round {round}: boundaries past the resync point at {resync} must be identical"
+        );
+    }
+}
+
 /// Identical prefixes produce identical leading chunks (locality: a
 /// change can only affect chunks at or after the edit point).
 #[test]

@@ -113,6 +113,33 @@ impl EngineConfig {
     }
 }
 
+/// Tunables for the bounded-worker parallel ingest pipeline
+/// ([`crate::pipeline::ParallelIngest`]).
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Preparer (chunk + sketch) worker threads. Clamped to ≥ 1.
+    pub workers: usize,
+    /// Maximum submitted-but-uncommitted records before `submit` blocks
+    /// (backpressure). Bounds both the worker queue and every reorder
+    /// buffer. Clamped to ≥ 1.
+    pub max_inflight: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self { workers: 4, max_inflight: 64 }
+    }
+}
+
+impl IngestConfig {
+    /// A pipeline with `workers` preparer threads and a proportional
+    /// in-flight cap (16 records per worker, at least 16).
+    pub fn with_workers(workers: usize) -> Self {
+        let workers = workers.max(1);
+        Self { workers, max_inflight: (workers * 16).max(16) }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +168,14 @@ mod tests {
         assert!(!s.dedup_enabled);
         assert!(s.block_compression);
         assert_eq!(EngineConfig::default().without_size_filter().filter_quantile, 0.0);
+    }
+
+    #[test]
+    fn ingest_config_clamps_workers() {
+        let c = IngestConfig::with_workers(0);
+        assert_eq!(c.workers, 1);
+        assert!(c.max_inflight >= 16);
+        assert_eq!(IngestConfig::with_workers(8).max_inflight, 128);
+        assert_eq!(IngestConfig::default().workers, 4);
     }
 }

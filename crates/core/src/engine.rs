@@ -5,9 +5,10 @@ use crate::config::EngineConfig;
 use crate::filter::SizeFilter;
 use crate::governor::{Governor, GovernorVerdict};
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
+use crate::pipeline::{InsertPreparer, PreparedInsert};
 use bytes::Bytes;
 use dbdedup_cache::{PendingWriteback, SourceRecordCache, WritebackCache};
-use dbdedup_chunker::{ChunkerConfig, ContentChunker, SketchExtractor};
+use dbdedup_chunker::SketchExtractor;
 use dbdedup_delta::ops::DeltaError;
 use dbdedup_delta::{reencode, DbDeltaConfig, DbDeltaEncoder, Delta};
 use dbdedup_encoding::{ChainManager, Writeback};
@@ -242,8 +243,9 @@ impl std::fmt::Debug for DedupEngine {
 impl DedupEngine {
     /// Creates an engine over an existing record store.
     pub fn new(store: RecordStore, config: EngineConfig) -> Result<Self, EngineError> {
-        let chunker = ContentChunker::new(ChunkerConfig::with_avg(config.chunk_avg_size));
-        let extractor = SketchExtractor::new(chunker, config.sketch_k);
+        // Shared with the parallel-ingest preparer so worker-computed
+        // sketches are bit-identical to inline ones.
+        let extractor = InsertPreparer::from_config(&config).into_extractor();
         let encoder = DbDeltaEncoder::new(DbDeltaConfig::with_interval(config.anchor_interval));
         let index = PartitionedFeatureIndex::new(CuckooConfig {
             max_candidates: config.max_candidates_per_feature,
@@ -349,12 +351,28 @@ impl DedupEngine {
         id: RecordId,
         data: &[u8],
     ) -> Result<InsertOutcome, EngineError> {
+        self.insert_prepared(db, id, data, None)
+    }
+
+    /// Inserts a record whose pure CPU stages (chunking + sketch
+    /// extraction) may already have been computed off-thread by an
+    /// [`InsertPreparer`]. With `prepared = None` this *is* the serial
+    /// insert path; with `Some(_)` only the feature-extraction step is
+    /// substituted — every gate, lookup, selection, and append below runs
+    /// unchanged, in call order, so the two paths commit identical bytes.
+    pub fn insert_prepared(
+        &mut self,
+        db: &str,
+        id: RecordId,
+        data: &[u8],
+        prepared: Option<PreparedInsert>,
+    ) -> Result<InsertOutcome, EngineError> {
         if self.store.contains(id) {
             return Err(EngineError::DuplicateId(id));
         }
         // One sampling decision per insert; unsampled operations skip
         // every clock read below.
-        self.tracer.sample();
+        let sampled = self.tracer.sample();
         self.metrics.original_bytes += data.len() as u64;
 
         if !self.config.dedup_enabled {
@@ -383,14 +401,29 @@ impl DedupEngine {
             return Ok(InsertOutcome::BypassedSize);
         }
 
-        // ① Feature extraction.
-        let t = self.tracer.start();
-        let mut chunks = Vec::new();
-        self.extractor.chunker().chunk_into(data, &mut chunks);
-        self.tracer.stop(t, Stage::Chunk);
-        let t = self.tracer.start();
-        let sketch = self.extractor.extract_from_chunks(data, &chunks);
-        self.tracer.stop(t, Stage::Sketch);
+        // ① Feature extraction — inline, or carried in from a pipeline
+        // worker (same extractor configuration, so same sketch bytes).
+        let sketch = match prepared {
+            Some(p) => {
+                if sampled {
+                    // Credit the worker's measured time to the same stage
+                    // histograms the inline path feeds.
+                    self.tracer.stages_mut().record(Stage::Chunk, p.chunk_ns);
+                    self.tracer.stages_mut().record(Stage::Sketch, p.sketch_ns);
+                }
+                p.sketch
+            }
+            None => {
+                let t = self.tracer.start();
+                let mut chunks = Vec::new();
+                self.extractor.chunker().chunk_into(data, &mut chunks);
+                self.tracer.stop(t, Stage::Chunk);
+                let t = self.tracer.start();
+                let sketch = self.extractor.extract_from_chunks(data, &chunks);
+                self.tracer.stop(t, Stage::Sketch);
+                sketch
+            }
+        };
         // ② Index lookup (and registration of the new record's features).
         let t = self.tracer.start();
         let slot = self.slots.assign(id);
@@ -1299,6 +1332,13 @@ impl DedupEngine {
     /// replication layer records its incidents here too).
     pub fn event_log(&self) -> Arc<EventLog> {
         self.events.clone()
+    }
+
+    /// A thread-safe handle performing this engine's exact feature
+    /// extraction (chunking + sketching) off-thread, for use with
+    /// [`DedupEngine::insert_prepared`].
+    pub fn preparer(&self) -> InsertPreparer {
+        InsertPreparer::from_extractor(self.extractor.clone())
     }
 
     /// The per-stage latency histograms accumulated so far.

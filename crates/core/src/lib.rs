@@ -32,11 +32,13 @@ pub mod engine;
 pub mod filter;
 pub mod governor;
 pub mod metrics;
+pub mod pipeline;
 pub mod sharded;
 pub mod shared;
 
-pub use config::EngineConfig;
+pub use config::{EngineConfig, IngestConfig};
 pub use engine::{DedupEngine, EngineError, InsertOutcome};
 pub use metrics::MetricsSnapshot;
+pub use pipeline::{IngestSnapshot, InsertPreparer, ParallelIngest, PreparedInsert};
 pub use sharded::ShardedEngine;
 pub use shared::SharedEngine;

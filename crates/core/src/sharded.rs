@@ -45,7 +45,10 @@ impl ShardedEngine {
         self.shards.len()
     }
 
-    fn shard_of_db(&self, db: &str) -> usize {
+    /// The shard index owning database `db` (stable for the lifetime of
+    /// the deployment; the parallel ingest pipeline keys its commit lanes
+    /// off this).
+    pub fn route(&self, db: &str) -> usize {
         let mut h = FxHasher::default();
         db.hash(&mut h);
         (h.finish() % self.shards.len() as u64) as usize
@@ -58,10 +61,46 @@ impl ShardedEngine {
         id: RecordId,
         data: &[u8],
     ) -> Result<InsertOutcome, EngineError> {
-        let k = self.shard_of_db(db);
-        let out = self.shards[k].lock().insert(db, id, data)?;
+        self.insert_prepared(db, id, data, None)
+    }
+
+    /// Inserts with optionally pre-computed feature extraction (see
+    /// [`DedupEngine::insert_prepared`]).
+    pub fn insert_prepared(
+        &self,
+        db: &str,
+        id: RecordId,
+        data: &[u8],
+        prepared: Option<crate::pipeline::PreparedInsert>,
+    ) -> Result<InsertOutcome, EngineError> {
+        let k = self.route(db);
+        let out = self.shards[k].lock().insert_prepared(db, id, data, prepared)?;
         self.placement.lock().insert(id, k as u32);
         Ok(out)
+    }
+
+    /// A preparer performing the shards' exact feature extraction (all
+    /// shards share one configuration).
+    pub fn preparer(&self) -> crate::pipeline::InsertPreparer {
+        self.shards[0].lock().preparer()
+    }
+
+    /// The shared shard configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.shards[0].lock().config().clone()
+    }
+
+    /// Raises/clears the replication-overload gate on every shard.
+    pub fn set_replication_pressure(&self, on: bool) {
+        for s in self.shards.iter() {
+            s.lock().set_replication_pressure(on);
+        }
+    }
+
+    /// Runs `f` against shard `k` under its lock (tests, diagnostics, and
+    /// the differential harness's byte-level comparisons).
+    pub fn with_shard<R>(&self, k: usize, f: impl FnOnce(&mut DedupEngine) -> R) -> R {
+        f(&mut self.shards[k].lock())
     }
 
     fn shard_of_id(&self, id: RecordId) -> Result<usize, EngineError> {

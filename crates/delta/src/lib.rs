@@ -41,6 +41,6 @@ pub mod reencode;
 pub mod xdelta;
 
 pub use dbdelta::{DbDeltaConfig, DbDeltaEncoder};
-pub use ops::{Delta, DeltaOp};
+pub use ops::{Delta, DeltaCodec, DeltaOp};
 pub use reencode::reencode;
 pub use xdelta::xdelta_compress;

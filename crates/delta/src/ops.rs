@@ -60,6 +60,49 @@ pub struct Delta {
     target_len: usize,
 }
 
+/// Which encoder produced a delta — the leading byte of the *tagged*
+/// envelope ([`Delta::encode_tagged`] / [`Delta::decode_tagged`]).
+///
+/// Both encoders emit the same COPY/INSERT instruction stream, so an
+/// untagged xDelta payload decodes "successfully" as a dbDedup delta and
+/// vice versa — and then reconstructs garbage if applied against state
+/// maintained by the other codec's pipeline. Interchange paths that mix
+/// codecs tag the envelope so a mismatch fails with a typed error
+/// ([`DeltaError::WrongCodec`]) instead. The internal storage/oplog
+/// format stays untagged: there the codec is fixed by configuration and
+/// the extra byte would compete against the savings it frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaCodec {
+    /// Classic xDelta (MacDonald, 2000): Adler-32 block index.
+    XDelta,
+    /// dbDedup's anchor-sampled encoder (Algorithm 1).
+    DbDedup,
+}
+
+impl DeltaCodec {
+    /// The stable one-byte wire tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            DeltaCodec::XDelta => 0x58,  // 'X'
+            DeltaCodec::DbDedup => 0x44, // 'D'
+        }
+    }
+
+    /// Stable lowercase name (diagnostics).
+    pub fn name(self) -> &'static str {
+        match self {
+            DeltaCodec::XDelta => "xdelta",
+            DeltaCodec::DbDedup => "dbdedup",
+        }
+    }
+}
+
+impl std::fmt::Display for DeltaCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Errors surfaced when applying or decoding a delta.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DeltaError {
@@ -81,6 +124,14 @@ pub enum DeltaError {
     },
     /// The wire bytes were malformed.
     Codec(CodecError),
+    /// A tagged envelope carried another codec's tag (or junk) where
+    /// `expected` was required.
+    WrongCodec {
+        /// The codec the caller required.
+        expected: DeltaCodec,
+        /// The tag byte actually found (`None` for an empty envelope).
+        found: Option<u8>,
+    },
 }
 
 impl std::fmt::Display for DeltaError {
@@ -96,6 +147,10 @@ impl std::fmt::Display for DeltaError {
                 write!(f, "delta produced {actual} bytes, header declared {expected}")
             }
             DeltaError::Codec(e) => write!(f, "malformed delta: {e}"),
+            DeltaError::WrongCodec { expected, found } => match found {
+                Some(t) => write!(f, "delta tagged {t:#04x} is not a {expected} delta"),
+                None => write!(f, "empty envelope is not a {expected} delta"),
+            },
         }
     }
 }
@@ -221,6 +276,26 @@ impl Delta {
             return Err(DeltaError::LengthMismatch { expected: target_len, actual: produced });
         }
         Ok(Self { ops, target_len })
+    }
+
+    /// Serializes to the tagged envelope: `codec.tag()` followed by the
+    /// untagged wire format. See [`DeltaCodec`].
+    pub fn encode_tagged(&self, codec: DeltaCodec) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + self.encoded_len());
+        out.push(codec.tag());
+        out.extend_from_slice(&self.encode());
+        out
+    }
+
+    /// Parses a tagged envelope, requiring `codec`'s tag. Another codec's
+    /// envelope (or a truncated one) fails with
+    /// [`DeltaError::WrongCodec`] before any instruction is interpreted.
+    pub fn decode_tagged(codec: DeltaCodec, bytes: &[u8]) -> Result<Self, DeltaError> {
+        match bytes.split_first() {
+            Some((&t, rest)) if t == codec.tag() => Self::decode(rest),
+            Some((&t, _)) => Err(DeltaError::WrongCodec { expected: codec, found: Some(t) }),
+            None => Err(DeltaError::WrongCodec { expected: codec, found: None }),
+        }
     }
 
     /// Reconstructs the target from `source`.
@@ -350,6 +425,27 @@ mod tests {
             DeltaOp::Insert(vec![7; 200]),
         ]);
         assert_eq!(d.encoded_len(), d.encode().len());
+    }
+
+    #[test]
+    fn tagged_envelope_roundtrips_and_cross_rejects() {
+        let d = Delta::from_ops(vec![
+            DeltaOp::Copy { src_off: 0, len: 9 },
+            DeltaOp::Insert(b"tail".to_vec()),
+        ]);
+        for codec in [DeltaCodec::XDelta, DeltaCodec::DbDedup] {
+            let wire = d.encode_tagged(codec);
+            assert_eq!(Delta::decode_tagged(codec, &wire).unwrap(), d);
+        }
+        let as_x = d.encode_tagged(DeltaCodec::XDelta);
+        assert_eq!(
+            Delta::decode_tagged(DeltaCodec::DbDedup, &as_x),
+            Err(DeltaError::WrongCodec { expected: DeltaCodec::DbDedup, found: Some(0x58) })
+        );
+        assert_eq!(
+            Delta::decode_tagged(DeltaCodec::XDelta, &[]),
+            Err(DeltaError::WrongCodec { expected: DeltaCodec::XDelta, found: None })
+        );
     }
 
     #[test]

@@ -103,6 +103,13 @@ pub enum EventKind {
         /// `true` when raised (dedup shed), `false` when lowered.
         on: bool,
     },
+    /// A parallel-ingest commit lane toggled pass-through degradation
+    /// (records skip the worker stage while the overload gate sheds
+    /// dedup anyway).
+    IngestDegraded {
+        /// `true` entering pass-through, `false` resuming full pipeline.
+        on: bool,
+    },
     /// Salvage recovery quarantined entries / truncated a torn tail.
     Salvage {
         /// Entries quarantined for bad checksums.
@@ -166,6 +173,7 @@ impl EventKind {
             EventKind::CatchupBatch { .. } => "catchup_batch",
             EventKind::FullResync { .. } => "full_resync",
             EventKind::OverloadGate { .. } => "overload_gate",
+            EventKind::IngestDegraded { .. } => "ingest_degraded",
             EventKind::Salvage { .. } => "salvage",
             EventKind::ChainBroken { .. } => "chain_broken",
             EventKind::GovernorDisabled { .. } => "governor_disabled",
@@ -235,7 +243,7 @@ impl Event {
             EventKind::DroppedBatch { total } => {
                 s.push_str(&format!(",\"total\":{total}"));
             }
-            EventKind::OverloadGate { on } => {
+            EventKind::OverloadGate { on } | EventKind::IngestDegraded { on } => {
                 s.push_str(&format!(",\"on\":{on}"));
             }
             EventKind::Salvage { quarantined, truncated_bytes } => {
@@ -434,6 +442,7 @@ mod tests {
             EventKind::CatchupBatch { replica: 2 },
             EventKind::FullResync { replica: 2 },
             EventKind::OverloadGate { on: true },
+            EventKind::IngestDegraded { on: true },
             EventKind::Salvage { quarantined: 4, truncated_bytes: 512 },
             EventKind::ChainBroken { id: 9, broken_at: 3 },
             EventKind::GovernorDisabled { db: "rand\"om".into() },

@@ -742,6 +742,24 @@ impl RecordStore {
         self.inner.lock().io
     }
 
+    /// The raw on-disk bytes of every segment file in segment order
+    /// (the differential equivalence harness compares these across
+    /// engines byte for byte). Taken under the store lock, so the view
+    /// is consistent between appends; a segment emptied by compaction
+    /// reads as an empty vector.
+    pub fn segment_bytes(&self) -> Result<Vec<Vec<u8>>, StoreError> {
+        let inner = self.inner.lock();
+        let mut out = Vec::with_capacity(inner.active_idx as usize + 1);
+        for i in 0..=inner.active_idx {
+            match fs::read(segment_path(&self.dir, i)) {
+                Ok(bytes) => out.push(bytes),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => out.push(Vec::new()),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(out)
+    }
+
     /// Block-cache (buffer pool) counters.
     pub fn block_cache_stats(&self) -> BlockCacheStats {
         self.inner.lock().cache.stats()

@@ -12,14 +12,24 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+# --test-threads=4 keeps multiple test binaries' worth of engine/pipeline
+# threads alive concurrently, so the parallel ingest path is exercised
+# under real thread contention even on small CI machines.
+echo "==> cargo test -q -- --test-threads=4"
+cargo test -q -- --test-threads=4
 
 # Deterministic replication simulator over the fixed CI seed sweep
 # (tests/sim_harness.rs). A failure prints the seed; re-running that seed
 # replays the exact schedule.
 echo "==> sim-smoke"
 cargo test -q --test sim_harness
+
+# Differential equivalence smoke (tests/differential.rs): ParallelIngest
+# at 4 workers over the fixed seed 0xD1FF must produce byte-identical
+# store segments, oplog bytes, and metric counters to the serial engine.
+# Timing-independent — meaningful on any core count.
+echo "==> differential-smoke"
+cargo test -q --test differential smoke_fixed_seed_four_workers
 
 # Metrics-registry schema round-trip (crates/core/tests/metrics_schema.rs):
 # the JSON export parses with the in-repo parser, every registry field

@@ -52,7 +52,10 @@ pub use dbdedup_storage as storage;
 pub use dbdedup_util as util;
 pub use dbdedup_workloads as workloads;
 
-pub use dbdedup_core::{DedupEngine, EngineConfig, EngineError, InsertOutcome, MetricsSnapshot};
+pub use dbdedup_core::{
+    DedupEngine, EngineConfig, EngineError, IngestConfig, InsertOutcome, MetricsSnapshot,
+    ParallelIngest, ShardedEngine,
+};
 pub use dbdedup_encoding::EncodingPolicy;
 pub use dbdedup_maint::{MaintConfig, Maintainer};
 pub use dbdedup_repl::{AsyncReplicator, ReplicaPair, ResyncReport};
