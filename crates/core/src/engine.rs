@@ -21,6 +21,7 @@ use dbdedup_util::hash::crc32::crc32;
 use dbdedup_util::hash::fx::{FxHashMap, FxHashSet};
 use dbdedup_util::ids::RecordId;
 use dbdedup_util::time::Clock;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Errors surfaced by engine operations.
@@ -164,6 +165,29 @@ pub enum InsertOutcome {
     Disabled,
 }
 
+/// What the out-of-line re-dedup of one overload-degraded record did
+/// (see [`DedupEngine::rededup_record`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RededupOutcome {
+    /// A beneficial similar source was found: the raw record was rewritten
+    /// into `source`'s chain, its tagged raw frame superseded only after
+    /// every chain half was durably committed (copy-before-supersede).
+    Rededuped {
+        /// The selected source record.
+        source: RecordId,
+        /// Forward-delta size the full pipeline would have shipped.
+        forward_bytes: usize,
+    },
+    /// The replayed pipeline found no (beneficial) source — exactly what
+    /// the inline path would have concluded. The record stays raw, its
+    /// features stay registered, and the degraded tag is durably cleared.
+    KeptRaw,
+    /// The record no longer needs re-dedup (deleted, updated, damaged, or
+    /// already chained by a crash-interrupted rewrite); the backlog entry
+    /// was dropped.
+    Skipped,
+}
+
 /// Maps dense 4-byte index slots to record ids (the feature index stores
 /// slots, as the paper's index stores 4-byte record pointers).
 #[derive(Debug, Default)]
@@ -227,6 +251,14 @@ pub struct DedupEngine {
     /// the store remains authoritative — but gives the anti-entropy resync
     /// its priority work-list.
     broken: FxHashSet<RecordId>,
+    /// Records admitted raw via the overload pass-through path, keyed to
+    /// the logical database they were tagged under — the out-of-line
+    /// re-dedup backlog. Ordered by id so maintenance drains in insertion
+    /// order, replaying the same index/chain operation sequence the inline
+    /// path would have run. The durable half lives in segment metadata
+    /// ([`RecordStore::put_degraded`]); this map is rebuilt from
+    /// [`RecordStore::degraded_records`] on restart.
+    degraded: BTreeMap<RecordId, String>,
     metrics: EngineMetrics,
     /// Sampling per-stage latency tracer (insert workflow, read decode).
     tracer: StageTracer,
@@ -286,6 +318,10 @@ impl DedupEngine {
                 (id, base)
             }));
         }
+        // The degraded-set survives restart through segment metadata: every
+        // live frame still carrying the overload tag re-enters the re-dedup
+        // backlog, in id (= insertion) order.
+        let degraded: BTreeMap<RecordId, String> = store.degraded_records()?.into_iter().collect();
         let tracer = StageTracer::new(config.trace_sample_every);
         let events = EventLog::shared(config.event_log_capacity);
         // Surface what salvage recovery found on the way up: quarantined
@@ -316,6 +352,7 @@ impl DedupEngine {
             slots: SlotTable::default(),
             shadow: FxHashMap::default(),
             broken,
+            degraded,
             metrics: EngineMetrics::default(),
             oplog,
             store,
@@ -391,7 +428,7 @@ impl DedupEngine {
             // a throughput/compression trade, never a correctness one.
             self.metrics.bypassed_overload += 1;
             self.record_governor(db, data.len() as u64, data.len() as u64);
-            self.insert_unique(id, data)?;
+            self.insert_unique_degraded(db, id, data)?;
             return Ok(InsertOutcome::BypassedOverload);
         }
         if self.filter.observe(db, data.len() as u64) {
@@ -612,6 +649,33 @@ impl DedupEngine {
     fn insert_unique_cached(&mut self, id: RecordId, data: &[u8]) -> Result<(), EngineError> {
         self.insert_unique(id, data)?;
         self.source_cache.insert(id, Bytes::copy_from_slice(data));
+        Ok(())
+    }
+
+    /// Unique insert for the overload pass-through path: stored raw like
+    /// [`insert_unique`](Self::insert_unique), but the frame carries the
+    /// degraded tag (with the logical database) so out-of-line re-dedup can
+    /// recover the lost compression later — even across a restart. The raw
+    /// record still replicates through the oplog exactly as before; the
+    /// tag is primary-local storage metadata.
+    fn insert_unique_degraded(
+        &mut self,
+        db: &str,
+        id: RecordId,
+        data: &[u8],
+    ) -> Result<(), EngineError> {
+        let (_, wire) = self.oplog.append(OplogKind::Insert {
+            id,
+            payload: OplogPayload::Raw(Bytes::copy_from_slice(data)),
+        })?;
+        self.metrics.network_bytes += wire as u64;
+        let t = self.tracer.start();
+        self.store.put_degraded(id, db, data)?;
+        self.tracer.stop(t, Stage::StoreAppend);
+        self.io.submit(1);
+        self.chains.start_chain(id);
+        self.metrics.unique_inserts += 1;
+        self.degraded.insert(id, db.to_string());
         Ok(())
     }
 
@@ -841,6 +905,10 @@ impl DedupEngine {
         // A queued writeback would clobber this update — invalidate (§4.1).
         self.wb_cache.invalidate(id);
         self.source_cache.remove(id);
+        // New content supersedes whatever the overload path admitted; the
+        // re-dedup backlog entry is obsolete (the in-place rewrite below
+        // also clears the on-disk tag).
+        self.degraded.remove(&id);
         if emit_oplog {
             let (_, wire) = self.oplog.append(OplogKind::Update {
                 id,
@@ -877,6 +945,7 @@ impl DedupEngine {
         }
         self.wb_cache.invalidate(id);
         self.source_cache.remove(id);
+        self.degraded.remove(&id);
         if emit_oplog {
             let (_, wire) = self.oplog.append(OplogKind::Delete { id })?;
             self.metrics.network_bytes += wire as u64;
@@ -1143,6 +1212,244 @@ impl DedupEngine {
         Ok(reencoded)
     }
 
+    /// Records admitted raw under overload and still awaiting out-of-line
+    /// re-dedup, in id (= insertion) order — the re-dedup work list a
+    /// deterministic maintenance scheduler drains.
+    pub fn degraded_backlog_ids(&self) -> Vec<RecordId> {
+        self.degraded.keys().copied().collect()
+    }
+
+    /// Size of the out-of-line re-dedup backlog.
+    pub fn degraded_backlog_len(&self) -> usize {
+        self.degraded.len()
+    }
+
+    /// Re-runs the full dedup pipeline — sketch → index lookup → source
+    /// selection → delta encode — for one record admitted raw under
+    /// overload, and rewrites it into a chain when a beneficial source
+    /// exists. Always drains the record's backlog entry (re-dedup
+    /// converges; every call makes progress).
+    ///
+    /// Purely local, like every PR-4 maintenance task: no oplog entry is
+    /// emitted — the raw content already replicated at admission time, and
+    /// the rewrite preserves it byte for byte. Admission heuristics (size
+    /// filter, governor) are deliberately not consulted or updated: the
+    /// record was already admitted, and maintenance must not steer them.
+    ///
+    /// Crash model (copy-before-supersede): the raw tagged frame stays the
+    /// live entry for `id` until every chain half is durably committed;
+    /// only then does a clean raw re-put supersede it — clearing the
+    /// on-disk tag. A crash at any intermediate write leaves the record
+    /// readable raw and its degraded-set entry recoverable from segment
+    /// metadata; a restart either re-runs the rewrite or (when the chain
+    /// halves already landed) just clears the tag.
+    pub fn rededup_record(&mut self, id: RecordId) -> Result<RededupOutcome, EngineError> {
+        let Some(db) = self.degraded.get(&id).cloned() else {
+            return Ok(RededupOutcome::Skipped);
+        };
+        self.tracer.sample();
+        let t = self.tracer.start();
+        let result = self.rededup_inner(id, &db);
+        self.tracer.stop(t, Stage::MaintRededup);
+        if let Ok(outcome) = &result {
+            let name = match outcome {
+                RededupOutcome::Rededuped { .. } => {
+                    self.metrics.rededup_rewritten += 1;
+                    "rededuped"
+                }
+                RededupOutcome::KeptRaw => {
+                    self.metrics.rededup_kept_raw += 1;
+                    "kept_raw"
+                }
+                RededupOutcome::Skipped => {
+                    self.metrics.rededup_skipped += 1;
+                    "skipped"
+                }
+            };
+            self.events.record(Severity::Info, EventKind::MaintRededup { id: id.0, outcome: name });
+        }
+        result
+    }
+
+    fn rededup_inner(&mut self, id: RecordId, db: &str) -> Result<RededupOutcome, EngineError> {
+        // The record may have moved on since it was tagged.
+        if !self.store.contains(id) || self.chains.is_deleted(id) {
+            self.degraded.remove(&id);
+            return Ok(RededupOutcome::Skipped);
+        }
+        if self.broken.contains(&id) || self.shadow.contains_key(&id) {
+            // Damaged records belong to anti-entropy (repair re-puts raw,
+            // clearing the tag); shadowed ones hold a pending client
+            // update that supersedes the degraded bytes.
+            self.degraded.remove(&id);
+            return Ok(RededupOutcome::Skipped);
+        }
+        if self.chains.refcount(id) > 0 || self.chains.base_of(id).is_some() {
+            // A crash-interrupted rewrite already committed its chain
+            // halves (or the record got chained some other way). Nothing
+            // to re-encode — just durably clear the on-disk tag while the
+            // live frame is still raw-and-tagged.
+            if self.store.is_degraded(id) {
+                let sr = self.store.get(id)?;
+                if sr.form == StorageForm::Raw {
+                    self.store.put(id, StorageForm::Raw, &sr.payload)?;
+                    self.io.submit(1);
+                }
+            }
+            self.degraded.remove(&id);
+            return Ok(RededupOutcome::Skipped);
+        }
+
+        // Raw refcount-0 singleton, exactly as the overload path left it:
+        // replay the inline pipeline stages in call order, so a degraded
+        // burst drained in insertion order converges to the same index,
+        // chain, and storage state a never-degraded run produces.
+        let data = self.store.get(id)?.payload;
+
+        // ① Feature extraction.
+        let mut chunks = Vec::new();
+        self.extractor.chunker().chunk_into(&data, &mut chunks);
+        let sketch = self.extractor.extract_from_chunks(&data, &chunks);
+        // ② Index lookup + registration (the overload path skipped it, so
+        // the record's features enter the index here, just later).
+        let slot = self.slots.assign(id);
+        let mut counts: FxHashMap<u32, u32> = FxHashMap::default();
+        {
+            let part = self.index.partition_mut(db);
+            for &feature in sketch.features() {
+                for cand in part.lookup_insert(feature, slot) {
+                    if cand != slot {
+                        *counts.entry(cand).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        // ③ Cache-aware source selection (§3.1.3), same scoring as inline.
+        let mut best: Option<(u32, RecordId)> = None;
+        for (&cand_slot, &feature_score) in &counts {
+            let Some(cand_id) = self.slots.get(cand_slot) else {
+                continue;
+            };
+            if self.chains.is_deleted(cand_id) || !self.store.contains(cand_id) {
+                continue;
+            }
+            let mut score = feature_score;
+            if self.source_cache.contains(cand_id) {
+                score += self.config.cache_reward;
+            }
+            let better = match best {
+                None => true,
+                Some((bs, bid)) => score > bs || (score == bs && cand_id > bid),
+            };
+            if better {
+                best = Some((score, cand_id));
+            }
+        }
+        let Some((_, source)) = best else {
+            return self.rededup_keep_raw(id, &data);
+        };
+        // ④ Delta compression, with the same benefit gate as inline.
+        let src_content = match self.fetch_for_encode(source) {
+            Ok(c) => c,
+            Err(EngineError::ChainBroken { .. } | EngineError::NotFound(_)) => {
+                return self.rededup_keep_raw(id, &data);
+            }
+            Err(e) => return Err(e),
+        };
+        let forward = self.encoder.encode(&src_content, &data);
+        let saved = data.len() as i64 - forward.encoded_len() as i64;
+        if saved < self.config.min_benefit_bytes as i64 {
+            return self.rededup_keep_raw(id, &data);
+        }
+        let forward_bytes = forward.encoded_len();
+        self.apply_rededup(id, source, &data, &src_content, &forward)?;
+        Ok(RededupOutcome::Rededuped { source, forward_bytes })
+    }
+
+    /// Terminal no-source outcome of a re-dedup pass: the record stays
+    /// raw, exactly as the inline unique path would have stored it. The
+    /// clean raw re-put supersedes the tagged frame (durable tag clear),
+    /// and the content seeds the source cache like a unique insert does.
+    fn rededup_keep_raw(
+        &mut self,
+        id: RecordId,
+        data: &[u8],
+    ) -> Result<RededupOutcome, EngineError> {
+        self.store.put(id, StorageForm::Raw, data)?;
+        self.io.submit(1);
+        self.source_cache.insert(id, Bytes::copy_from_slice(data));
+        self.degraded.remove(&id);
+        Ok(RededupOutcome::KeptRaw)
+    }
+
+    /// Commits a re-dedup rewrite with the copy-before-supersede ordering:
+    /// chain halves (backward deltas for the source and any hop upgrades)
+    /// land first — all synchronous, so the rewrite is durably complete —
+    /// and only then is the raw tagged frame superseded by a clean raw
+    /// re-put of identical bytes. Mirrors
+    /// [`apply_dedup_insert`](Self::apply_dedup_insert)'s chain and cache
+    /// operations so a drained backlog converges to the inline result.
+    fn apply_rededup(
+        &mut self,
+        id: RecordId,
+        source: RecordId,
+        data: &[u8],
+        src_content: &[u8],
+        forward: &Delta,
+    ) -> Result<(), EngineError> {
+        // Re-enter the record through the normal append machinery: its
+        // singleton chain (refcount 0, no base) is retired and `id` joins
+        // `source`'s chain, so hop policy sees the same operation sequence
+        // an inline dedup insert would have produced.
+        self.chains.remove(id);
+        let plan = self.chains.append(id, source);
+        for wb in &plan.writebacks {
+            let (content, delta) = if wb.target == source {
+                (Bytes::copy_from_slice(src_content), reencode(src_content, forward))
+            } else {
+                let c = match self.fetch_for_encode(wb.target) {
+                    Ok(c) => c,
+                    Err(EngineError::ChainBroken { .. } | EngineError::NotFound(_)) => continue,
+                    Err(e) => return Err(e),
+                };
+                let d = self.encoder.encode(data, &c);
+                (c, d)
+            };
+            let enc = delta.encode();
+            let saving = content.len() as i64 - enc.len() as i64;
+            if saving > 0 {
+                // Always synchronous, regardless of the writeback-cache
+                // mode: the whole point of copy-before-supersede is that
+                // the rewrite is durably complete before the raw frame
+                // goes away. A queued delta for this target computed
+                // against older content would now be stale — drop it.
+                self.wb_cache.invalidate(wb.target);
+                self.store.put(wb.target, StorageForm::Delta { base: id }, &enc)?;
+                self.chains.commit_writeback(Writeback { target: wb.target, base: id });
+                self.io.submit(1);
+            }
+            if wb.target != source {
+                self.source_cache.remove(wb.target);
+            }
+        }
+        // Commit point: a clean raw frame (identical bytes, no tag)
+        // supersedes the degraded frame. Until this write lands, every
+        // prior write is additive — a crash leaves the record readable
+        // and the tag in place.
+        self.store.put(id, StorageForm::Raw, data)?;
+        self.io.submit(1);
+        // Cache maintenance identical to the inline dedup path (§3.3.1).
+        let src_level = self
+            .chains
+            .chain_index(source)
+            .map(|idx| self.chains.policy().level_of(idx))
+            .unwrap_or(0);
+        let replaces = if src_level >= 1 { None } else { Some(source) };
+        self.source_cache.replace_or_insert(id, Bytes::copy_from_slice(data), replaces);
+        self.degraded.remove(&id);
+        Ok(())
+    }
+
     /// Runs one bounded incremental-compaction step (at most `max_bytes`
     /// of segment bytes processed), accumulating the stats into the
     /// engine's cumulative compaction counters.
@@ -1260,6 +1567,9 @@ impl DedupEngine {
         }
         self.slots.assign(id);
         self.broken.remove(&id);
+        // The clean raw re-put above cleared any on-disk degraded tag;
+        // keep the backlog consistent with it.
+        self.degraded.remove(&id);
         self.metrics.repaired_records += 1;
         self.events.record(Severity::Info, EventKind::Repaired { id: id.0 });
         Ok(())
@@ -1276,6 +1586,7 @@ impl DedupEngine {
         self.wb_cache.invalidate_by_base(id);
         self.source_cache.remove(id);
         self.shadow.remove(&id);
+        self.degraded.remove(&id);
         if self.chains.chain_index(id).is_some() {
             if !self.chains.is_deleted(id) {
                 self.chains.mark_deleted(id);
@@ -1404,6 +1715,10 @@ impl DedupEngine {
             maint_reencoded: self.metrics.maint_reencoded,
             maint_removed: self.metrics.maint_removed,
             maint_retired: self.metrics.maint_retired,
+            maint_rededup_rewritten: self.metrics.rededup_rewritten,
+            maint_rededup_kept_raw: self.metrics.rededup_kept_raw,
+            maint_rededup_skipped: self.metrics.rededup_skipped,
+            maint_degraded_backlog: self.degraded.len() as u64,
             compact: self.metrics.compact,
         }
     }
@@ -1966,5 +2281,133 @@ mod tests {
             assert_eq!(&e.read(RecordId(i)).unwrap()[..], &docs[i as usize][..], "record {i}");
         }
         assert!(matches!(e.read(RecordId(0)), Err(EngineError::NotFound(_))));
+    }
+
+    #[test]
+    fn rededup_drains_degraded_burst_to_inline_parity() {
+        // Control: the same workload with dedup never degraded.
+        let mut control = engine();
+        let docs = versioned_docs(6, 51);
+        for (i, d) in docs.iter().enumerate() {
+            control.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        control.flush_all_writebacks().unwrap();
+
+        // Degraded run: records 1.. admitted raw during an overload burst.
+        let mut e = engine();
+        e.insert("db", RecordId(0), &docs[0]).unwrap();
+        e.set_replication_pressure(true);
+        for (i, d) in docs.iter().enumerate().skip(1) {
+            assert_eq!(
+                e.insert("db", RecordId(i as u64), d).unwrap(),
+                InsertOutcome::BypassedOverload
+            );
+        }
+        e.set_replication_pressure(false);
+        assert_eq!(e.degraded_backlog_len(), docs.len() - 1);
+
+        // Out-of-line drain in insertion order, oplog-silently.
+        let lsn_before = e.oplog_next_lsn();
+        for id in e.degraded_backlog_ids() {
+            assert!(
+                matches!(e.rededup_record(id).unwrap(), RededupOutcome::Rededuped { .. }),
+                "record {id:?} should find its predecessor"
+            );
+        }
+        e.flush_all_writebacks().unwrap();
+        assert_eq!(e.degraded_backlog_len(), 0);
+        assert_eq!(e.oplog_next_lsn(), lsn_before, "re-dedup must not hit the oplog");
+
+        // Convergence parity: same bytes back, same chain shape, and the
+        // same stored footprint as the never-degraded control.
+        let (mc, md) = (control.metrics(), e.metrics());
+        assert_eq!(md.stored_bytes, mc.stored_bytes);
+        assert_eq!(md.stored_uncompressed_bytes, mc.stored_uncompressed_bytes);
+        assert_eq!(md.maint_rededup_rewritten, docs.len() as u64 - 1);
+        assert_eq!(md.maint_degraded_backlog, 0);
+        for i in 0..docs.len() as u64 {
+            assert_eq!(
+                e.chains().base_of(RecordId(i)),
+                control.chains().base_of(RecordId(i)),
+                "base of {i}"
+            );
+            assert_eq!(&e.read(RecordId(i)).unwrap()[..], &docs[i as usize][..], "record {i}");
+        }
+    }
+
+    #[test]
+    fn rededup_keeps_unmatched_record_raw_and_registers_features() {
+        let mut e = engine();
+        let docs = versioned_docs(2, 77);
+        e.set_replication_pressure(true);
+        e.insert("db", RecordId(1), &docs[0]).unwrap();
+        e.set_replication_pressure(false);
+        assert!(e.store().is_degraded(RecordId(1)));
+        // Empty index: no source exists, so the record stays raw — but the
+        // pass both clears the on-disk tag and registers its features.
+        assert!(matches!(e.rededup_record(RecordId(1)).unwrap(), RededupOutcome::KeptRaw));
+        assert!(!e.store().is_degraded(RecordId(1)));
+        assert_eq!(e.degraded_backlog_len(), 0);
+        assert_eq!(&e.read(RecordId(1)).unwrap()[..], &docs[0][..]);
+        assert_eq!(e.metrics().maint_rededup_kept_raw, 1);
+        // ...so a later near-duplicate dedups against it.
+        assert!(matches!(
+            e.insert("db", RecordId(2), &docs[1]).unwrap(),
+            InsertOutcome::Deduped { source: RecordId(1), .. }
+        ));
+    }
+
+    #[test]
+    fn degraded_backlog_survives_restart_via_segment_metadata() {
+        let dir = std::env::temp_dir()
+            .join(format!("dbdedup-engine-rededup-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let docs = versioned_docs(3, 52);
+        let mut cfg = EngineConfig::default();
+        cfg.min_benefit_bytes = 16;
+        {
+            let store = RecordStore::open(&dir, StoreConfig::default()).unwrap();
+            let mut e = DedupEngine::new(store, cfg.clone()).unwrap();
+            e.insert("db", RecordId(0), &docs[0]).unwrap();
+            e.set_replication_pressure(true);
+            e.insert("db", RecordId(1), &docs[1]).unwrap();
+            e.insert("db", RecordId(2), &docs[2]).unwrap();
+        }
+        let store = RecordStore::open(&dir, StoreConfig::default()).unwrap();
+        let mut e = DedupEngine::new(store, cfg).unwrap();
+        assert_eq!(e.degraded_backlog_ids(), vec![RecordId(1), RecordId(2)]);
+        // The similarity index is in-memory by design, so the first drained
+        // record finds no source — but its pass registers its features, and
+        // the next one chains onto it.
+        assert!(matches!(e.rededup_record(RecordId(1)).unwrap(), RededupOutcome::KeptRaw));
+        assert!(matches!(
+            e.rededup_record(RecordId(2)).unwrap(),
+            RededupOutcome::Rededuped { source: RecordId(1), .. }
+        ));
+        assert_eq!(e.degraded_backlog_len(), 0);
+        for (i, d) in docs.iter().enumerate() {
+            assert_eq!(&e.read(RecordId(i as u64)).unwrap()[..], &d[..], "record {i}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn updates_and_deletes_drop_degraded_backlog_entries() {
+        let mut e = engine();
+        let docs = versioned_docs(3, 53);
+        e.set_replication_pressure(true);
+        e.insert("db", RecordId(1), &docs[0]).unwrap();
+        e.insert("db", RecordId(2), &docs[1]).unwrap();
+        e.insert("db", RecordId(3), &docs[2]).unwrap();
+        e.set_replication_pressure(false);
+        // A client update supersedes the degraded bytes; a delete removes
+        // them. Neither should leave stale re-dedup work behind.
+        e.update(RecordId(1), &docs[2]).unwrap();
+        e.delete(RecordId(2)).unwrap();
+        assert_eq!(e.degraded_backlog_ids(), vec![RecordId(3)]);
+        // Re-dedup of a since-departed id is a clean no-op.
+        assert!(matches!(e.rededup_record(RecordId(1)).unwrap(), RededupOutcome::Skipped));
+        assert!(matches!(e.rededup_record(RecordId(3)).unwrap(), RededupOutcome::KeptRaw));
+        assert_eq!(e.degraded_backlog_len(), 0);
     }
 }

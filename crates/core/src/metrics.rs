@@ -59,6 +59,13 @@ pub struct EngineMetrics {
     pub maint_removed: u64,
     /// Old versions retired by the retention policy.
     pub maint_retired: u64,
+    /// Degraded records rewritten into a chain by out-of-line re-dedup.
+    pub rededup_rewritten: u64,
+    /// Degraded records re-examined but kept raw (no beneficial source).
+    pub rededup_kept_raw: u64,
+    /// Re-dedup passes skipped (record deleted, damaged, or already
+    /// chained by a crash-interrupted rewrite).
+    pub rededup_skipped: u64,
     /// Cumulative incremental-compaction stats.
     pub compact: CompactStats,
 }
@@ -144,6 +151,14 @@ pub struct MetricsSnapshot {
     pub maint_removed: u64,
     /// Old versions retired by the retention policy.
     pub maint_retired: u64,
+    /// Degraded records rewritten into a chain by out-of-line re-dedup.
+    pub maint_rededup_rewritten: u64,
+    /// Degraded records re-examined but kept raw by re-dedup.
+    pub maint_rededup_kept_raw: u64,
+    /// Re-dedup passes skipped (deleted / damaged / already chained).
+    pub maint_rededup_skipped: u64,
+    /// Overload-degraded records still awaiting out-of-line re-dedup.
+    pub maint_degraded_backlog: u64,
     /// Cumulative incremental-compaction stats.
     pub compact: CompactStats,
 }
@@ -201,6 +216,10 @@ impl MetricsSnapshot {
         r.set_u64("maint.reencoded", self.maint_reencoded);
         r.set_u64("maint.removed", self.maint_removed);
         r.set_u64("maint.retired", self.maint_retired);
+        r.set_u64("maint.rededup.rewritten", self.maint_rededup_rewritten);
+        r.set_u64("maint.rededup.kept_raw", self.maint_rededup_kept_raw);
+        r.set_u64("maint.rededup.skipped", self.maint_rededup_skipped);
+        r.set_u64("maint.rededup.backlog", self.maint_degraded_backlog);
         r.set_u64("compact.segments_rewritten", self.compact.segments_rewritten);
         r.set_u64("compact.bytes_reclaimed", self.compact.bytes_reclaimed);
         r.set_u64("compact.entries_skipped", self.compact.entries_skipped);
@@ -287,6 +306,10 @@ mod tests {
             maint_reencoded: 0,
             maint_removed: 0,
             maint_retired: 0,
+            maint_rededup_rewritten: 0,
+            maint_rededup_kept_raw: 0,
+            maint_rededup_skipped: 0,
+            maint_degraded_backlog: 0,
             compact: CompactStats::default(),
         }
     }
@@ -339,6 +362,8 @@ mod tests {
         s.maint_pinned_dead_bytes = 4096;
         s.maint_reclaimable_dead_bytes = 512;
         s.maint_removed = 2;
+        s.maint_rededup_rewritten = 6;
+        s.maint_degraded_backlog = 11;
         s.compact.segments_rewritten = 3;
         s.compact.bytes_reclaimed = 9999;
         let j = s.to_json();
@@ -347,6 +372,8 @@ mod tests {
             "\"maint.pinned_dead_bytes\":4096",
             "\"maint.reclaimable_dead_bytes\":512",
             "\"maint.removed\":2",
+            "\"maint.rededup.rewritten\":6",
+            "\"maint.rededup.backlog\":11",
             "\"compact.segments_rewritten\":3",
             "\"compact.bytes_reclaimed\":9999",
         ] {

@@ -146,7 +146,7 @@ impl JobQueue {
 
     /// Enqueues a job, returning the resulting queue depth.
     fn push(&self, job: Job) -> usize {
-        let mut g = self.inner.lock().expect("job queue poisoned");
+        let mut g = lock_or_recover(&self.inner);
         g.0.push_back(job);
         let depth = g.0.len();
         drop(g);
@@ -156,7 +156,7 @@ impl JobQueue {
 
     /// Blocks for the next job; `None` once closed and empty.
     fn pop(&self) -> Option<Job> {
-        let mut g = self.inner.lock().expect("job queue poisoned");
+        let mut g = lock_or_recover(&self.inner);
         loop {
             if let Some(job) = g.0.pop_front() {
                 return Some(job);
@@ -164,12 +164,12 @@ impl JobQueue {
             if g.1 {
                 return None;
             }
-            g = self.cv.wait(g).expect("job queue poisoned");
+            g = self.cv.wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     fn close(&self) {
-        self.inner.lock().expect("job queue poisoned").1 = true;
+        lock_or_recover(&self.inner).1 = true;
         self.cv.notify_all();
     }
 }
@@ -206,7 +206,7 @@ impl Lane {
     /// Delivers a prepared record into the reorder buffer, returning the
     /// buffer occupancy after insertion.
     fn deliver(&self, seq: u64, ready: Ready) -> usize {
-        let mut g = self.inner.lock().expect("lane poisoned");
+        let mut g = lock_or_recover(&self.inner);
         g.ready.insert(seq, ready);
         let occ = g.ready.len();
         drop(g);
@@ -218,7 +218,7 @@ impl Lane {
     /// the lane is closed (close happens only after a full drain, so no
     /// record is ever stranded).
     fn take_next(&self) -> Option<Ready> {
-        let mut g = self.inner.lock().expect("lane poisoned");
+        let mut g = lock_or_recover(&self.inner);
         loop {
             let next = g.next;
             if let Some(r) = g.ready.remove(&next) {
@@ -228,12 +228,12 @@ impl Lane {
             if g.closed {
                 return None;
             }
-            g = self.cv.wait(g).expect("lane poisoned");
+            g = self.cv.wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     fn close(&self) {
-        self.inner.lock().expect("lane poisoned").closed = true;
+        lock_or_recover(&self.inner).closed = true;
         self.cv.notify_all();
     }
 }
@@ -250,12 +250,27 @@ struct Stats {
     submitted: AtomicU64,
     committed: AtomicU64,
     pass_through: AtomicU64,
+    /// Commits the engine actually shed under overload
+    /// ([`InsertOutcome::BypassedOverload`]). `pass_through` counts lane
+    /// routing (and includes permanently pass-through lanes when dedup is
+    /// disabled in configuration); this counts overload shedding alone.
+    degraded_total: AtomicU64,
     backpressure_stalls: AtomicU64,
     queue_depth_max: AtomicU64,
     reorder_occupancy_max: AtomicU64,
     worker_busy_ns: AtomicU64,
     hists: Mutex<(LogHistogram, LogHistogram)>, // (commit_ns, stall_ns)
     started: Instant,
+}
+
+/// Recovers the guard from a poisoned pipeline lock. Every critical
+/// section in this module leaves its guarded data consistent at each exit
+/// point, so when a worker or committer thread panics (poisoning a mutex
+/// mid-unwind), the remaining threads — and the shutdown path, which
+/// still needs these locks to drain and join — can safely continue
+/// instead of cascading the panic through `drain`/`Drop`.
+fn lock_or_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 fn store_max(cell: &AtomicU64, value: u64) {
@@ -278,14 +293,14 @@ struct Shared {
 
 impl Shared {
     fn commit_done(&self) {
-        let mut g = self.inflight.lock().expect("inflight poisoned");
+        let mut g = lock_or_recover(&self.inflight);
         g.count -= 1;
         drop(g);
         self.inflight_cv.notify_all();
     }
 
     fn record_error(&self, e: EngineError) {
-        let mut g = self.inflight.lock().expect("inflight poisoned");
+        let mut g = lock_or_recover(&self.inflight);
         g.errors_seen += 1;
         if g.error.is_none() {
             g.error = Some(e);
@@ -359,6 +374,7 @@ impl ParallelIngest {
                 submitted: AtomicU64::new(0),
                 committed: AtomicU64::new(0),
                 pass_through: AtomicU64::new(0),
+                degraded_total: AtomicU64::new(0),
                 backpressure_stalls: AtomicU64::new(0),
                 queue_depth_max: AtomicU64::new(0),
                 reorder_occupancy_max: AtomicU64::new(0),
@@ -408,15 +424,19 @@ impl ParallelIngest {
     pub fn submit(&mut self, db: &str, id: RecordId, data: &[u8]) {
         // Backpressure gate.
         {
-            let mut g = self.shared.inflight.lock().expect("inflight poisoned");
+            let mut g = lock_or_recover(&self.shared.inflight);
             if g.count >= self.config.max_inflight {
                 self.shared.stats.backpressure_stalls.fetch_add(1, Ordering::Relaxed);
                 let t0 = Instant::now();
                 while g.count >= self.config.max_inflight {
-                    g = self.shared.inflight_cv.wait(g).expect("inflight poisoned");
+                    g = self
+                        .shared
+                        .inflight_cv
+                        .wait(g)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
                 let stall = t0.elapsed().as_nanos() as u64;
-                let mut h = self.shared.stats.hists.lock().expect("hists poisoned");
+                let mut h = lock_or_recover(&self.shared.stats.hists);
                 h.1.record(stall);
             }
             g.count += 1;
@@ -444,9 +464,9 @@ impl ParallelIngest {
     /// Blocks until every submitted record has committed; returns the
     /// first commit error recorded since the previous drain, if any.
     pub fn drain(&mut self) -> Result<(), EngineError> {
-        let mut g = self.shared.inflight.lock().expect("inflight poisoned");
+        let mut g = lock_or_recover(&self.shared.inflight);
         while g.count > 0 {
-            g = self.shared.inflight_cv.wait(g).expect("inflight poisoned");
+            g = self.shared.inflight_cv.wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         match g.error.take() {
             Some(e) => Err(e),
@@ -485,7 +505,7 @@ impl ParallelIngest {
     pub fn snapshot(&self) -> IngestSnapshot {
         let s = &self.shared.stats;
         let (commit_ns, stall_ns) = {
-            let h = s.hists.lock().expect("hists poisoned");
+            let h = lock_or_recover(&s.hists);
             (h.0.clone(), h.1.clone())
         };
         IngestSnapshot {
@@ -494,6 +514,7 @@ impl ParallelIngest {
             submitted: s.submitted.load(Ordering::Relaxed),
             committed: s.committed.load(Ordering::Relaxed),
             pass_through: s.pass_through.load(Ordering::Relaxed),
+            degraded_total: s.degraded_total.load(Ordering::Relaxed),
             backpressure_stalls: s.backpressure_stalls.load(Ordering::Relaxed),
             queue_depth_max: s.queue_depth_max.load(Ordering::Relaxed),
             reorder_occupancy_max: s.reorder_occupancy_max.load(Ordering::Relaxed),
@@ -562,7 +583,7 @@ fn committer_loop(shared: &Shared, engine: &ShardedEngine, lane_idx: usize) {
         let result = engine.insert_prepared(&r.db, r.id, &r.data, r.prepared);
         let commit_ns = t0.elapsed().as_nanos() as u64;
         {
-            let mut h = shared.stats.hists.lock().expect("hists poisoned");
+            let mut h = lock_or_recover(&shared.stats.hists);
             h.0.record(commit_ns);
         }
         match result {
@@ -572,7 +593,10 @@ fn committer_loop(shared: &Shared, engine: &ShardedEngine, lane_idx: usize) {
                 // is raised; any outcome that passed the gate means it is
                 // down. Governor/config bypasses say nothing about it.
                 let new_pressure = match out {
-                    InsertOutcome::BypassedOverload => Some(true),
+                    InsertOutcome::BypassedOverload => {
+                        shared.stats.degraded_total.fetch_add(1, Ordering::Relaxed);
+                        Some(true)
+                    }
                     InsertOutcome::Deduped { .. }
                     | InsertOutcome::Unique
                     | InsertOutcome::BypassedSize => Some(false),
@@ -607,8 +631,15 @@ pub struct IngestSnapshot {
     pub submitted: u64,
     /// Records committed (successfully inserted).
     pub committed: u64,
-    /// Records that skipped the worker stage (overload pass-through).
+    /// Records that skipped the worker stage. This is a *routing* gauge:
+    /// it includes lanes that are permanently pass-through because dedup
+    /// is disabled in configuration, not just overload shedding.
     pub pass_through: u64,
+    /// Cumulative count of commits the engine shed under replication
+    /// overload (`BypassedOverload`) — each one enters the out-of-line
+    /// re-dedup backlog. Stays zero when pass-through is merely
+    /// config-disabled dedup.
+    pub degraded_total: u64,
     /// Times `submit` blocked on the in-flight cap.
     pub backpressure_stalls: u64,
     /// Worst worker-queue depth observed.
@@ -642,6 +673,7 @@ impl IngestSnapshot {
         r.set_u64("ingest.submitted", self.submitted);
         r.set_u64("ingest.committed", self.committed);
         r.set_u64("ingest.pass_through", self.pass_through);
+        r.set_u64("ingest.degraded_total", self.degraded_total);
         r.set_u64("ingest.backpressure_stalls", self.backpressure_stalls);
         r.set_u64("ingest.queue_depth_max", self.queue_depth_max);
         r.set_u64("ingest.reorder_occupancy_max", self.reorder_occupancy_max);
@@ -774,8 +806,30 @@ mod tests {
             "overloaded lane must skip the worker stage, pass_through={}",
             snap.pass_through
         );
+        // Every commit was genuinely shed under overload, so the two
+        // gauges tell the same story here — unlike config-disabled dedup.
+        assert_eq!(snap.degraded_total, 10);
         let (engine, _) = ingest.finish().unwrap();
         assert_eq!(engine.metrics().bypassed_overload, 10);
+        assert_eq!(engine.metrics().maint_degraded_backlog, 10);
+    }
+
+    #[test]
+    fn disabled_dedup_pass_through_is_not_degradation() {
+        let mut config = cfg();
+        config.dedup_enabled = false;
+        let sharded = ShardedEngine::open_temp(config, 1).unwrap();
+        let mut ingest = ParallelIngest::new(sharded, IngestConfig::with_workers(2));
+        let docs = versioned_docs(6, 18);
+        for (i, d) in docs.iter().enumerate() {
+            ingest.submit("db", RecordId(i as u64), d);
+        }
+        ingest.drain().unwrap();
+        let snap = ingest.snapshot();
+        assert_eq!(snap.pass_through, 6, "disabled dedup runs permanently pass-through");
+        assert_eq!(snap.degraded_total, 0, "nothing was shed under overload");
+        let (engine, _) = ingest.finish().unwrap();
+        assert_eq!(engine.metrics().maint_degraded_backlog, 0);
     }
 
     #[test]
@@ -789,6 +843,8 @@ mod tests {
             "\"ingest.workers\":1",
             "\"ingest.submitted\":1",
             "\"ingest.committed\":1",
+            "\"ingest.pass_through\":0",
+            "\"ingest.degraded_total\":0",
             "\"ingest.queue_depth_max\":",
             "\"ingest.reorder_occupancy_max\":",
             "\"ingest.worker_utilization\":",

@@ -166,6 +166,10 @@ impl ShardedEngine {
             total.maint_reencoded += s.maint_reencoded;
             total.maint_removed += s.maint_removed;
             total.maint_retired += s.maint_retired;
+            total.maint_rededup_rewritten += s.maint_rededup_rewritten;
+            total.maint_rededup_kept_raw += s.maint_rededup_kept_raw;
+            total.maint_rededup_skipped += s.maint_rededup_skipped;
+            total.maint_degraded_backlog += s.maint_degraded_backlog;
             total.compact.merge(s.compact);
         }
         total.io_idle_fraction /= self.shards.len() as f64;

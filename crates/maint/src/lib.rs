@@ -4,7 +4,7 @@
 //! path defers so inserts and reads stay fast (§4.1 discusses the GC; the
 //! bounded-pause compaction generalizes the host store's space reclaim).
 //!
-//! A [`Maintainer`] owns no data — it schedules bounded slices of three
+//! A [`Maintainer`] owns no data — it schedules bounded slices of four
 //! engine-side task types against a [`DedupEngine`]:
 //!
 //! 1. **Chain GC** — deleted records pinned in the store because live
@@ -19,6 +19,14 @@
 //! 3. **Retention** — an optional policy capping how many versions a
 //!    chain keeps behind its head; retired versions are deleted locally
 //!    and flow through the same GC path.
+//! 4. **Out-of-line re-dedup** — records admitted raw while the
+//!    replication-pressure gate sheds dedup encoding stay compressible;
+//!    the maintainer drains the engine's degraded backlog
+//!    ([`DedupEngine::degraded_backlog_ids`]) through
+//!    [`DedupEngine::rededup_record`], recovering the lost compression
+//!    after the burst. A drained backlog converges to the same storage
+//!    state a never-degraded run produces (the engine's convergence-parity
+//!    property).
 //!
 //! Everything here is **local-only**: re-encoding, compaction, and
 //! retention never touch the oplog, so replicas converge regardless of
@@ -52,6 +60,10 @@ pub struct MaintConfig {
     pub max_tail_versions: Option<u64>,
     /// Versions retired per tick when retention is enabled.
     pub retire_per_tick: usize,
+    /// Overload-degraded records re-deduplicated per tick. Each one
+    /// replays the full sketch → lookup → encode pipeline, so this is the
+    /// CPU-heaviest slice; the default keeps it small.
+    pub rededup_per_tick: usize,
     /// Skip maintenance ticks while the replication-pressure gate is
     /// raised, so background I/O never competes with an overloaded
     /// ingest path.
@@ -66,6 +78,7 @@ impl Default for MaintConfig {
             gc_per_tick: 4,
             max_tail_versions: None,
             retire_per_tick: 4,
+            rededup_per_tick: 4,
             pause_under_pressure: true,
         }
     }
@@ -80,6 +93,8 @@ pub struct TickReport {
     pub reencoded: u64,
     /// Versions retired by the retention task.
     pub retired: u64,
+    /// Overload-degraded records processed by the re-dedup task.
+    pub rededuped: u64,
     /// Compaction progress this tick.
     pub compact: CompactStats,
     /// The tick was skipped because the replication-pressure gate was up.
@@ -89,7 +104,11 @@ pub struct TickReport {
 impl TickReport {
     /// Whether the tick did any work at all.
     pub fn is_idle(&self) -> bool {
-        self.gc_records == 0 && self.retired == 0 && self.compact.is_noop() && !self.paused
+        self.gc_records == 0
+            && self.retired == 0
+            && self.rededuped == 0
+            && self.compact.is_noop()
+            && !self.paused
     }
 }
 
@@ -102,6 +121,8 @@ pub struct QuiesceReport {
     pub reencoded: u64,
     /// Total versions retired.
     pub retired: u64,
+    /// Total overload-degraded records re-deduplicated.
+    pub rededuped: u64,
     /// Total compaction work.
     pub compact: CompactStats,
     /// Deleted records skipped because corruption broke their chains
@@ -145,17 +166,23 @@ impl Maintainer {
     }
 
     /// Whether the engine has no maintenance work left: the GC backlog is
-    /// empty and every reclaimable dead byte has been compacted away.
+    /// empty, no overload-degraded record still awaits out-of-line
+    /// re-dedup, and every reclaimable dead byte has been compacted away.
     /// (Tombstone frames still shadowing stale puts are *not* reclaimable
     /// and do not count against quiescence.)
     pub fn quiesced(&self, engine: &DedupEngine) -> bool {
-        engine.gc_backlog_ids().is_empty() && engine.reclaimable_dead_bytes() == 0
+        engine.gc_backlog_ids().is_empty()
+            && engine.degraded_backlog_len() == 0
+            && engine.reclaimable_dead_bytes() == 0
     }
 
     /// Runs one bounded maintenance tick: retention, then chain GC, then
-    /// at most one budgeted compaction step. Each task's slice is capped
-    /// by the config, so a tick's foreground impact is bounded no matter
-    /// how much backlog has accumulated.
+    /// out-of-line re-dedup, then at most one budgeted compaction step.
+    /// Each task's slice is capped by the config, so a tick's foreground
+    /// impact is bounded no matter how much backlog has accumulated.
+    /// (Re-dedup runs before compaction because each rewrite supersedes a
+    /// raw frame — dead space the same tick's compaction step can start
+    /// reclaiming.)
     pub fn tick(&mut self, engine: &mut DedupEngine) -> Result<TickReport, EngineError> {
         self.ticks += 1;
         let mut report = TickReport::default();
@@ -179,6 +206,10 @@ impl Maintainer {
                 Err(EngineError::ChainBroken { .. }) => {}
                 Err(e) => return Err(e),
             }
+        }
+        for id in engine.degraded_backlog_ids().into_iter().take(self.cfg.rededup_per_tick) {
+            engine.rededup_record(id)?;
+            report.rededuped += 1;
         }
         if self.should_compact(engine) {
             report.compact = engine.compact_step(self.cfg.compact_budget_bytes)?;
@@ -251,6 +282,14 @@ impl Maintainer {
                     Err(e) => return Err(e),
                 }
             }
+            for id in engine.degraded_backlog_ids() {
+                let before = engine.degraded_backlog_len();
+                engine.rededup_record(id)?;
+                if engine.degraded_backlog_len() < before {
+                    report.rededuped += 1;
+                    progress = true;
+                }
+            }
             while engine.reclaimable_dead_bytes() > 0 {
                 let stats = engine.compact_step(self.cfg.compact_budget_bytes)?;
                 if stats.is_noop() {
@@ -261,7 +300,10 @@ impl Maintainer {
             }
             let backlog = engine.gc_backlog_ids();
             let only_broken = backlog.iter().all(|id| report.skipped_broken.contains(id));
-            if (backlog.is_empty() || only_broken) && engine.reclaimable_dead_bytes() == 0 {
+            if (backlog.is_empty() || only_broken)
+                && engine.degraded_backlog_len() == 0
+                && engine.reclaimable_dead_bytes() == 0
+            {
                 return Ok(report);
             }
             if !progress {
@@ -343,6 +385,35 @@ mod tests {
         let r = m.tick(&mut e).unwrap();
         assert_eq!(r.gc_records, 2, "{r:?}");
         assert_eq!(e.gc_backlog_ids().len(), backlog - 2);
+    }
+
+    #[test]
+    fn ticks_bound_rededup_work_per_slice() {
+        let mut e = engine();
+        let docs = versioned_docs(7, 8);
+        e.insert("db", RecordId(0), &docs[0]).unwrap();
+        e.set_replication_pressure(true);
+        for (i, d) in docs.iter().enumerate().skip(1) {
+            e.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        e.set_replication_pressure(false);
+        assert_eq!(e.degraded_backlog_len(), 6);
+        let mut cfg = MaintConfig::default();
+        cfg.rededup_per_tick = 2;
+        let mut m = Maintainer::new(cfg);
+        assert!(!m.quiesced(&e), "degraded backlog must block quiescence");
+        let r = m.tick(&mut e).unwrap();
+        assert_eq!(r.rededuped, 2, "{r:?}");
+        assert_eq!(e.degraded_backlog_len(), 4);
+        // Three more ticks drain the rest; the backlog gates quiescence.
+        while e.degraded_backlog_len() > 0 {
+            m.tick(&mut e).unwrap();
+        }
+        let report = m.run_until_quiesced(&mut e).unwrap();
+        assert!(m.quiesced(&e), "{report:?}");
+        for (i, d) in docs.iter().enumerate() {
+            assert_eq!(&e.read(RecordId(i as u64)).unwrap()[..], &d[..], "record {i}");
+        }
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Convergence-parity property for out-of-line re-dedup: a workload whose
+//! tail lands during an overload burst (admitted raw, dedup shed) must —
+//! after the Maintainer drains the degraded backlog — converge to the
+//! *same* storage state a never-degraded run of the identical workload
+//! produces: byte-equal read-back, equal live stored bytes, and identical
+//! chain topology. The drain itself must be oplog-silent.
+
+use dbdedup_core::{DedupEngine, EngineConfig, InsertOutcome};
+use dbdedup_maint::{MaintConfig, Maintainer};
+use dbdedup_util::dist::SplitMix64;
+use dbdedup_util::ids::RecordId;
+
+fn engine_cfg() -> EngineConfig {
+    let mut cfg = EngineConfig::default();
+    cfg.min_benefit_bytes = 16;
+    cfg
+}
+
+fn mutate(doc: &mut [u8], rng: &mut SplitMix64) {
+    for _ in 0..5 {
+        let at = rng.next_index(doc.len() - 50);
+        for b in doc.iter_mut().skip(at).take(40) {
+            *b = (rng.next_u64() % 26 + 97) as u8;
+        }
+    }
+}
+
+/// A two-database workload of interleaved revision streams: item `i` is
+/// `(db, id, payload)`, ids in insertion order.
+fn workload(seed: u64, total: usize) -> Vec<(&'static str, RecordId, Vec<u8>)> {
+    let mut rng = SplitMix64::new(seed);
+    let mut doc_a: Vec<u8> = (0..10_000).map(|_| (rng.next_u64() % 26 + 97) as u8).collect();
+    let mut doc_b: Vec<u8> = (0..10_000).map(|_| (rng.next_u64() % 26 + 97) as u8).collect();
+    let mut out = Vec::with_capacity(total);
+    for i in 0..total {
+        let (db, doc) = if i % 2 == 0 { ("db-a", &mut doc_a) } else { ("db-b", &mut doc_b) };
+        if i >= 2 {
+            mutate(doc, &mut rng);
+        }
+        out.push((db, RecordId(i as u64), doc.clone()));
+    }
+    out
+}
+
+/// Runs `ops`, degrading the last `burst` inserts under the overload gate
+/// when `burst > 0`, then flushes writebacks and fully quiesces.
+fn run(ops: &[(&'static str, RecordId, Vec<u8>)], burst: usize) -> (DedupEngine, Maintainer, u64) {
+    let mut e = DedupEngine::open_temp(engine_cfg()).expect("engine");
+    let burst_from = ops.len() - burst;
+    for (i, (db, id, payload)) in ops.iter().enumerate() {
+        if i == burst_from && burst > 0 {
+            e.set_replication_pressure(true);
+        }
+        let out = e.insert(db, *id, payload).unwrap();
+        if i >= burst_from && burst > 0 {
+            assert_eq!(out, InsertOutcome::BypassedOverload, "op {i}");
+        }
+    }
+    e.set_replication_pressure(false);
+    e.flush_all_writebacks().unwrap();
+    let lsn_before_maint = e.oplog_next_lsn();
+    let mut m = Maintainer::new(MaintConfig::default());
+    let report = m.run_until_quiesced(&mut e).unwrap();
+    e.flush_all_writebacks().unwrap();
+    assert!(m.quiesced(&e), "{report:?}");
+    assert_eq!(
+        e.oplog_next_lsn(),
+        lsn_before_maint,
+        "maintenance (incl. re-dedup) must be oplog-silent"
+    );
+    (e, m, report.rededuped)
+}
+
+#[test]
+fn degraded_burst_converges_to_never_degraded_parity() {
+    for seed in [1u64, 7, 42, 0xD15EA5E] {
+        let total = 16;
+        let burst = 5 + (seed % 3) as usize; // 5..=7 trailing degraded inserts
+        let ops = workload(seed, total);
+
+        let (mut control, _, control_rededuped) = run(&ops, 0);
+        assert_eq!(control_rededuped, 0);
+
+        let (mut degraded, _, rededuped) = run(&ops, burst);
+        assert_eq!(degraded.degraded_backlog_len(), 0, "seed {seed}");
+        assert_eq!(rededuped, burst as u64, "seed {seed}");
+
+        // Byte-equal shadow read-back on both sides.
+        for (db, id, payload) in &ops {
+            assert_eq!(&degraded.read(*id).unwrap()[..], &payload[..], "seed {seed} {db} {id:?}");
+            assert_eq!(&control.read(*id).unwrap()[..], &payload[..]);
+        }
+        // Equal live storage footprint and identical chain topology: the
+        // recovered run is indistinguishable from one that never degraded.
+        let (mc, md) = (control.metrics(), degraded.metrics());
+        assert_eq!(md.stored_bytes, mc.stored_bytes, "seed {seed}");
+        assert_eq!(md.stored_uncompressed_bytes, mc.stored_uncompressed_bytes, "seed {seed}");
+        assert_eq!(
+            degraded.store().stored_payload_bytes(),
+            control.store().stored_payload_bytes(),
+            "seed {seed}"
+        );
+        for (_, id, _) in &ops {
+            assert_eq!(
+                degraded.chains().base_of(*id),
+                control.chains().base_of(*id),
+                "seed {seed} base of {id:?}"
+            );
+        }
+        assert_eq!(md.maint_rededup_rewritten + md.maint_rededup_kept_raw, burst as u64);
+    }
+}
+
+#[test]
+fn rededup_slices_interleave_with_gc_and_compaction() {
+    // The backlog drains through ordinary bounded ticks too — mixed with
+    // deletes (GC work) and the dead space both tasks create (compaction
+    // work) — not just through the run_until_quiesced fast path.
+    let ops = workload(99, 14);
+    let mut e = DedupEngine::open_temp(engine_cfg()).expect("engine");
+    for (i, (db, id, payload)) in ops.iter().enumerate() {
+        if i == 8 {
+            e.set_replication_pressure(true);
+        }
+        e.insert(db, *id, payload).unwrap();
+    }
+    e.set_replication_pressure(false);
+    e.flush_all_writebacks().unwrap();
+    e.delete(RecordId(2)).unwrap();
+    let mut cfg = MaintConfig::default();
+    cfg.rededup_per_tick = 2;
+    cfg.gc_per_tick = 1;
+    cfg.compact_trigger_ratio = 0.01;
+    let mut m = Maintainer::new(cfg);
+    let mut ticks = 0;
+    while !m.quiesced(&e) {
+        let r = m.tick(&mut e).unwrap();
+        assert!(r.rededuped <= 2, "slice bound violated: {r:?}");
+        ticks += 1;
+        assert!(ticks < 10_000, "maintenance failed to converge");
+    }
+    assert_eq!(e.degraded_backlog_len(), 0);
+    for (_, id, payload) in &ops {
+        if *id == RecordId(2) {
+            continue;
+        }
+        assert_eq!(&e.read(*id).unwrap()[..], &payload[..], "{id:?}");
+    }
+}

@@ -156,6 +156,15 @@ pub enum EventKind {
         /// Its depth behind the chain head when retired.
         depth: u64,
     },
+    /// Out-of-line re-dedup processed one overload-degraded record.
+    MaintRededup {
+        /// The degraded record that was drained from the backlog.
+        id: u64,
+        /// What happened: "rededuped" (rewritten into a chain),
+        /// "kept_raw" (no beneficial source; tag cleared), or
+        /// "skipped" (deleted/broken/already-chained meanwhile).
+        outcome: &'static str,
+    },
 }
 
 impl EventKind {
@@ -181,6 +190,7 @@ impl EventKind {
             EventKind::MaintGc { .. } => "maint_gc",
             EventKind::MaintCompact { .. } => "maint_compact",
             EventKind::MaintRetired { .. } => "maint_retired",
+            EventKind::MaintRededup { .. } => "maint_rededup",
         }
     }
 }
@@ -272,6 +282,9 @@ impl Event {
             }
             EventKind::MaintRetired { id, depth } => {
                 s.push_str(&format!(",\"id\":{id},\"depth\":{depth}"));
+            }
+            EventKind::MaintRededup { id, outcome } => {
+                s.push_str(&format!(",\"id\":{id},\"outcome\":\"{outcome}\""));
             }
         }
         s.push('}');
@@ -450,6 +463,7 @@ mod tests {
             EventKind::MaintGc { id: 5, reencoded: 2 },
             EventKind::MaintCompact { segments: 1, reclaimed_bytes: 4096 },
             EventKind::MaintRetired { id: 3, depth: 40 },
+            EventKind::MaintRededup { id: 8, outcome: "rededuped" },
         ];
         for k in kinds {
             log.record(Severity::Info, k);

@@ -49,11 +49,15 @@ pub enum Stage {
     MaintGc,
     /// Background incremental compaction: one bounded copy-forward step.
     MaintCompact,
+    /// Out-of-line re-dedup of one overload-degraded record: replaying
+    /// sketch → index lookup → source selection → delta encode and
+    /// rewriting the raw record into a chain.
+    MaintRededup,
 }
 
 impl Stage {
     /// Every stage, in stable schema order.
-    pub const ALL: [Stage; 12] = [
+    pub const ALL: [Stage; 13] = [
         Stage::Chunk,
         Stage::Sketch,
         Stage::IndexLookup,
@@ -66,6 +70,7 @@ impl Stage {
         Stage::CatchUp,
         Stage::MaintGc,
         Stage::MaintCompact,
+        Stage::MaintRededup,
     ];
 
     /// The stage's stable snake_case name (metric key component).
@@ -83,6 +88,7 @@ impl Stage {
             Stage::CatchUp => "catchup",
             Stage::MaintGc => "maint_gc",
             Stage::MaintCompact => "maint_compact",
+            Stage::MaintRededup => "maint_rededup",
         }
     }
 }

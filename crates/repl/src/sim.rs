@@ -192,6 +192,9 @@ pub struct SimReport {
     pub maint_reclaimed_bytes: u64,
     /// Maintenance ticks skipped because the overload gate was up.
     pub maint_paused_ticks: u64,
+    /// Overload-degraded records the primary's maintainer re-deduplicated
+    /// out-of-line after the bursts passed.
+    pub rededuped: u64,
     /// The primary's structured event trace as JSONL. Timestamps come from
     /// the shared virtual clock, so the same seed renders the same bytes —
     /// the trace is part of the determinism contract (`Eq` above).
@@ -285,6 +288,7 @@ impl Simulation {
             maint_gc_records: 0,
             maint_reclaimed_bytes: 0,
             maint_paused_ticks: 0,
+            rededuped: 0,
             events_jsonl: String::new(),
         };
         // Eager trigger + small budget: the simulator wants maintenance
@@ -360,7 +364,15 @@ impl Simulation {
                 .run_until_quiesced(&mut self.primary)
                 .map_err(|e| self.fail(self.report.ticks, format!("quiesce: {e}")))?;
             self.report.maint_reclaimed_bytes += q.compact.bytes_reclaimed;
-            self.note(16, q.reencoded, q.compact.bytes_reclaimed);
+            self.report.rededuped += q.rededuped;
+            self.note(16, q.reencoded ^ q.rededuped.rotate_left(24), q.compact.bytes_reclaimed);
+            let backlog = self.primary.degraded_backlog_len();
+            if backlog != 0 {
+                return Err(self.fail(
+                    self.report.ticks,
+                    format!("{backlog} degraded records survived quiescence"),
+                ));
+            }
         }
         self.verify()?;
         self.report.trace_hash = self.trace;
@@ -387,10 +399,14 @@ impl Simulation {
         }
         self.report.maint_gc_records += r.gc_records;
         self.report.maint_reclaimed_bytes += r.compact.bytes_reclaimed;
+        self.report.rededuped += r.rededuped;
         self.note(
             15,
             tick,
-            flushed as u64 ^ r.gc_records.rotate_left(16) ^ (r.compact.bytes_reclaimed << 8),
+            flushed as u64
+                ^ r.gc_records.rotate_left(16)
+                ^ r.rededuped.rotate_left(40)
+                ^ (r.compact.bytes_reclaimed << 8),
         );
         Ok(())
     }
@@ -811,6 +827,29 @@ mod tests {
         let report = Simulation::new(cfg).unwrap().run().unwrap_or_else(|e| panic!("{e}"));
         assert!(report.backpressure_events > 0, "{report:?}");
         assert!(report.maint_paused_ticks > 0, "pressure must pause maintenance: {report:?}");
+    }
+
+    #[test]
+    fn degraded_burst_drains_to_quiescence() {
+        // Heavy bursts against tiny queues force the overload gate up, so
+        // some inserts land raw with dedup shed; the maintainer's re-dedup
+        // slices must drain every one of them by the end of the run, and
+        // the whole recovery must be part of the deterministic schedule.
+        let cfg = SimConfig {
+            seed: 0xDE64_ADED,
+            replicas: 3,
+            ticks: 60,
+            burst_prob: 0.5,
+            update_prob: 0.4,
+            queue_depth: 2,
+            maint_every: 1,
+            ..Default::default()
+        };
+        let a = Simulation::new(cfg.clone()).unwrap().run().unwrap_or_else(|e| panic!("{e}"));
+        assert!(a.bypassed_overload > 0, "bursts must degrade some inserts: {a:?}");
+        assert!(a.rededuped > 0, "the maintainer must re-dedup the backlog: {a:?}");
+        let b = Simulation::new(cfg).unwrap().run().unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(a, b, "degradation recovery must not break seed determinism");
     }
 
     #[test]

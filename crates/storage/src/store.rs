@@ -246,6 +246,10 @@ struct Loc {
     off: u64,
     len: u32,
     form: StorageForm,
+    /// The live frame carries the degraded tag (admitted under overload,
+    /// awaiting out-of-line re-dedup). Mirrors on-disk flag bit 3, so the
+    /// degraded work-list survives restart through the recovery scan.
+    degraded: bool,
 }
 
 /// Resume point for incremental compaction: which sealed segment is being
@@ -524,6 +528,7 @@ impl RecordStore {
                         off: pos as u64,
                         len: (FRAME_HDR + len) as u32,
                         form: parsed.form,
+                        degraded: parsed.degraded_db.is_some(),
                     };
                     if parsed.tombstone {
                         if let Some(old) = inner.directory.remove(&parsed.id) {
@@ -591,15 +596,34 @@ impl RecordStore {
     }
 
     /// Writes (or overwrites) `id` with `payload` stored under `form`.
+    /// Overwriting a degraded entry clears its tag (the fresh frame has
+    /// no degraded flag, and the directory follows the latest frame).
     pub fn put(&self, id: RecordId, form: StorageForm, payload: &[u8]) -> Result<(), StoreError> {
-        let entry = encode_entry(id, form, payload, self.config.block_compression, false);
+        let entry = encode_entry(id, form, payload, self.config.block_compression, false, None);
+        self.append_entry(id, entry, payload.len() as u64, false)
+    }
+
+    /// Writes `id` raw and tags the frame as **degraded**: admitted via
+    /// the overload pass-through path of logical database `db`, so the
+    /// out-of-line re-dedup task can find it again — even after a restart,
+    /// since the tag lives in segment metadata and is replayed by the
+    /// recovery scan. A later [`RecordStore::put`] clears the tag.
+    pub fn put_degraded(&self, id: RecordId, db: &str, payload: &[u8]) -> Result<(), StoreError> {
+        let entry = encode_entry(
+            id,
+            StorageForm::Raw,
+            payload,
+            self.config.block_compression,
+            false,
+            Some(db),
+        );
         self.append_entry(id, entry, payload.len() as u64, false)
     }
 
     /// Removes `id`. Idempotent; a tombstone is appended so recovery sees
     /// the deletion.
     pub fn delete(&self, id: RecordId) -> Result<(), StoreError> {
-        let entry = encode_entry(id, StorageForm::Raw, &[], false, true);
+        let entry = encode_entry(id, StorageForm::Raw, &[], false, true, None);
         self.append_entry(id, entry, 0, true)
     }
 
@@ -610,7 +634,8 @@ impl RecordStore {
         uncompressed_len: u64,
         tombstone: bool,
     ) -> Result<(), StoreError> {
-        let form = parse_entry(&entry).map_err(StoreError::Corrupt)?.form;
+        let parsed_head = parse_entry(&entry).map_err(StoreError::Corrupt)?;
+        let (form, degraded) = (parsed_head.form, parsed_head.degraded_db.is_some());
         let fault = self.config.fault.as_deref();
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
@@ -632,7 +657,8 @@ impl RecordStore {
         if self.config.fsync {
             inner.active.sync_data()?;
         }
-        let loc = Loc { seg: inner.active_idx, off: inner.active_off, len: total as u32, form };
+        let loc =
+            Loc { seg: inner.active_idx, off: inner.active_off, len: total as u32, form, degraded };
         inner.active_off += total as u64;
         inner.io.writes += 1;
         inner.io.write_bytes += total as u64;
@@ -771,6 +797,42 @@ impl RecordStore {
         self.inner.lock().directory.iter().map(|(&id, loc)| (id, loc.form)).collect()
     }
 
+    /// Whether `id`'s live frame carries the degraded tag (stored raw via
+    /// the overload pass-through path and not yet re-deduplicated).
+    pub fn is_degraded(&self, id: RecordId) -> bool {
+        self.inner.lock().directory.get(&id).map(|loc| loc.degraded).unwrap_or(false)
+    }
+
+    /// Every live record still tagged degraded, with the logical database
+    /// it was admitted into, sorted by id. This is the crash-recoverable
+    /// half of the engine's degraded-set: the tag rides in segment
+    /// metadata, so a restart rebuilds the re-dedup work-list from here.
+    /// An entry whose frame no longer reads back (quarantined mid-life)
+    /// is skipped — anti-entropy owns damaged records, not re-dedup.
+    pub fn degraded_records(&self) -> Result<Vec<(RecordId, String)>, StoreError> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let tagged: Vec<(RecordId, Loc)> = inner
+            .directory
+            .iter()
+            .filter(|(_, loc)| loc.degraded)
+            .map(|(&id, &loc)| (id, loc))
+            .collect();
+        let mut out = Vec::with_capacity(tagged.len());
+        for (id, loc) in tagged {
+            let raw = match read_entry_bytes(inner, &self.dir, loc) {
+                Ok(raw) => raw,
+                Err(StoreError::Corrupt(_)) => continue,
+                Err(e) => return Err(e),
+            };
+            let Ok(parsed) = parse_entry(&raw[FRAME_HDR..]) else { continue };
+            let Some(db) = parsed.degraded_db else { continue };
+            out.push((id, String::from_utf8_lossy(db).into_owned()));
+        }
+        out.sort_unstable_by_key(|&(id, _)| id);
+        Ok(out)
+    }
+
     /// Rewrites live entries into fresh segments, dropping dead space.
     /// A record whose entry fails verification is quarantined (dropped
     /// from the directory and counted) rather than aborting compaction.
@@ -825,7 +887,16 @@ impl RecordStore {
                 live_payload += p.payload.len() as u64;
                 live_uncompressed += u64::from(p.uncompressed_len);
             }
-            new_dir.insert(id, Loc { seg: new_idx, off: new_off, len: loc.len, form: loc.form });
+            new_dir.insert(
+                id,
+                Loc {
+                    seg: new_idx,
+                    off: new_off,
+                    len: loc.len,
+                    form: loc.form,
+                    degraded: loc.degraded,
+                },
+            );
             new_off += u64::from(loc.len);
             stats.bytes_scanned += u64::from(loc.len);
         }
@@ -1060,7 +1131,7 @@ impl RecordStore {
                 .map(|loc| loc.seg == cur.seg && loc.off == cur.off)
                 .unwrap_or(false);
             if live {
-                let form = inner.directory[&id].form;
+                let prev = inner.directory[&id];
                 let (seg, off) = copy_frame_to_active(
                     inner,
                     &self.dir,
@@ -1068,7 +1139,10 @@ impl RecordStore {
                     &frame,
                     self.config.segment_bytes,
                 )?;
-                inner.directory.insert(id, Loc { seg, off, len: total as u32, form });
+                inner.directory.insert(
+                    id,
+                    Loc { seg, off, len: total as u32, form: prev.form, degraded: prev.degraded },
+                );
                 cur.live_moved += total;
             } else if let Some(n) = inner.stale_puts.get_mut(&id) {
                 *n -= 1;
@@ -1234,19 +1308,26 @@ struct ParsedEntry<'a> {
     form: StorageForm,
     compressed: bool,
     tombstone: bool,
+    /// Logical database name when the entry carries the degraded tag
+    /// (flag bit 3): admitted raw under overload, awaiting re-dedup.
+    degraded_db: Option<&'a [u8]>,
     uncompressed_len: u32,
     payload: &'a [u8],
 }
 
 /// Entry layout (after the frame header):
-/// `id:u64 | flags:u8 | [base:u64 if delta] | uncompressed_len:varint | payload`
-/// flags: bit0 delta, bit1 compressed, bit2 tombstone.
+/// `id:u64 | flags:u8 | [base:u64 if delta] | [db_len:varint | db if degraded]
+///  | uncompressed_len:varint | payload`
+/// flags: bit0 delta, bit1 compressed, bit2 tombstone, bit3 degraded
+/// (admitted raw under overload; tagged with the logical database so
+/// out-of-line re-dedup can replay the full pipeline after a restart).
 fn encode_entry(
     id: RecordId,
     form: StorageForm,
     payload: &[u8],
     try_compress: bool,
     tombstone: bool,
+    degraded_db: Option<&str>,
 ) -> Vec<u8> {
     let mut flags = 0u8;
     let compressed_payload;
@@ -1260,13 +1341,16 @@ fn encode_entry(
         compressed_payload = Vec::new();
     }
     if let StorageForm::Delta { .. } = form {
-        flags |= 0b001;
+        flags |= 0b0001;
     }
     if use_compressed {
-        flags |= 0b010;
+        flags |= 0b0010;
     }
     if tombstone {
-        flags |= 0b100;
+        flags |= 0b0100;
+    }
+    if degraded_db.is_some() {
+        flags |= 0b1000;
     }
     let body: &[u8] = if use_compressed { &compressed_payload } else { payload };
     let mut w = ByteWriter::with_capacity(body.len() + 32);
@@ -1274,6 +1358,10 @@ fn encode_entry(
     w.put_u8(flags);
     if let StorageForm::Delta { base } = form {
         w.put_u64(base.get());
+    }
+    if let Some(db) = degraded_db {
+        w.put_varint(db.len() as u64);
+        w.put_bytes(db.as_bytes());
     }
     w.put_varint(payload.len() as u64);
     w.put_bytes(body);
@@ -1284,10 +1372,16 @@ fn parse_entry(entry: &[u8]) -> Result<ParsedEntry<'_>, String> {
     let mut r = ByteReader::new(entry);
     let id = RecordId(r.get_u64().map_err(|e| e.to_string())?);
     let flags = r.get_u8().map_err(|e| e.to_string())?;
-    let form = if flags & 0b001 != 0 {
+    let form = if flags & 0b0001 != 0 {
         StorageForm::Delta { base: RecordId(r.get_u64().map_err(|e| e.to_string())?) }
     } else {
         StorageForm::Raw
+    };
+    let degraded_db = if flags & 0b1000 != 0 {
+        let db_len = r.get_varint().map_err(|e| e.to_string())? as usize;
+        Some(r.get_bytes(db_len).map_err(|e| e.to_string())?)
+    } else {
+        None
     };
     let uncompressed_len = r.get_varint().map_err(|e| e.to_string())? as u32;
     let pos = r.position();
@@ -1295,8 +1389,9 @@ fn parse_entry(entry: &[u8]) -> Result<ParsedEntry<'_>, String> {
     Ok(ParsedEntry {
         id,
         form,
-        compressed: flags & 0b010 != 0,
-        tombstone: flags & 0b100 != 0,
+        compressed: flags & 0b0010 != 0,
+        tombstone: flags & 0b0100 != 0,
+        degraded_db,
         uncompressed_len,
         payload,
     })
@@ -1333,6 +1428,56 @@ mod tests {
         let r = s.get(RecordId(1)).unwrap();
         assert_eq!(r.form, StorageForm::Raw);
         assert_eq!(&r.payload[..], b"hello");
+    }
+
+    #[test]
+    fn degraded_tag_roundtrips_and_clears_on_put() {
+        let s = store();
+        s.put_degraded(RecordId(7), "accounts", b"raw pass-through bytes").unwrap();
+        assert!(s.is_degraded(RecordId(7)));
+        assert_eq!(&s.get(RecordId(7)).unwrap().payload[..], b"raw pass-through bytes");
+        assert_eq!(s.degraded_records().unwrap(), vec![(RecordId(7), "accounts".to_string())]);
+        // A clean overwrite supersedes the tagged frame: tag gone.
+        s.put(RecordId(7), StorageForm::Raw, b"raw pass-through bytes").unwrap();
+        assert!(!s.is_degraded(RecordId(7)));
+        assert!(s.degraded_records().unwrap().is_empty());
+    }
+
+    #[test]
+    fn degraded_tag_survives_reopen_and_compaction() {
+        let dir = temp_dir("degraded");
+        {
+            let s = RecordStore::open(&dir, StoreConfig::default()).unwrap();
+            s.put_degraded(RecordId(1), "db-a", &[0xa; 400]).unwrap();
+            s.put_degraded(RecordId(2), "db-b", &[0xb; 400]).unwrap();
+            s.put(RecordId(3), StorageForm::Raw, &[0xc; 400]).unwrap();
+            // Record 2 is cleanly rewritten: its tag must not resurrect.
+            s.put(RecordId(2), StorageForm::Raw, &[0xb; 400]).unwrap();
+        }
+        {
+            let s = RecordStore::open(&dir, StoreConfig::default()).unwrap();
+            assert!(s.recovery_report().is_clean());
+            assert_eq!(s.degraded_records().unwrap(), vec![(RecordId(1), "db-a".to_string())]);
+            let stats = s.compact().unwrap();
+            assert!(stats.bytes_reclaimed > 0);
+            assert_eq!(
+                s.degraded_records().unwrap(),
+                vec![(RecordId(1), "db-a".to_string())],
+                "compaction copies frames verbatim, so the tag survives"
+            );
+            assert_eq!(&s.get(RecordId(1)).unwrap().payload[..], &[0xa; 400][..]);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn degraded_tag_with_block_compression() {
+        let cfg = StoreConfig { block_compression: true, ..Default::default() };
+        let s = RecordStore::open_temp(cfg).unwrap();
+        let text = "compressible degraded content, repeated. ".repeat(100);
+        s.put_degraded(RecordId(4), "logs", text.as_bytes()).unwrap();
+        assert_eq!(&s.get(RecordId(4)).unwrap().payload[..], text.as_bytes());
+        assert_eq!(s.degraded_records().unwrap(), vec![(RecordId(4), "logs".to_string())]);
     }
 
     #[test]

@@ -43,4 +43,12 @@ echo "==> maint-smoke"
 cargo clippy -p dbdedup-maint -- -D warnings
 cargo test -q -p dbdedup-maint
 
+# Degradation loop: fixed-seed convergence-parity property (degraded
+# burst → quiesce must equal a never-degraded run byte-for-byte,
+# oplog-silently) plus the rewrite crash sweep, with the maint crate
+# lint-clean at -D warnings (already enforced by maint-smoke above).
+echo "==> rededup-smoke"
+cargo test -q -p dbdedup-maint --test rededup_props
+cargo test -q --test fault_injection rededup_rewrite_crash_sweep
+
 echo "==> ci.sh: all green"

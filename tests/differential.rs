@@ -152,6 +152,7 @@ fn run_one(seed: u64, workers: usize, ops: &[(String, RecordId, Vec<u8>)]) {
     }
     let (parallel, report) = ingest.finish().expect("parallel finish");
     assert_eq!(report.committed, ops.len() as u64, "repro: {repro}");
+    assert_eq!(report.degraded_total, 0, "no overload was applied — repro: {repro}");
     parallel.with_shard(0, |shard| assert_engines_identical(&mut serial, shard, &repro));
 }
 
@@ -280,6 +281,15 @@ fn overload_pass_through_matches_serial() {
     assert!(
         parallel.metrics().bypassed_overload > 0,
         "overloaded half must shed dedup — repro: {repro}"
+    );
+    // `pass_through` is a routing gauge; `degraded_total` counts actual
+    // overload shedding. Here they're driven by the same burst, and the
+    // cumulative counter must agree exactly with the engine's own count.
+    assert!(report.degraded_total > 0, "repro: {repro}");
+    assert_eq!(
+        report.degraded_total,
+        parallel.metrics().bypassed_overload,
+        "degraded_total must count exactly the overload-shed commits — repro: {repro}"
     );
     parallel.with_shard(0, |shard| assert_engines_identical(&mut serial, shard, &repro));
 }
