@@ -6,6 +6,7 @@ use crate::filter::SizeFilter;
 use crate::governor::{Governor, GovernorVerdict};
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
 use crate::pipeline::{InsertPreparer, PreparedInsert};
+use crate::repair::RepairSource;
 use bytes::Bytes;
 use dbdedup_cache::{PendingWriteback, SourceRecordCache, WritebackCache};
 use dbdedup_chunker::SketchExtractor;
@@ -264,11 +265,72 @@ pub struct DedupEngine {
     tracer: StageTracer,
     /// Structured incident log, shared with replication components.
     events: Arc<EventLog>,
+    /// While set, decode reads skip the I/O meter. The scrubber turns this
+    /// on for its verification walk: charging those reads to the idleness
+    /// signal would let one background task (verification) starve another
+    /// (idle-time writeback flushing) indefinitely on small stores. Repair
+    /// writes stay metered — they are real foreground-visible I/O.
+    unmetered_reads: bool,
 }
 
 impl std::fmt::Debug for DedupEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DedupEngine").field("records", &self.chains.len()).finish_non_exhaustive()
+    }
+}
+
+/// Bound on heal-and-rewalk iterations when verifying one chain: each
+/// iteration either finishes or heals a distinct damaged node, so this is
+/// only a backstop against a pathological store.
+const MAX_CHAIN_HEALS: usize = 32;
+
+/// What one bounded integrity-scrub slice found and repaired.
+#[must_use = "the slice report carries unhealable-record escalations; dropping it loses them"]
+#[derive(Debug, Default, Clone)]
+pub struct ScrubSlice {
+    /// Live frames whose on-disk bytes verified clean.
+    pub verified: u64,
+    /// Damaged frames detected (and quarantined) by the checksum tier.
+    pub corrupt: u64,
+    /// Damaged records healed from local state (shadowed update or cached
+    /// source content).
+    pub healed_local: u64,
+    /// Damaged records healed from the attached repair source.
+    pub healed_replica: u64,
+    /// Records no source could supply: quarantined, broken-marked, and
+    /// escalated. They stay on [`DedupEngine::broken_records`] for resync.
+    pub unhealable: Vec<RecordId>,
+    /// Chains the decodability tier found broken (frames intact, but a
+    /// node on the decode path damaged or missing).
+    pub chain_faults: u64,
+    /// Index/backlog drift repaired by the consistency tier.
+    pub inconsistencies: u64,
+    /// Segment bytes whose checksums were verified.
+    pub bytes_verified: u64,
+    /// Whether this slice wrapped the cursor (one full pass completed).
+    pub pass_complete: bool,
+}
+
+impl ScrubSlice {
+    /// Whether the slice found no damage and no drift at all.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt == 0
+            && self.chain_faults == 0
+            && self.inconsistencies == 0
+            && self.unhealable.is_empty()
+    }
+
+    /// Folds another slice's tallies into this one (pass aggregation).
+    pub fn merge(&mut self, other: &ScrubSlice) {
+        self.verified += other.verified;
+        self.corrupt += other.corrupt;
+        self.healed_local += other.healed_local;
+        self.healed_replica += other.healed_replica;
+        self.unhealable.extend(other.unhealable.iter().copied());
+        self.chain_faults += other.chain_faults;
+        self.inconsistencies += other.inconsistencies;
+        self.bytes_verified += other.bytes_verified;
+        self.pass_complete |= other.pass_complete;
     }
 }
 
@@ -337,6 +399,23 @@ impl DedupEngine {
                 },
             );
         }
+        // One warning per skipped frame with its exact location, so an
+        // operator can correlate quarantines with device-level errors.
+        let salvage = store.recovery_report();
+        for frame in &salvage.skipped {
+            events.record(
+                Severity::Warn,
+                EventKind::SalvageSkipped {
+                    segment: u64::from(frame.segment),
+                    offset: frame.offset,
+                    bytes: frame.bytes,
+                },
+            );
+        }
+        let metrics = EngineMetrics {
+            salvage_skipped: salvage.skipped.len() as u64,
+            ..EngineMetrics::default()
+        };
         Ok(Self {
             tracer,
             events,
@@ -353,10 +432,11 @@ impl DedupEngine {
             shadow: FxHashMap::default(),
             broken,
             degraded,
-            metrics: EngineMetrics::default(),
+            metrics,
             oplog,
             store,
             config,
+            unmetered_reads: false,
         })
     }
 
@@ -769,7 +849,9 @@ impl DedupEngine {
                 Err(StoreError::Corrupt(detail)) => return Err(self.chain_broken(id, cur, detail)),
                 Err(e) => return Err(e.into()),
             };
-            self.io.submit(1);
+            if !self.unmetered_reads {
+                self.io.submit(1);
+            }
             match sr.form {
                 StorageForm::Raw => {
                     tail_content = sr.payload;
@@ -1612,6 +1694,246 @@ impl DedupEngine {
         self.broken.remove(&id);
     }
 
+    // ------------------------------------------------------------------
+    // Integrity scrub (scrub-and-heal)
+    // ------------------------------------------------------------------
+
+    /// Runs one bounded scrub-and-heal slice behind the store's persistent
+    /// scrub cursor, verifying up to `max_bytes` of live frames.
+    ///
+    /// Three detection tiers run per slice:
+    /// (a) on-disk frame checksums, read past the block cache;
+    /// (b) chain decodability back to the raw root for every frame that
+    ///     scanned clean;
+    /// (c) index ↔ store ↔ degraded-backlog agreement.
+    ///
+    /// Damage is quarantined and healed in place — locally when the
+    /// content survives in memory (a shadowed update, a cached source),
+    /// otherwise from `repair` — with every write going through
+    /// [`repair_record`](Self::repair_record): copy-before-supersede and
+    /// oplog-silent, like all maintenance. A record no source can supply
+    /// is escalated in the returned slice rather than panicking.
+    pub fn scrub_slice(
+        &mut self,
+        max_bytes: u64,
+        repair: Option<&mut dyn RepairSource>,
+    ) -> Result<ScrubSlice, EngineError> {
+        // Verification reads are off the I/O meter (see `unmetered_reads`):
+        // the scrubber must not register as foreground load, or it would
+        // suppress the idle-time writeback flushing it runs alongside.
+        self.unmetered_reads = true;
+        let result = self.scrub_slice_inner(max_bytes, repair);
+        self.unmetered_reads = false;
+        result
+    }
+
+    fn scrub_slice_inner(
+        &mut self,
+        max_bytes: u64,
+        mut repair: Option<&mut dyn RepairSource>,
+    ) -> Result<ScrubSlice, EngineError> {
+        self.tracer.sample();
+        let t = self.tracer.start();
+        let scan = self.store.scrub_step(max_bytes)?;
+        let mut out = ScrubSlice {
+            verified: scan.clean.len() as u64,
+            bytes_verified: scan.bytes_verified,
+            pass_complete: scan.pass_complete,
+            ..ScrubSlice::default()
+        };
+        // Tier (a): frames whose stored checksums no longer verify.
+        for &id in &scan.corrupt {
+            out.corrupt += 1;
+            self.metrics.scrub_corrupt += 1;
+            self.scrub_heal(id, &mut repair, &mut out)?;
+        }
+        // Tiers (b) and (c) over the frames that scanned clean.
+        for &id in &scan.clean {
+            self.scrub_check_consistency(id, &mut out)?;
+            self.scrub_check_chain(id, &mut repair, &mut out)?;
+        }
+        self.metrics.scrub_verified += out.verified;
+        self.metrics.scrub_inconsistencies += out.inconsistencies;
+        if out.pass_complete {
+            self.metrics.scrub_passes += 1;
+        }
+        self.tracer.stop(t, Stage::MaintScrub);
+        if out.corrupt > 0 || out.chain_faults > 0 {
+            self.events.record(
+                Severity::Warn,
+                EventKind::MaintScrub {
+                    verified: out.verified,
+                    corrupt: out.corrupt + out.chain_faults,
+                    healed: out.healed_local + out.healed_replica,
+                },
+            );
+        }
+        Ok(out)
+    }
+
+    /// Quarantines one damaged record and heals it: local reconstruction
+    /// first (a shadowed update or a source-cache entry holds the exact
+    /// logical content), then the repair source. Returns whether the
+    /// record itself was restored; a record no source can supply stays
+    /// quarantined and broken-marked — a typed escalation, not a panic.
+    fn scrub_heal(
+        &mut self,
+        id: RecordId,
+        repair: &mut Option<&mut dyn RepairSource>,
+        out: &mut ScrubSlice,
+    ) -> Result<bool, EngineError> {
+        self.store.quarantine(id)?;
+        // A shadowed update holds the record's current logical content
+        // aside in memory; fold it in. The damaged frame held the *old*
+        // content the dependents' deltas decode against, and that content
+        // is gone for good — heal the dependents individually too.
+        if let Some(content) = self.shadow.get(&id).cloned() {
+            let deps = self.chains.dependents_of(id);
+            self.repair_record(id, &content)?;
+            out.healed_local += 1;
+            self.metrics.scrub_healed_local += 1;
+            for dep in deps {
+                if self.chains.is_deleted(dep) {
+                    continue;
+                }
+                let fetched = match repair.as_deref_mut() {
+                    Some(src) => src.fetch_authoritative(dep)?,
+                    None => None,
+                };
+                match fetched {
+                    Some(bytes) => {
+                        self.repair_record(dep, &bytes)?;
+                        out.healed_replica += 1;
+                        self.metrics.scrub_healed_replica += 1;
+                    }
+                    None => self.scrub_escalate(dep, out),
+                }
+            }
+            return Ok(true);
+        }
+        // The source cache stores full logical content and is kept
+        // coherent with every update and repair — authoritative when
+        // present.
+        if let Some(content) = self.source_cache.get(id) {
+            self.repair_record(id, &content)?;
+            out.healed_local += 1;
+            self.metrics.scrub_healed_local += 1;
+            return Ok(true);
+        }
+        if let Some(src) = repair.as_deref_mut() {
+            if let Some(bytes) = src.fetch_authoritative(id)? {
+                self.repair_record(id, &bytes)?;
+                out.healed_replica += 1;
+                self.metrics.scrub_healed_replica += 1;
+                return Ok(true);
+            }
+        }
+        self.scrub_escalate(id, out);
+        Ok(false)
+    }
+
+    /// Marks a record unhealable: it stays quarantined (reads return
+    /// `NotFound`) and broken-marked so a later resync or replica-attached
+    /// scrub pass retries it, and the slice report plus a typed event
+    /// escalate it to the operator.
+    fn scrub_escalate(&mut self, id: RecordId, out: &mut ScrubSlice) {
+        if out.unhealable.contains(&id) {
+            return;
+        }
+        self.broken.insert(id);
+        // A quarantined record has nothing left to re-deduplicate.
+        self.degraded.remove(&id);
+        self.metrics.scrub_unhealable += 1;
+        self.events.record(Severity::Error, EventKind::ScrubUnhealable { id: id.0 });
+        out.unhealable.push(id);
+    }
+
+    /// Tier (c): index ↔ store ↔ degraded-backlog agreement for one live
+    /// record, repairing drift in place.
+    fn scrub_check_consistency(
+        &mut self,
+        id: RecordId,
+        out: &mut ScrubSlice,
+    ) -> Result<(), EngineError> {
+        // Every live frame must be known to the chain manager — a frame
+        // with no chain entry is unreachable by GC and encoding.
+        if self.chains.chain_index(id).is_none() {
+            self.chains.start_chain(id);
+            self.slots.assign(id);
+            out.inconsistencies += 1;
+        }
+        if self.chains.is_deleted(id) {
+            // Deleted-but-pinned decode bases never re-enter the backlog.
+            return Ok(());
+        }
+        let tagged = self.store.is_degraded(id);
+        let listed = self.degraded.contains_key(&id);
+        if listed && !tagged {
+            // Backlog entry outlived its on-disk tag (e.g. a crash between
+            // a clean rewrite and the in-memory dequeue).
+            self.degraded.remove(&id);
+            out.inconsistencies += 1;
+        } else if tagged && !listed {
+            // On-disk tag with no backlog entry: the record would never be
+            // re-deduplicated. Re-enqueue it under its recorded database.
+            if let Some(db) = self.store.degraded_db(id)? {
+                self.degraded.insert(id, db);
+                out.inconsistencies += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Tier (b): decode `id`'s chain back to its raw root, healing any
+    /// damaged node the walk trips over. The walk re-runs after each heal
+    /// (a chain can be broken in more than one place); when the damaged
+    /// node cannot be healed, `id` itself is restored raw from the repair
+    /// source as the fallback.
+    fn scrub_check_chain(
+        &mut self,
+        id: RecordId,
+        repair: &mut Option<&mut dyn RepairSource>,
+        out: &mut ScrubSlice,
+    ) -> Result<(), EngineError> {
+        // A shadowed record's logical content lives in the shadow map; its
+        // stored frame is only a decode base, checksum-verified by tier
+        // (a) already. Deleted records are unreadable by definition.
+        if self.shadow.contains_key(&id) || self.chains.is_deleted(id) {
+            return Ok(());
+        }
+        let mut faulted = false;
+        for _ in 0..MAX_CHAIN_HEALS {
+            let broken_at = match self.decode_record(id) {
+                Ok(_) => {
+                    // Reads fine — clear a stale broken mark left by an
+                    // earlier failed read whose damage has since healed.
+                    self.broken.remove(&id);
+                    return Ok(());
+                }
+                Err(EngineError::ChainBroken { broken_at, .. }) => broken_at,
+                // Quarantined by an earlier unhealable escalation — it is
+                // already on the report.
+                Err(EngineError::NotFound(_)) => return Ok(()),
+                Err(e) => return Err(e),
+            };
+            if !faulted {
+                faulted = true;
+                out.chain_faults += 1;
+            }
+            if self.scrub_heal(broken_at, repair, out)? {
+                // Healed — re-walk; the chain may be broken elsewhere too.
+                continue;
+            }
+            if broken_at != id {
+                // The damaged base is gone for good; restoring `id` raw
+                // from the source severs its dependence on that base.
+                self.scrub_heal(id, repair, out)?;
+            }
+            return Ok(());
+        }
+        Ok(())
+    }
+
     /// Counts one replication-apply retry (called by the async replicator
     /// when it re-attempts a transiently failed oplog apply).
     pub fn record_apply_retry(&mut self) {
@@ -1720,6 +2042,14 @@ impl DedupEngine {
             maint_rededup_skipped: self.metrics.rededup_skipped,
             maint_degraded_backlog: self.degraded.len() as u64,
             compact: self.metrics.compact,
+            scrub_verified: self.metrics.scrub_verified,
+            scrub_corrupt: self.metrics.scrub_corrupt,
+            scrub_healed_local: self.metrics.scrub_healed_local,
+            scrub_healed_replica: self.metrics.scrub_healed_replica,
+            scrub_unhealable: self.metrics.scrub_unhealable,
+            scrub_inconsistencies: self.metrics.scrub_inconsistencies,
+            scrub_passes: self.metrics.scrub_passes,
+            salvage_skipped: self.metrics.salvage_skipped,
         }
     }
 }
@@ -2409,5 +2739,195 @@ mod tests {
         assert!(matches!(e.rededup_record(RecordId(1)).unwrap(), RededupOutcome::Skipped));
         assert!(matches!(e.rededup_record(RecordId(3)).unwrap(), RededupOutcome::KeptRaw));
         assert_eq!(e.degraded_backlog_len(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Integrity scrub
+    // ------------------------------------------------------------------
+
+    /// Byte offset inside a frame to flip: past the 10-byte frame header,
+    /// into the entry's id field — any live frame is at least this long,
+    /// and the flip always breaks the entry checksum.
+    const FRAME_PROBE: u64 = 12;
+
+    fn scrub_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dbdedup-engine-scrub-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn engine_at(dir: &std::path::Path) -> DedupEngine {
+        let mut cfg = EngineConfig::default();
+        cfg.min_benefit_bytes = 16;
+        let store = RecordStore::open(dir, StoreConfig::default()).unwrap();
+        DedupEngine::new(store, cfg).unwrap()
+    }
+
+    /// Flips one bit inside `id`'s live frame on disk, underneath the
+    /// running engine (the directory and caches don't notice).
+    fn rot_live_frame(dir: &std::path::Path, e: &DedupEngine, id: RecordId, delta: u64) {
+        use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+        let (seg, off, len) = e.store().frame_extent(id).expect("live frame");
+        assert!(delta < u64::from(len));
+        let path = dir.join(format!("seg{seg:06}.dat"));
+        let mut f = std::fs::OpenOptions::new().read(true).write(true).open(path).unwrap();
+        f.seek(SeekFrom::Start(off + delta)).unwrap();
+        let mut b = [0u8; 1];
+        f.read_exact(&mut b).unwrap();
+        f.seek(SeekFrom::Start(off + delta)).unwrap();
+        f.write_all(&[b[0] ^ 0x40]).unwrap();
+    }
+
+    fn scrub_full_pass(e: &mut DedupEngine, mut src: Option<&mut DedupEngine>) -> ScrubSlice {
+        let mut total = ScrubSlice::default();
+        for _ in 0..1_000 {
+            let s = e
+                .scrub_slice(1 << 20, src.as_deref_mut().map(|s| s as &mut dyn RepairSource))
+                .unwrap();
+            let done = s.pass_complete;
+            total.merge(&s);
+            if done {
+                return total;
+            }
+        }
+        panic!("scrub pass never completed");
+    }
+
+    #[test]
+    fn scrub_clean_store_reports_clean_and_stays_oplog_silent() {
+        let mut e = engine();
+        let docs = versioned_docs(8, 60);
+        for (i, d) in docs.iter().enumerate() {
+            e.insert("db", RecordId(i as u64 + 1), d).unwrap();
+        }
+        e.flush_all_writebacks().unwrap();
+        let lsn = e.oplog_next_lsn();
+        let pass = scrub_full_pass(&mut e, None);
+        assert!(pass.is_clean(), "{pass:?}");
+        assert_eq!(pass.verified, 8);
+        assert_eq!(e.oplog_next_lsn(), lsn, "scrub must not write the oplog");
+        assert_eq!(e.metrics().scrub_passes, 1);
+        assert_eq!(e.metrics().scrub_verified, 8);
+    }
+
+    #[test]
+    fn scrub_heals_rotted_frame_locally_from_source_cache() {
+        let dir = scrub_dir("local");
+        let docs = versioned_docs(1, 61);
+        let mut e = engine_at(&dir);
+        e.insert("db", RecordId(1), &docs[0]).unwrap();
+        rot_live_frame(&dir, &e, RecordId(1), FRAME_PROBE);
+        let lsn = e.oplog_next_lsn();
+        let pass = scrub_full_pass(&mut e, None);
+        assert_eq!(pass.corrupt, 1);
+        assert_eq!(pass.healed_local, 1, "{pass:?}");
+        assert!(pass.unhealable.is_empty());
+        assert_eq!(&e.read(RecordId(1)).unwrap()[..], &docs[0][..]);
+        assert_eq!(e.oplog_next_lsn(), lsn, "repair must not write the oplog");
+        // The healed frame scans clean on the next pass.
+        let again = scrub_full_pass(&mut e, None);
+        assert!(again.is_clean(), "{again:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrub_heals_rotted_frame_from_repair_source() {
+        let dir = scrub_dir("replica");
+        let docs = versioned_docs(4, 62);
+        let mut control = engine();
+        {
+            let mut e = engine_at(&dir);
+            for (i, d) in docs.iter().enumerate() {
+                e.insert("db", RecordId(i as u64 + 1), d).unwrap();
+                control.insert("db", RecordId(i as u64 + 1), d).unwrap();
+            }
+        }
+        // Reopen: caches are cold, so local reconstruction is impossible
+        // and the heal must go through the repair source.
+        let mut e = engine_at(&dir);
+        rot_live_frame(&dir, &e, RecordId(1), FRAME_PROBE);
+        let lsn = e.oplog_next_lsn();
+        let pass = scrub_full_pass(&mut e, Some(&mut control));
+        assert_eq!(pass.corrupt, 1);
+        assert_eq!(pass.healed_replica, 1, "{pass:?}");
+        assert!(pass.unhealable.is_empty());
+        for (i, d) in docs.iter().enumerate() {
+            assert_eq!(&e.read(RecordId(i as u64 + 1)).unwrap()[..], &d[..], "record {i}");
+        }
+        assert_eq!(e.oplog_next_lsn(), lsn);
+        assert_eq!(e.metrics().scrub_healed_replica, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrub_without_any_source_escalates_typed_unhealable() {
+        let dir = scrub_dir("unhealable");
+        let docs = versioned_docs(3, 63);
+        {
+            let mut e = engine_at(&dir);
+            for (i, d) in docs.iter().enumerate() {
+                e.insert("db", RecordId(i as u64 + 1), d).unwrap();
+            }
+        }
+        let mut e = engine_at(&dir);
+        rot_live_frame(&dir, &e, RecordId(1), FRAME_PROBE);
+        let pass = scrub_full_pass(&mut e, None);
+        assert_eq!(pass.unhealable, vec![RecordId(1)], "{pass:?}");
+        assert!(matches!(e.read(RecordId(1)), Err(EngineError::NotFound(_))));
+        assert!(e.broken_records().contains(&RecordId(1)));
+        assert_eq!(&e.read(RecordId(2)).unwrap()[..], &docs[1][..]);
+        assert_eq!(e.metrics().scrub_unhealable, 1);
+        drop(e);
+        // Restart: the quarantined frame fails its checksum again during
+        // salvage, so the damaged record stays gone (no resurrection) and
+        // the skip is surfaced per frame.
+        let e2 = engine_at(&dir);
+        assert!(!e2.store().contains(RecordId(1)));
+        assert!(e2.metrics().salvage_skipped >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrub_folds_shadow_and_heals_dependents_when_shadowed_base_rots() {
+        let dir = scrub_dir("shadow");
+        let docs = versioned_docs(2, 64);
+        let mut control = engine();
+        let mut e = engine_at(&dir);
+        for (i, d) in docs.iter().enumerate() {
+            e.insert("db", RecordId(i as u64 + 1), d).unwrap();
+            control.insert("db", RecordId(i as u64 + 1), d).unwrap();
+        }
+        e.flush_all_writebacks().unwrap();
+        control.flush_all_writebacks().unwrap();
+        // Record 2 is record 1's decode base (refcount 1); updating it
+        // shadows the new content in memory while the stored frame keeps
+        // serving the old bytes to record 1's delta.
+        e.update(RecordId(2), b"shadowed fresh content").unwrap();
+        control.update(RecordId(2), b"shadowed fresh content").unwrap();
+        rot_live_frame(&dir, &e, RecordId(2), FRAME_PROBE);
+        let pass = scrub_full_pass(&mut e, Some(&mut control));
+        assert!(pass.healed_local >= 1, "shadow fold: {pass:?}");
+        assert!(pass.unhealable.is_empty(), "{pass:?}");
+        assert_eq!(&e.read(RecordId(2)).unwrap()[..], b"shadowed fresh content");
+        assert_eq!(&e.read(RecordId(1)).unwrap()[..], &docs[0][..]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrub_restores_dropped_degraded_backlog_entry() {
+        let mut e = engine();
+        let docs = versioned_docs(2, 65);
+        e.set_replication_pressure(true);
+        e.insert("db", RecordId(1), &docs[0]).unwrap();
+        e.set_replication_pressure(false);
+        assert_eq!(e.degraded_backlog_len(), 1);
+        // Simulate backlog drift: the in-memory entry vanishes while the
+        // on-disk tag stays (the crash window the consistency tier closes).
+        e.degraded.clear();
+        let pass = scrub_full_pass(&mut e, None);
+        assert!(pass.inconsistencies >= 1, "{pass:?}");
+        assert_eq!(e.degraded_backlog_ids(), vec![RecordId(1)]);
+        assert!(e.metrics().scrub_inconsistencies >= 1);
     }
 }

@@ -33,12 +33,14 @@ pub mod filter;
 pub mod governor;
 pub mod metrics;
 pub mod pipeline;
+pub mod repair;
 pub mod sharded;
 pub mod shared;
 
 pub use config::{EngineConfig, IngestConfig};
-pub use engine::{DedupEngine, EngineError, InsertOutcome};
+pub use engine::{DedupEngine, EngineError, InsertOutcome, ScrubSlice};
 pub use metrics::MetricsSnapshot;
 pub use pipeline::{IngestSnapshot, InsertPreparer, ParallelIngest, PreparedInsert};
+pub use repair::RepairSource;
 pub use sharded::ShardedEngine;
 pub use shared::SharedEngine;

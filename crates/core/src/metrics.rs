@@ -68,6 +68,23 @@ pub struct EngineMetrics {
     pub rededup_skipped: u64,
     /// Cumulative incremental-compaction stats.
     pub compact: CompactStats,
+    /// Live frames whose on-disk bytes the integrity scrub verified clean.
+    pub scrub_verified: u64,
+    /// Damaged frames the scrub detected and quarantined.
+    pub scrub_corrupt: u64,
+    /// Damaged records healed from local state (shadowed update or cached
+    /// source content).
+    pub scrub_healed_local: u64,
+    /// Damaged records healed from an authoritative repair source.
+    pub scrub_healed_replica: u64,
+    /// Damaged records no source could supply: quarantined and escalated.
+    pub scrub_unhealable: u64,
+    /// Index/backlog drift repaired by the scrub's consistency tier.
+    pub scrub_inconsistencies: u64,
+    /// Full scrub passes completed over the store.
+    pub scrub_passes: u64,
+    /// Corrupt frames skipped (quarantined) by open-time salvage.
+    pub salvage_skipped: u64,
 }
 
 /// A point-in-time copy of every metric the figures need, combining engine
@@ -161,6 +178,22 @@ pub struct MetricsSnapshot {
     pub maint_degraded_backlog: u64,
     /// Cumulative incremental-compaction stats.
     pub compact: CompactStats,
+    /// Live frames whose on-disk bytes the integrity scrub verified clean.
+    pub scrub_verified: u64,
+    /// Damaged frames the scrub detected and quarantined.
+    pub scrub_corrupt: u64,
+    /// Damaged records healed locally (shadowed update or cached source).
+    pub scrub_healed_local: u64,
+    /// Damaged records healed from an authoritative repair source.
+    pub scrub_healed_replica: u64,
+    /// Damaged records no source could supply: quarantined and escalated.
+    pub scrub_unhealable: u64,
+    /// Index/backlog drift repaired by the scrub's consistency tier.
+    pub scrub_inconsistencies: u64,
+    /// Full scrub passes completed over the store.
+    pub scrub_passes: u64,
+    /// Corrupt frames skipped (quarantined) by open-time salvage.
+    pub salvage_skipped: u64,
 }
 
 impl MetricsSnapshot {
@@ -224,6 +257,14 @@ impl MetricsSnapshot {
         r.set_u64("compact.bytes_reclaimed", self.compact.bytes_reclaimed);
         r.set_u64("compact.entries_skipped", self.compact.entries_skipped);
         r.set_u64("compact.bytes_scanned", self.compact.bytes_scanned);
+        r.set_u64("scrub.verified", self.scrub_verified);
+        r.set_u64("scrub.corrupt", self.scrub_corrupt);
+        r.set_u64("scrub.healed_local", self.scrub_healed_local);
+        r.set_u64("scrub.healed_replica", self.scrub_healed_replica);
+        r.set_u64("scrub.unhealable", self.scrub_unhealable);
+        r.set_u64("scrub.inconsistencies", self.scrub_inconsistencies);
+        r.set_u64("scrub.passes", self.scrub_passes);
+        r.set_u64("store.salvage.skipped", self.salvage_skipped);
         for stage in Stage::ALL {
             r.set_histogram(&format!("stage.{}", stage.name()), self.stages.get(stage));
         }
@@ -311,6 +352,14 @@ mod tests {
             maint_rededup_skipped: 0,
             maint_degraded_backlog: 0,
             compact: CompactStats::default(),
+            scrub_verified: 0,
+            scrub_corrupt: 0,
+            scrub_healed_local: 0,
+            scrub_healed_replica: 0,
+            scrub_unhealable: 0,
+            scrub_inconsistencies: 0,
+            scrub_passes: 0,
+            salvage_skipped: 0,
         }
     }
 
@@ -376,6 +425,30 @@ mod tests {
             "\"maint.rededup.backlog\":11",
             "\"compact.segments_rewritten\":3",
             "\"compact.bytes_reclaimed\":9999",
+        ] {
+            assert!(j.contains(needle), "{needle} missing from {j}");
+        }
+    }
+
+    #[test]
+    fn json_carries_scrub_gauges() {
+        let mut s = snap();
+        s.scrub_verified = 40;
+        s.scrub_corrupt = 2;
+        s.scrub_healed_local = 1;
+        s.scrub_healed_replica = 1;
+        s.scrub_unhealable = 0;
+        s.scrub_passes = 3;
+        s.salvage_skipped = 5;
+        let j = s.to_json();
+        for needle in [
+            "\"scrub.verified\":40",
+            "\"scrub.corrupt\":2",
+            "\"scrub.healed_local\":1",
+            "\"scrub.healed_replica\":1",
+            "\"scrub.unhealable\":0",
+            "\"scrub.passes\":3",
+            "\"store.salvage.skipped\":5",
         ] {
             assert!(j.contains(needle), "{needle} missing from {j}");
         }

@@ -28,8 +28,17 @@
 //!    state a never-degraded run produces (the engine's convergence-parity
 //!    property).
 //!
-//! Everything here is **local-only**: re-encoding, compaction, and
-//! retention never touch the oplog, so replicas converge regardless of
+//! 5. **Integrity scrub** — a budgeted verified walk of the store behind
+//!    a persistent cursor ([`DedupEngine::scrub_slice`]): frame checksums
+//!    re-read past the block cache, chain decodability back to the root,
+//!    and index ↔ store ↔ backlog consistency. Damage is quarantined and
+//!    healed in place — locally when the content survives in memory,
+//!    from an attached [`RepairSource`] otherwise — and a record no
+//!    source can supply is escalated in a typed [`ScrubReport`] rather
+//!    than panicking or silently vanishing.
+//!
+//! Everything here is **local-only**: re-encoding, compaction, retention,
+//! and repair never touch the oplog, so replicas converge regardless of
 //! when (or whether) each node runs maintenance. Scheduling is
 //! deterministic — sorted work lists, no clocks, no randomness — so the
 //! deterministic replication simulator can interleave maintenance ticks
@@ -38,7 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dbdedup_core::{DedupEngine, EngineError};
+use dbdedup_core::{DedupEngine, EngineError, RepairSource, ScrubSlice};
 use dbdedup_storage::CompactStats;
 use dbdedup_util::ids::RecordId;
 
@@ -68,6 +77,10 @@ pub struct MaintConfig {
     /// raised, so background I/O never competes with an overloaded
     /// ingest path.
     pub pause_under_pressure: bool,
+    /// Segment bytes checksum-verified per tick by the integrity scrub
+    /// (0 disables the in-tick scrub slice). The scrub cursor wraps
+    /// forever, so this tier never gates [`Maintainer::quiesced`].
+    pub scrub_budget_bytes: u64,
 }
 
 impl Default for MaintConfig {
@@ -80,6 +93,7 @@ impl Default for MaintConfig {
             retire_per_tick: 4,
             rededup_per_tick: 4,
             pause_under_pressure: true,
+            scrub_budget_bytes: 64 * 1024,
         }
     }
 }
@@ -97,18 +111,48 @@ pub struct TickReport {
     pub rededuped: u64,
     /// Compaction progress this tick.
     pub compact: CompactStats,
+    /// Frames the in-tick scrub slice verified clean.
+    pub scrub_verified: u64,
+    /// Damaged frames the scrub slice detected (and quarantined).
+    pub scrub_corrupt: u64,
+    /// Damaged records the scrub slice healed (locally or from a source).
+    pub scrub_healed: u64,
+    /// Records escalated as unhealable (quarantined, broken-marked; the
+    /// anti-entropy resync retries them from its priority work-list).
+    pub scrub_unhealable: u64,
     /// The tick was skipped because the replication-pressure gate was up.
     pub paused: bool,
 }
 
 impl TickReport {
-    /// Whether the tick did any work at all.
+    /// Whether the tick did any backlog work at all. The steady-state
+    /// scrub slice intentionally doesn't count: its cursor wraps forever,
+    /// so verification alone must not make a drained engine look busy.
     pub fn is_idle(&self) -> bool {
         self.gc_records == 0
             && self.retired == 0
             && self.rededuped == 0
             && self.compact.is_noop()
+            && self.scrub_corrupt == 0
             && !self.paused
+    }
+}
+
+/// Summary of one full scrub pass (cursor wrap) over the store.
+#[must_use = "the scrub report carries unhealable-record escalations; dropping it loses them"]
+#[derive(Debug, Default, Clone)]
+pub struct ScrubReport {
+    /// Bounded slices it took to wrap the cursor once.
+    pub slices: u64,
+    /// Aggregated tallies across those slices, including the typed list
+    /// of records no source could supply.
+    pub totals: ScrubSlice,
+}
+
+impl ScrubReport {
+    /// Whether the pass found no damage and no drift at all.
+    pub fn is_clean(&self) -> bool {
+        self.totals.is_clean()
     }
 }
 
@@ -217,7 +261,77 @@ impl Maintainer {
                 self.compacting = false;
             }
         }
+        // Steady-state integrity scrub, last so it verifies this tick's
+        // rewrites too. No repair source is attached here: damage heals
+        // locally when possible, and anything else is escalated onto the
+        // engine's broken list for resync (or a replica-attached
+        // [`scrub_pass`](Self::scrub_pass)) to repair.
+        if self.cfg.scrub_budget_bytes > 0 {
+            let slice = engine.scrub_slice(self.cfg.scrub_budget_bytes, None)?;
+            report.scrub_verified = slice.verified;
+            report.scrub_corrupt = slice.corrupt;
+            report.scrub_healed = slice.healed_local + slice.healed_replica;
+            report.scrub_unhealable = slice.unhealable.len() as u64;
+        }
         Ok(report)
+    }
+
+    /// Runs one full scrub pass (until the store cursor wraps) in bounded
+    /// slices, healing through `repair` when local reconstruction fails.
+    /// Pass `None::<&mut DedupEngine>` (or use
+    /// [`scrub_pass_local`](Self::scrub_pass_local)) to scrub without an
+    /// authoritative source.
+    pub fn scrub_pass<R: RepairSource>(
+        &mut self,
+        engine: &mut DedupEngine,
+        mut repair: Option<&mut R>,
+    ) -> Result<ScrubReport, EngineError> {
+        let budget = self.cfg.scrub_budget_bytes.max(1);
+        let mut report = ScrubReport::default();
+        loop {
+            let slice = engine
+                .scrub_slice(budget, repair.as_deref_mut().map(|r| r as &mut dyn RepairSource))?;
+            report.slices += 1;
+            let done = slice.pass_complete;
+            report.totals.merge(&slice);
+            if done {
+                return Ok(report);
+            }
+        }
+    }
+
+    /// [`scrub_pass`](Self::scrub_pass) with no repair source: damage
+    /// heals locally or is escalated.
+    pub fn scrub_pass_local(
+        &mut self,
+        engine: &mut DedupEngine,
+    ) -> Result<ScrubReport, EngineError> {
+        self.scrub_pass(engine, None::<&mut DedupEngine>)
+    }
+
+    /// Scrubs until a full pass comes back clean — damage found on one
+    /// pass is healed in place, and the follow-up pass proves the store
+    /// converged — or until `max_passes` passes ran. Escalated records
+    /// leave the store between passes (quarantined), so this terminates
+    /// even when some damage is unhealable; the last report's
+    /// `totals.unhealable` carries what was given up on.
+    pub fn scrub_until_clean<R: RepairSource>(
+        &mut self,
+        engine: &mut DedupEngine,
+        mut repair: Option<&mut R>,
+        max_passes: u64,
+    ) -> Result<ScrubReport, EngineError> {
+        let mut last = ScrubReport::default();
+        for _ in 0..max_passes.max(1) {
+            let report = self.scrub_pass(engine, repair.as_deref_mut())?;
+            let clean = report.is_clean();
+            last.slices += report.slices;
+            last.totals.merge(&report.totals);
+            if clean {
+                return Ok(last);
+            }
+        }
+        Ok(last)
     }
 
     fn should_compact(&mut self, engine: &DedupEngine) -> bool {
@@ -507,5 +621,120 @@ mod tests {
         assert!(flushed_total > 0, "pump must flush writebacks");
         assert!(e.pending_writebacks() == 0);
         assert!(m.quiesced(&e), "pump ticks must drain maintenance backlogs");
+    }
+
+    // ------------------------------------------------------------------
+    // Integrity scrub
+    // ------------------------------------------------------------------
+
+    fn scrub_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dbdedup-maint-scrub-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn engine_at(dir: &std::path::Path) -> DedupEngine {
+        use dbdedup_storage::{RecordStore, StoreConfig};
+        let mut cfg = EngineConfig::default();
+        cfg.min_benefit_bytes = 16;
+        let store = RecordStore::open(dir, StoreConfig::default()).unwrap();
+        DedupEngine::new(store, cfg).unwrap()
+    }
+
+    /// Flips one bit inside `id`'s live frame on disk, under the engine.
+    fn rot_live_frame(dir: &std::path::Path, e: &DedupEngine, id: RecordId) {
+        use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+        let (seg, off, _) = e.store().frame_extent(id).expect("live frame");
+        let path = dir.join(format!("seg{seg:06}.dat"));
+        let mut f = std::fs::OpenOptions::new().read(true).write(true).open(path).unwrap();
+        f.seek(SeekFrom::Start(off + 12)).unwrap();
+        let mut b = [0u8; 1];
+        f.read_exact(&mut b).unwrap();
+        f.seek(SeekFrom::Start(off + 12)).unwrap();
+        f.write_all(&[b[0] ^ 0x40]).unwrap();
+    }
+
+    #[test]
+    fn ticks_run_steady_state_scrub_without_gating_idleness() {
+        let mut e = engine();
+        let docs = versioned_docs(6, 9);
+        for (i, d) in docs.iter().enumerate() {
+            e.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        e.flush_all_writebacks().unwrap();
+        let mut m = Maintainer::new(MaintConfig::default());
+        let _ = m.run_until_quiesced(&mut e).unwrap();
+        assert!(m.quiesced(&e));
+        let r = m.tick(&mut e).unwrap();
+        assert!(r.scrub_verified > 0, "{r:?}");
+        assert_eq!(r.scrub_corrupt, 0);
+        assert!(r.is_idle(), "a clean scrub slice must not look like backlog work: {r:?}");
+        assert!(m.quiesced(&e), "the wrapping scrub cursor must not gate quiescence");
+    }
+
+    #[test]
+    fn scrub_budget_zero_disables_the_slice() {
+        let mut e = engine();
+        e.insert("db", RecordId(1), &versioned_docs(1, 10)[0]).unwrap();
+        let mut cfg = MaintConfig::default();
+        cfg.scrub_budget_bytes = 0;
+        let mut m = Maintainer::new(cfg);
+        let r = m.tick(&mut e).unwrap();
+        assert_eq!(r.scrub_verified, 0);
+        assert_eq!(e.metrics().scrub_verified, 0);
+    }
+
+    #[test]
+    fn scrub_pass_heals_bit_rot_from_attached_repair_source() {
+        let dir = scrub_dir("heal");
+        let docs = versioned_docs(5, 11);
+        let mut control = engine();
+        {
+            let mut e = engine_at(&dir);
+            for (i, d) in docs.iter().enumerate() {
+                e.insert("db", RecordId(i as u64 + 1), d).unwrap();
+                control.insert("db", RecordId(i as u64 + 1), d).unwrap();
+            }
+        }
+        // Reopen so caches are cold: the heal must come from the source.
+        let mut e = engine_at(&dir);
+        rot_live_frame(&dir, &e, RecordId(2));
+        let lsn = e.oplog_next_lsn();
+        let mut m = Maintainer::new(MaintConfig::default());
+        let report = m.scrub_pass(&mut e, Some(&mut control)).unwrap();
+        assert_eq!(report.totals.corrupt, 1, "{report:?}");
+        assert_eq!(report.totals.healed_replica, 1);
+        assert!(report.totals.unhealable.is_empty());
+        assert_eq!(e.oplog_next_lsn(), lsn, "scrub repair must stay oplog-silent");
+        for (i, d) in docs.iter().enumerate() {
+            assert_eq!(&e.read(RecordId(i as u64 + 1)).unwrap()[..], &d[..], "record {i}");
+        }
+        // The next pass proves convergence.
+        let again = m.scrub_pass_local(&mut e).unwrap();
+        assert!(again.is_clean(), "{again:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrub_until_clean_escalates_unhealable_damage_without_source() {
+        let dir = scrub_dir("escalate");
+        let docs = versioned_docs(3, 12);
+        {
+            let mut e = engine_at(&dir);
+            for (i, d) in docs.iter().enumerate() {
+                e.insert("db", RecordId(i as u64 + 1), d).unwrap();
+            }
+        }
+        let mut e = engine_at(&dir);
+        rot_live_frame(&dir, &e, RecordId(1));
+        let mut m = Maintainer::new(MaintConfig::default());
+        let report = m.scrub_until_clean(&mut e, None::<&mut DedupEngine>, 4).unwrap();
+        assert_eq!(report.totals.unhealable, vec![RecordId(1)], "{report:?}");
+        // Typed escalation, not silent loss: the record is quarantined and
+        // broken-marked for resync, while everything else stays readable.
+        assert!(e.broken_records().contains(&RecordId(1)));
+        assert_eq!(&e.read(RecordId(2)).unwrap()[..], &docs[1][..]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

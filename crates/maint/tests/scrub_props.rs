@@ -1,0 +1,218 @@
+//! Bit-rot sweep property for the integrity scrubber: flip **every byte
+//! position** of a small store's segment files, one run per position, and
+//! require that scrub-and-heal converges each run back to byte parity
+//! with a never-corrupted control — healing through an attached repair
+//! source, generating zero oplog traffic, and finishing with a clean
+//! verification pass. Flips that land in a live frame must be *detected*
+//! (quarantined and healed); flips in dead frames, headers, or slack must
+//! be harmless. A store with no repair source must end in a typed
+//! unhealable escalation, never a panic or silent loss.
+
+use dbdedup_core::{DedupEngine, EngineConfig};
+use dbdedup_maint::{MaintConfig, Maintainer};
+use dbdedup_storage::{RecordStore, StoreConfig};
+use dbdedup_util::dist::SplitMix64;
+use dbdedup_util::ids::RecordId;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Fixed sweep seed: the workload (and therefore every byte position the
+/// sweep visits) is identical on every run.
+const SWEEP_SEED: u64 = 0xB17F_11D5;
+
+/// Records in the sweep store — small on purpose: the sweep runs one
+/// scrub-to-convergence cycle per stored byte.
+const RECORDS: u64 = 5;
+
+fn engine_cfg() -> EngineConfig {
+    let mut cfg = EngineConfig::default();
+    cfg.min_benefit_bytes = 16;
+    cfg
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbdedup-scrubprops-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn engine_at(dir: &Path) -> DedupEngine {
+    let store = RecordStore::open(dir, StoreConfig::default()).unwrap();
+    DedupEngine::new(store, engine_cfg()).unwrap()
+}
+
+/// Seeded revision-stream workload: each record is a mutation of the
+/// previous one, so the store holds a real delta chain, not just raw
+/// frames.
+fn workload() -> Vec<(RecordId, Vec<u8>)> {
+    let mut rng = SplitMix64::new(SWEEP_SEED);
+    let mut doc: Vec<u8> = (0..600).map(|_| (rng.next_u64() % 26 + 97) as u8).collect();
+    let mut out = Vec::new();
+    for i in 0..RECORDS {
+        if i > 0 {
+            for _ in 0..4 {
+                let at = rng.next_index(doc.len() - 30);
+                for b in doc.iter_mut().skip(at).take(24) {
+                    *b = (rng.next_u64() % 26 + 97) as u8;
+                }
+            }
+        }
+        out.push((RecordId(i), doc.clone()));
+    }
+    out
+}
+
+/// Builds the pristine store at `dir` and leaves it closed on disk.
+fn build_pristine(dir: &Path, ops: &[(RecordId, Vec<u8>)]) {
+    let mut e = engine_at(dir);
+    for (id, data) in ops {
+        e.insert("sweep", *id, data).unwrap();
+    }
+    e.flush_all_writebacks().unwrap();
+}
+
+/// Copies every file of `src` flat into `dst` (segment stores have no
+/// subdirectories).
+fn copy_store(src: &Path, dst: &Path) {
+    let _ = fs::remove_dir_all(dst);
+    fs::create_dir_all(dst).unwrap();
+    for entry in fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+/// Segment files of `dir` in name order, with their lengths.
+fn segment_files(dir: &Path) -> Vec<(PathBuf, u64)> {
+    let mut files: Vec<_> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.file_name().unwrap().to_string_lossy().starts_with("seg"))
+        .collect();
+    files.sort();
+    files.iter().map(|p| (p.clone(), fs::metadata(p).unwrap().len())).collect()
+}
+
+fn flip_byte(path: &Path, off: u64) {
+    let mut f = fs::OpenOptions::new().read(true).write(true).open(path).unwrap();
+    let mut b = [0u8; 1];
+    f.seek(SeekFrom::Start(off)).unwrap();
+    f.read_exact(&mut b).unwrap();
+    f.seek(SeekFrom::Start(off)).unwrap();
+    f.write_all(&[b[0] ^ 0x40]).unwrap();
+}
+
+#[test]
+fn every_byte_flip_converges_to_control_parity() {
+    let ops = workload();
+    let pristine = temp_dir("pristine");
+    build_pristine(&pristine, &ops);
+
+    // The control doubles as the authoritative repair source.
+    let control_dir = temp_dir("control");
+    copy_store(&pristine, &control_dir);
+    let mut control = engine_at(&control_dir);
+
+    // Live-frame extents are fixed across iterations (every victim is a
+    // byte copy of the same pristine store).
+    let extents: Vec<(u32, u64, u32)> = {
+        let probe = engine_at(&pristine);
+        ops.iter().map(|(id, _)| probe.store().frame_extent(*id).expect("live")).collect()
+    };
+    let in_live_frame = |seg_idx: usize, off: u64| {
+        extents.iter().any(|&(s, o, l)| s as usize == seg_idx && off >= o && off < o + u64::from(l))
+    };
+
+    let victim_dir = temp_dir("victim");
+    let segs = segment_files(&pristine);
+    assert!(!segs.is_empty(), "sweep store must have segment files");
+    let total_bytes: u64 = segs.iter().map(|(_, len)| len).sum();
+    assert!(total_bytes > 0);
+
+    let mut detected = 0u64;
+    let mut live_bytes = 0u64;
+    for (seg_idx, (seg_path, seg_len)) in segs.iter().enumerate() {
+        let seg_name = seg_path.file_name().unwrap();
+        for off in 0..*seg_len {
+            copy_store(&pristine, &victim_dir);
+            let mut victim = engine_at(&victim_dir);
+            let lsn_before = victim.oplog_next_lsn();
+            flip_byte(&victim_dir.join(seg_name), off);
+
+            let mut maint = Maintainer::new(MaintConfig::default());
+            let report = maint.scrub_until_clean(&mut victim, Some(&mut control), 4).unwrap();
+            assert!(
+                report.totals.unhealable.is_empty(),
+                "seg {seg_idx} off {off}: nothing is unhealable with a full replica: {report:?}"
+            );
+            if in_live_frame(seg_idx, off) {
+                live_bytes += 1;
+                assert!(
+                    report.totals.corrupt + report.totals.chain_faults >= 1,
+                    "seg {seg_idx} off {off}: live-frame damage must be detected: {report:?}"
+                );
+                detected += 1;
+            }
+            assert_eq!(
+                victim.oplog_next_lsn(),
+                lsn_before,
+                "seg {seg_idx} off {off}: scrub repair must be oplog-silent"
+            );
+            for (id, data) in &ops {
+                assert_eq!(
+                    &victim.read(*id).unwrap()[..],
+                    &data[..],
+                    "seg {seg_idx} off {off}: record {id} lost byte parity"
+                );
+            }
+        }
+    }
+    assert_eq!(detected, live_bytes, "every live-frame flip must be detected");
+    assert!(live_bytes > 0, "the sweep must cover live frames");
+    // The sweep is only meaningful if it also covered bytes *outside*
+    // live frames (headers, dead frames) — those must ride through.
+    assert!(live_bytes < total_bytes, "sweep must also cover non-live bytes");
+
+    let _ = fs::remove_dir_all(&pristine);
+    let _ = fs::remove_dir_all(&control_dir);
+    let _ = fs::remove_dir_all(&victim_dir);
+}
+
+#[test]
+fn flip_without_any_source_ends_in_typed_quarantine_not_loss() {
+    // The unhealable arm of the acceptance scenario: no replica, no local
+    // copy — the scrubber must quarantine with a typed escalation and
+    // leave every undamaged record intact.
+    let ops = workload();
+    let pristine = temp_dir("nosource-pristine");
+    build_pristine(&pristine, &ops);
+    let victim_dir = temp_dir("nosource-victim");
+    copy_store(&pristine, &victim_dir);
+
+    let mut victim = engine_at(&victim_dir);
+    // The oldest record is the chain tail — nothing decodes through it, so
+    // exactly one record is damaged and everything else must survive.
+    let target = ops[0].0;
+    let (seg, off, _) = victim.store().frame_extent(target).expect("live");
+    flip_byte(&victim_dir.join(format!("seg{seg:06}.dat")), off + 12);
+
+    let mut maint = Maintainer::new(MaintConfig::default());
+    let lsn_before = victim.oplog_next_lsn();
+    let report = maint.scrub_until_clean(&mut victim, None::<&mut DedupEngine>, 4).unwrap();
+    assert!(
+        report.totals.unhealable.contains(&target),
+        "damage with no source must escalate typed: {report:?}"
+    );
+    assert!(victim.broken_records().contains(&target));
+    assert_eq!(victim.oplog_next_lsn(), lsn_before);
+    for (id, data) in &ops {
+        if *id == target {
+            continue;
+        }
+        assert_eq!(&victim.read(*id).unwrap()[..], &data[..], "undamaged record {id}");
+    }
+
+    let _ = fs::remove_dir_all(&pristine);
+    let _ = fs::remove_dir_all(&victim_dir);
+}

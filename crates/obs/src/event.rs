@@ -165,6 +165,33 @@ pub enum EventKind {
         /// "skipped" (deleted/broken/already-chained meanwhile).
         outcome: &'static str,
     },
+    /// The opening salvage scan quarantined one damaged frame (or
+    /// contiguous damaged run) — per-frame detail behind the aggregate
+    /// `salvage` event.
+    SalvageSkipped {
+        /// Segment the damage sits in.
+        segment: u64,
+        /// Byte offset the damaged run starts at.
+        offset: u64,
+        /// Bytes the quarantined run covers.
+        bytes: u64,
+    },
+    /// An integrity-scrub slice finished.
+    MaintScrub {
+        /// Live records whose frames verified clean this slice.
+        verified: u64,
+        /// Damaged records detected this slice.
+        corrupt: u64,
+        /// Records healed (locally or from a replica) this slice.
+        healed: u64,
+    },
+    /// Scrub found a damaged record that nothing could heal: no local
+    /// reconstruction and no replica supplied authoritative bytes. The
+    /// record is quarantined and stays marked broken.
+    ScrubUnhealable {
+        /// The unhealable record.
+        id: u64,
+    },
 }
 
 impl EventKind {
@@ -191,6 +218,9 @@ impl EventKind {
             EventKind::MaintCompact { .. } => "maint_compact",
             EventKind::MaintRetired { .. } => "maint_retired",
             EventKind::MaintRededup { .. } => "maint_rededup",
+            EventKind::SalvageSkipped { .. } => "salvage_skipped",
+            EventKind::MaintScrub { .. } => "maint_scrub",
+            EventKind::ScrubUnhealable { .. } => "scrub_unhealable",
         }
     }
 }
@@ -285,6 +315,19 @@ impl Event {
             }
             EventKind::MaintRededup { id, outcome } => {
                 s.push_str(&format!(",\"id\":{id},\"outcome\":\"{outcome}\""));
+            }
+            EventKind::SalvageSkipped { segment, offset, bytes } => {
+                s.push_str(&format!(
+                    ",\"segment\":{segment},\"offset\":{offset},\"bytes\":{bytes}"
+                ));
+            }
+            EventKind::MaintScrub { verified, corrupt, healed } => {
+                s.push_str(&format!(
+                    ",\"verified\":{verified},\"corrupt\":{corrupt},\"healed\":{healed}"
+                ));
+            }
+            EventKind::ScrubUnhealable { id } => {
+                s.push_str(&format!(",\"id\":{id}"));
             }
         }
         s.push('}');
@@ -464,6 +507,9 @@ mod tests {
             EventKind::MaintCompact { segments: 1, reclaimed_bytes: 4096 },
             EventKind::MaintRetired { id: 3, depth: 40 },
             EventKind::MaintRededup { id: 8, outcome: "rededuped" },
+            EventKind::SalvageSkipped { segment: 0, offset: 16, bytes: 210 },
+            EventKind::MaintScrub { verified: 40, corrupt: 1, healed: 1 },
+            EventKind::ScrubUnhealable { id: 11 },
         ];
         for k in kinds {
             log.record(Severity::Info, k);

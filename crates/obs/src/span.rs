@@ -53,11 +53,14 @@ pub enum Stage {
     /// sketch → index lookup → source selection → delta encode and
     /// rewriting the raw record into a chain.
     MaintRededup,
+    /// Background integrity scrub: verified segment scan, chain decode
+    /// checks, and quarantine-then-heal repair of damaged frames.
+    MaintScrub,
 }
 
 impl Stage {
     /// Every stage, in stable schema order.
-    pub const ALL: [Stage; 13] = [
+    pub const ALL: [Stage; 14] = [
         Stage::Chunk,
         Stage::Sketch,
         Stage::IndexLookup,
@@ -71,6 +74,7 @@ impl Stage {
         Stage::MaintGc,
         Stage::MaintCompact,
         Stage::MaintRededup,
+        Stage::MaintScrub,
     ];
 
     /// The stage's stable snake_case name (metric key component).
@@ -89,6 +93,7 @@ impl Stage {
             Stage::MaintGc => "maint_gc",
             Stage::MaintCompact => "maint_compact",
             Stage::MaintRededup => "maint_rededup",
+            Stage::MaintScrub => "maint_scrub",
         }
     }
 }

@@ -46,6 +46,7 @@
 pub mod asynch;
 pub mod health;
 pub mod pair;
+pub mod repair;
 pub mod resync;
 pub mod set;
 pub mod sim;
@@ -53,6 +54,7 @@ pub mod sim;
 pub use asynch::{AsyncReplicator, ShipOutcome};
 pub use health::{HealthTracker, ReplicaHealth};
 pub use pair::{NetworkStats, ReplicaPair};
+pub use repair::{FetchStats, RepairFetcher};
 pub use resync::{anti_entropy, anti_entropy_with_clock, ResyncReport};
 pub use set::ReplicaSet;
 pub use sim::{SimConfig, SimReport, Simulation};

@@ -123,6 +123,17 @@ impl BlockCache {
         self.map.insert(key, Slot { data, tick: self.clock });
     }
 
+    /// Evicts one block. The scrub path uses this when a frame that was
+    /// cached clean turns out to have rotted on disk — the one case where
+    /// the "immutable once written" assumption breaks and a stale cached
+    /// copy would mask real damage.
+    pub fn remove(&mut self, key: BlockKey) {
+        if let Some(slot) = self.map.remove(&key) {
+            self.order.remove(&slot.tick);
+            self.used -= slot.data.len();
+        }
+    }
+
     /// Cached bytes.
     pub fn used_bytes(&self) -> usize {
         self.used

@@ -41,5 +41,6 @@ pub use fault::{FaultInjector, FaultKind, FaultPlan, WriteOutcome};
 pub use iometer::IoMeter;
 pub use oplog::{CursorGap, Oplog, OplogEntry, OplogKind, OplogPayload};
 pub use store::{
-    CompactStats, RecordStore, RecoveryReport, StorageForm, StoreConfig, StoreError, StoredRecord,
+    CompactStats, RecordStore, RecoveryReport, SalvagedFrame, StorageForm, StoreConfig, StoreError,
+    StoredRecord, VerifySlice,
 };

@@ -179,6 +179,20 @@ pub struct IoStats {
     pub verify_failures: u64,
 }
 
+/// One damaged frame (or contiguous damaged run) the opening salvage scan
+/// skipped — the structured counterpart of the free-text
+/// [`RecoveryReport::notes`], consumed by the engine to emit a `Warn`
+/// event per quarantined frame instead of burying the loss in a count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SalvagedFrame {
+    /// Segment the damage sits in.
+    pub segment: u32,
+    /// Byte offset the damaged run starts at.
+    pub offset: u64,
+    /// Bytes the quarantined run covers.
+    pub bytes: u64,
+}
+
 /// What a recovery scan found and did, per [`RecordStore::open`].
 #[derive(Debug, Default, Clone)]
 pub struct RecoveryReport {
@@ -195,6 +209,8 @@ pub struct RecoveryReport {
     pub truncated_tail_bytes: u64,
     /// Human-readable notes, one per salvage action.
     pub notes: Vec<String>,
+    /// Per-frame detail of every quarantined run, in scan order.
+    pub skipped: Vec<SalvagedFrame>,
 }
 
 impl RecoveryReport {
@@ -265,6 +281,33 @@ struct CompactCursor {
     carried_tombs: u64,
 }
 
+/// Resume point for the integrity scrub: the next position whose live
+/// frames still await verification. Persists across bounded
+/// [`RecordStore::scrub_step`] slices (the compaction-cursor idiom), so
+/// repeated slices walk the whole store segment-at-a-time and then wrap.
+#[derive(Debug, Default, Clone, Copy)]
+struct ScrubCursor {
+    seg: u32,
+    off: u64,
+}
+
+/// What one bounded verified-scan slice covered, per
+/// [`RecordStore::scrub_step`].
+#[must_use = "a verify slice names the corrupt records; dropping it loses the damage report"]
+#[derive(Debug, Default, Clone)]
+pub struct VerifySlice {
+    /// Live records whose on-disk frames verified clean.
+    pub clean: Vec<RecordId>,
+    /// Live records whose on-disk frames failed verification
+    /// (marker/length/CRC or unparseable entry).
+    pub corrupt: Vec<RecordId>,
+    /// Frame bytes read from disk and checked.
+    pub bytes_verified: u64,
+    /// The cursor wrapped past the last segment: a full pass over every
+    /// live frame has completed.
+    pub pass_complete: bool,
+}
+
 struct Inner {
     directory: FxHashMap<RecordId, Loc>,
     readers: Vec<Option<File>>,
@@ -287,6 +330,7 @@ struct Inner {
     /// dropped (not carried) when its segment is compacted.
     stale_puts: FxHashMap<RecordId, u32>,
     cursor: Option<CompactCursor>,
+    scrub: ScrubCursor,
     io: IoStats,
     cache: BlockCache,
 }
@@ -414,6 +458,7 @@ impl RecordStore {
                 tomb_bytes: 0,
                 stale_puts: FxHashMap::default(),
                 cursor: None,
+                scrub: ScrubCursor::default(),
                 io: IoStats::default(),
                 cache: BlockCache::new(config.block_cache_bytes),
             }),
@@ -512,6 +557,11 @@ impl RecordStore {
                     "seg {idx}: invalid header on sealed segment; {} bytes quarantined",
                     buf.len()
                 ));
+                report.skipped.push(SalvagedFrame {
+                    segment: idx,
+                    offset: 0,
+                    bytes: buf.len() as u64,
+                });
             }
             return Ok(());
         }
@@ -565,6 +615,11 @@ impl RecordStore {
                         "seg {idx}: quarantined {} damaged bytes at offset {start}",
                         q - start
                     ));
+                    report.skipped.push(SalvagedFrame {
+                        segment: idx,
+                        offset: start as u64,
+                        bytes: (q - start) as u64,
+                    });
                     pos = q;
                 }
                 None if is_active => {
@@ -588,6 +643,11 @@ impl RecordStore {
                     report.notes.push(format!(
                         "seg {idx}: quarantined {run} damaged trailing bytes at offset {start}"
                     ));
+                    report.skipped.push(SalvagedFrame {
+                        segment: idx,
+                        offset: start as u64,
+                        bytes: run as u64,
+                    });
                     break;
                 }
             }
@@ -762,6 +822,13 @@ impl RecordStore {
         self.inner.lock().directory.get(&id).map(|loc| u64::from(loc.len))
     }
 
+    /// Where `id`'s live frame sits on disk: `(segment, offset, len)`.
+    /// Diagnostic — fault-injection tests use it to aim corruption at a
+    /// specific live record rather than at dead bytes.
+    pub fn frame_extent(&self, id: RecordId) -> Option<(u32, u64, u32)> {
+        self.inner.lock().directory.get(&id).map(|loc| (loc.seg, loc.off, loc.len))
+    }
+
     /// Cumulative I/O counters. With the block cache enabled, `reads`
     /// counts only cache misses that reached the file.
     pub fn io_stats(&self) -> IoStats {
@@ -831,6 +898,30 @@ impl RecordStore {
         }
         out.sort_unstable_by_key(|&(id, _)| id);
         Ok(out)
+    }
+
+    /// The logical database `id`'s live degraded-tagged frame was admitted
+    /// into, or `None` when the frame is untagged, unreadable, or absent.
+    /// The per-id counterpart of [`RecordStore::degraded_records`], used
+    /// by the scrub's backlog-consistency check.
+    pub fn degraded_db(&self, id: RecordId) -> Result<Option<String>, StoreError> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let Some(&loc) = inner.directory.get(&id) else {
+            return Ok(None);
+        };
+        if !loc.degraded {
+            return Ok(None);
+        }
+        let raw = match read_entry_bytes(inner, &self.dir, loc) {
+            Ok(raw) => raw,
+            Err(StoreError::Corrupt(_)) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let Ok(parsed) = parse_entry(&raw[FRAME_HDR..]) else {
+            return Ok(None);
+        };
+        Ok(parsed.degraded_db.map(|db| String::from_utf8_lossy(db).into_owned()))
     }
 
     /// Rewrites live entries into fresh segments, dropping dead space.
@@ -1189,6 +1280,95 @@ impl RecordStore {
         cur.off = cur.file_len;
         Ok(0)
     }
+
+    /// One bounded increment of the integrity scrub: verifies up to
+    /// ~`max_bytes` of **live** frames against the disk, in segment/offset
+    /// order starting at the persistent scrub cursor, and reports which
+    /// records read back clean versus corrupt. The scan deliberately
+    /// bypasses the block cache — a cached clean copy of bytes that have
+    /// since rotted on the platter is exactly the damage a scrub exists to
+    /// find — and evicts the cached copy of any frame that fails, so
+    /// subsequent reads observe the damage too.
+    ///
+    /// Detection only: the directory is not modified. Callers quarantine
+    /// and heal (see [`RecordStore::quarantine`]). When the cursor walks
+    /// past the last segment it wraps to the start and the slice reports
+    /// `pass_complete`.
+    pub fn scrub_step(&self, max_bytes: u64) -> Result<VerifySlice, StoreError> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let mut slice = VerifySlice::default();
+        'outer: while slice.bytes_verified < max_bytes.max(1) {
+            let cur = inner.scrub;
+            if cur.seg > inner.active_idx {
+                inner.scrub = ScrubCursor::default();
+                slice.pass_complete = true;
+                break;
+            }
+            // Live frames of the cursor segment still ahead of the cursor,
+            // in on-disk order.
+            let mut locs: Vec<(RecordId, Loc)> = inner
+                .directory
+                .iter()
+                .filter(|(_, loc)| loc.seg == cur.seg && loc.off >= cur.off)
+                .map(|(&id, &loc)| (id, loc))
+                .collect();
+            if locs.is_empty() {
+                inner.scrub = ScrubCursor { seg: cur.seg + 1, off: 0 };
+                continue;
+            }
+            locs.sort_unstable_by_key(|&(_, loc)| loc.off);
+            for (id, loc) in locs {
+                if verify_frame_on_disk(inner, &self.dir, loc)? {
+                    slice.clean.push(id);
+                } else {
+                    slice.corrupt.push(id);
+                }
+                slice.bytes_verified += u64::from(loc.len);
+                inner.scrub = ScrubCursor { seg: loc.seg, off: loc.off + u64::from(loc.len) };
+                if slice.bytes_verified >= max_bytes.max(1) {
+                    break 'outer;
+                }
+            }
+            // Segment exhausted within budget: move to the next one.
+            inner.scrub = ScrubCursor { seg: cur.seg + 1, off: 0 };
+        }
+        Ok(slice)
+    }
+
+    /// The persistent scrub cursor as `(segment, offset)` — the next
+    /// position [`RecordStore::scrub_step`] will verify from.
+    pub fn scrub_position(&self) -> (u32, u64) {
+        let inner = self.inner.lock();
+        (inner.scrub.seg, inner.scrub.off)
+    }
+
+    /// Drops `id`'s live directory entry because its on-disk frame is
+    /// damaged, turning the frame into dead space for compaction. Returns
+    /// the frame length, or `None` when the id is not live. The damaged
+    /// frame physically stays on disk as a stale put until compaction
+    /// reclaims it; since it no longer passes CRC, a restart's salvage
+    /// scan quarantines it again rather than resurrecting the record.
+    pub fn quarantine(&self, id: RecordId) -> Result<Option<u64>, StoreError> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let Some(old) = inner.directory.remove(&id) else {
+            return Ok(None);
+        };
+        inner.dead_bytes += u64::from(old.len);
+        *inner.stale_puts.entry(id).or_insert(0) += 1;
+        // The cache may still hold the clean pre-damage copy: use it for
+        // the live-size subtraction (those are the sizes the put once
+        // added), then evict it so no read resurrects vanished data.
+        if let Some((payload, uncompressed)) = read_live_sizes(inner, &self.dir, old)? {
+            inner.live_payload_bytes = inner.live_payload_bytes.saturating_sub(payload);
+            inner.live_uncompressed_bytes =
+                inner.live_uncompressed_bytes.saturating_sub(uncompressed);
+        }
+        inner.cache.remove(BlockKey { seg: old.seg, off: old.off });
+        inner.io.quarantined_entries += 1;
+        Ok(Some(u64::from(old.len)))
+    }
 }
 
 /// Opens the next segment as the active one (same rotation the append
@@ -1273,6 +1453,30 @@ fn read_entry_bytes(
     let arc = std::sync::Arc::new(buf);
     inner.cache.insert(key, std::sync::Arc::clone(&arc));
     Ok(arc)
+}
+
+/// Reads the frame at `loc` straight from disk — never the block cache —
+/// and verifies it end to end (marker, length, CRC, parseable entry).
+/// Returns whether the frame is intact; a failure also bumps
+/// [`IoStats::verify_failures`] and evicts any cached copy. A segment file
+/// shorter than the directory believes counts as a failed frame, not an
+/// I/O abort.
+fn verify_frame_on_disk(inner: &mut Inner, dir: &Path, loc: Loc) -> Result<bool, StoreError> {
+    ensure_reader(inner, dir, loc.seg)?;
+    let f = inner.readers[loc.seg as usize].as_mut().expect("reader opened");
+    let mut buf = vec![0u8; loc.len as usize];
+    f.seek(SeekFrom::Start(loc.off))?;
+    let read_ok = f.read_exact(&mut buf).is_ok();
+    inner.io.reads += 1;
+    inner.io.read_bytes += u64::from(loc.len);
+    let entry_len = (loc.len as usize).saturating_sub(FRAME_HDR);
+    let ok =
+        read_ok && frame_at(&buf, 0) == Some(entry_len) && parse_entry(&buf[FRAME_HDR..]).is_ok();
+    if !ok {
+        inner.io.verify_failures += 1;
+        inner.cache.remove(BlockKey { seg: loc.seg, off: loc.off });
+    }
+    Ok(ok)
 }
 
 fn ensure_reader(inner: &mut Inner, dir: &Path, seg: u32) -> Result<(), StoreError> {
@@ -1988,5 +2192,139 @@ mod tests {
         // Transient: the next put succeeds.
         s.put(RecordId(2), StorageForm::Raw, b"fine").unwrap();
         assert_eq!(&s.get(RecordId(2)).unwrap().payload[..], b"fine");
+    }
+
+    #[test]
+    fn scrub_full_pass_on_clean_store_verifies_every_live_frame() {
+        let dir = temp_dir("scrub-clean");
+        let cfg = StoreConfig { segment_bytes: 1024, ..Default::default() };
+        let s = RecordStore::open(&dir, cfg).unwrap();
+        for i in 0..12u64 {
+            s.put(RecordId(i), StorageForm::Raw, &[i as u8; 200]).unwrap();
+        }
+        let mut clean = 0usize;
+        loop {
+            let slice = s.scrub_step(512).unwrap();
+            assert!(slice.corrupt.is_empty(), "{slice:?}");
+            clean += slice.clean.len();
+            if slice.pass_complete {
+                break;
+            }
+        }
+        assert_eq!(clean, 12, "one full pass covers every live record exactly once");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrub_detects_rot_the_block_cache_still_masks() {
+        let dir = temp_dir("scrub-rot");
+        let s = RecordStore::open(&dir, StoreConfig::default()).unwrap();
+        s.put(RecordId(1), StorageForm::Raw, &[0xAA; 300]).unwrap();
+        s.put(RecordId(2), StorageForm::Raw, &[0xBB; 300]).unwrap();
+        // Prime the cache with clean copies, then rot record 1 on disk.
+        let _ = s.get(RecordId(1)).unwrap();
+        let _ = s.get(RecordId(2)).unwrap();
+        let path = segment_path(&dir, 0);
+        let loc = s.inner.lock().directory[&RecordId(1)];
+        let mut buf = fs::read(&path).unwrap();
+        buf[loc.off as usize + FRAME_HDR + 20] ^= 0x40;
+        fs::write(&path, &buf).unwrap();
+        // A cached read still serves the stale clean copy...
+        assert_eq!(&s.get(RecordId(1)).unwrap().payload[..], &[0xAA; 300][..]);
+        // ...but the scrub reads the platter, finds the rot, and evicts
+        // the masking cache entry.
+        let mut corrupt = Vec::new();
+        loop {
+            let slice = s.scrub_step(u64::MAX).unwrap();
+            corrupt.extend(slice.corrupt.clone());
+            if slice.pass_complete {
+                break;
+            }
+        }
+        assert_eq!(corrupt, vec![RecordId(1)]);
+        assert!(matches!(s.get(RecordId(1)), Err(StoreError::Corrupt(_))));
+        assert_eq!(&s.get(RecordId(2)).unwrap().payload[..], &[0xBB; 300][..]);
+        assert!(s.io_stats().verify_failures >= 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrub_cursor_persists_across_bounded_slices() {
+        let s = store();
+        for i in 0..8u64 {
+            s.put(RecordId(i), StorageForm::Raw, &[i as u8; 100]).unwrap();
+        }
+        let slice = s.scrub_step(1).unwrap();
+        assert_eq!(slice.clean.len(), 1, "budget of 1 byte still verifies one frame");
+        assert!(!slice.pass_complete);
+        let (seg, off) = s.scrub_position();
+        assert!((seg, off) > (0, 0), "cursor advanced");
+        let next = s.scrub_step(1).unwrap();
+        assert_eq!(next.clean.len(), 1);
+        assert_ne!(slice.clean[0], next.clean[0], "no frame verified twice in one pass");
+    }
+
+    #[test]
+    fn quarantine_removes_record_and_survives_reopen() {
+        let dir = temp_dir("quarantine");
+        let cfg = StoreConfig { block_cache_bytes: 0, ..Default::default() };
+        {
+            let s = RecordStore::open(&dir, cfg.clone()).unwrap();
+            s.put(RecordId(1), StorageForm::Raw, &[0x11; 250]).unwrap();
+            s.put(RecordId(2), StorageForm::Raw, &[0x22; 250]).unwrap();
+            // Rot record 1 on disk, then quarantine it like scrub would.
+            let loc = s.inner.lock().directory[&RecordId(1)];
+            let path = segment_path(&dir, 0);
+            let mut buf = fs::read(&path).unwrap();
+            buf[loc.off as usize + FRAME_HDR + 5] ^= 0x01;
+            fs::write(&path, &buf).unwrap();
+            let len = s.quarantine(RecordId(1)).unwrap();
+            assert_eq!(len, Some(u64::from(loc.len)));
+            assert!(!s.contains(RecordId(1)));
+            assert!(s.dead_bytes() >= u64::from(loc.len));
+            assert_eq!(s.quarantine(RecordId(1)).unwrap(), None, "idempotent");
+        }
+        {
+            // The dropped frame fails CRC on disk, so the reopen scan
+            // quarantines it again instead of resurrecting the record.
+            let s = RecordStore::open(&dir, cfg).unwrap();
+            assert!(!s.contains(RecordId(1)), "no resurrection");
+            assert_eq!(&s.get(RecordId(2)).unwrap().payload[..], &[0x22; 250][..]);
+            let report = s.recovery_report();
+            assert_eq!(report.quarantined_entries, 1);
+            assert_eq!(report.skipped.len(), 1);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn salvage_report_lists_each_quarantined_frame() {
+        let dir = temp_dir("salvage-detail");
+        let cfg = StoreConfig { segment_bytes: 2048, block_cache_bytes: 0, ..Default::default() };
+        {
+            let s = RecordStore::open(&dir, cfg.clone()).unwrap();
+            for i in 0..40u64 {
+                s.put(RecordId(i), StorageForm::Raw, &[i as u8; 200]).unwrap();
+            }
+        }
+        // Damage two separated frames in sealed segment 0.
+        let path = segment_path(&dir, 0);
+        let mut buf = fs::read(&path).unwrap();
+        buf[SEG_HDR_LEN + 6] ^= 0xFF;
+        buf[SEG_HDR_LEN + 800] ^= 0xFF;
+        fs::write(&path, &buf).unwrap();
+        {
+            let s = RecordStore::open(&dir, cfg).unwrap();
+            let report = s.recovery_report();
+            assert_eq!(report.skipped.len() as u64, report.quarantined_entries);
+            assert_eq!(report.skipped.iter().map(|f| f.bytes).sum::<u64>(), {
+                report.quarantined_bytes
+            });
+            for f in &report.skipped {
+                assert_eq!(f.segment, 0);
+                assert!(f.bytes > 0);
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
     }
 }

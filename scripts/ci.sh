@@ -51,4 +51,13 @@ echo "==> rededup-smoke"
 cargo test -q -p dbdedup-maint --test rededup_props
 cargo test -q --test fault_injection rededup_rewrite_crash_sweep
 
+# Integrity scrubber: fixed-seed bit-rot sweep (crates/maint/tests/
+# scrub_props.rs) — flip every byte of a small store, require scrub-and-
+# heal to converge to byte parity with a never-corrupted control, detect
+# every live-frame flip, stay oplog-silent, and escalate typed when no
+# repair source exists — plus the degraded-record salvage test.
+echo "==> scrub-smoke"
+cargo test -q -p dbdedup-maint --test scrub_props
+cargo test -q --test fault_injection bitflip_on_degraded
+
 echo "==> ci.sh: all green"

@@ -271,6 +271,94 @@ fn rededup_rewrite_crash_sweep_preserves_records_and_backlog() {
     }
 }
 
+/// A bit flip on a raw degraded-tagged pass-through record: the next open
+/// must salvage cleanly (quarantining exactly the damaged frame, with the
+/// skip counted and a typed event emitted), the rescanned re-dedup backlog
+/// must agree with the surviving on-disk tags — the damaged record in
+/// neither — and the remaining backlog must drain normally.
+#[test]
+fn bitflip_on_degraded_record_salvages_and_keeps_backlog_consistent() {
+    use dbdedup::{MaintConfig, Maintainer};
+    let dir = temp_dir("degraded-rot");
+    let mut rng = SplitMix64::new(0xDE64_0001);
+    let mut doc: Vec<u8> = (0..6_000).map(|_| (rng.next_u64() % 26 + 97) as u8).collect();
+    let mut docs = vec![doc.clone()];
+    for _ in 1..5 {
+        for _ in 0..5 {
+            let at = rng.next_below((doc.len() - 50) as u64) as usize;
+            for b in doc.iter_mut().skip(at).take(40) {
+                *b = (rng.next_u64() % 26 + 97) as u8;
+            }
+        }
+        docs.push(doc.clone());
+    }
+    let mut cfg = EngineConfig::default();
+    cfg.min_benefit_bytes = 16;
+    let burst: Vec<RecordId> = (1..docs.len() as u64).map(RecordId).collect();
+    {
+        let store = RecordStore::open(&dir, cache_free()).expect("open");
+        let mut e = DedupEngine::new(store, cfg.clone()).expect("engine");
+        e.insert("db", RecordId(0), &docs[0]).expect("insert");
+        e.set_replication_pressure(true);
+        for (i, d) in docs.iter().enumerate().skip(1) {
+            e.insert("db", RecordId(i as u64), d).expect("insert degraded");
+        }
+        assert_eq!(e.degraded_backlog_ids(), burst);
+    }
+    // Rot one byte inside the live frame of a degraded record while the
+    // store is closed (at-rest bit rot, not a write fault).
+    let victim = RecordId(2);
+    let (seg, off, _) = {
+        let probe = RecordStore::open(&dir, cache_free()).expect("probe");
+        probe.frame_extent(victim).expect("live frame")
+    };
+    {
+        use std::io::{Read, Seek, SeekFrom};
+        let path = dir.join(format!("seg{seg:06}.dat"));
+        let mut f = std::fs::OpenOptions::new().read(true).write(true).open(path).unwrap();
+        f.seek(SeekFrom::Start(off + 12)).unwrap();
+        let mut b = [0u8; 1];
+        f.read_exact(&mut b).unwrap();
+        f.seek(SeekFrom::Start(off + 12)).unwrap();
+        f.write_all(&[b[0] ^ 0x10]).unwrap();
+    }
+    // Restart: salvage skips the rotted frame silently (counted + typed
+    // event), and the rescanned backlog matches the surviving tags.
+    let store = RecordStore::open(&dir, cache_free()).expect("salvage open");
+    assert_eq!(store.recovery_report().quarantined_entries, 1);
+    assert_eq!(store.recovery_report().skipped.len(), 1);
+    let mut e = DedupEngine::new(store, cfg).expect("engine after salvage");
+    assert!(e.metrics().salvage_skipped >= 1, "skip must surface as a gauge");
+    assert!(!e.event_log().of_kind("salvage_skipped").is_empty(), "typed Warn event per frame");
+    let backlog = e.degraded_backlog_ids();
+    assert!(!backlog.contains(&victim), "quarantined record cannot stay queued");
+    for &id in &burst {
+        assert_eq!(
+            backlog.contains(&id),
+            e.store().is_degraded(id),
+            "backlog/tag mismatch for {id:?}"
+        );
+    }
+    assert!(matches!(e.read(victim), Err(dbdedup::EngineError::NotFound(_))));
+    // The survivors drain to empty and read back byte-identically; a scrub
+    // pass over the healed store confirms nothing else is wrong.
+    let lsn_before = e.oplog_next_lsn();
+    for id in e.degraded_backlog_ids() {
+        e.rededup_record(id).expect("drain survivor");
+    }
+    assert_eq!(e.degraded_backlog_len(), 0);
+    assert_eq!(e.oplog_next_lsn(), lsn_before, "drain must be oplog-silent");
+    for (i, d) in docs.iter().enumerate() {
+        if RecordId(i as u64) == victim {
+            continue;
+        }
+        assert_eq!(&e.read(RecordId(i as u64)).unwrap()[..], &d[..], "survivor {i}");
+    }
+    let mut maint = Maintainer::new(MaintConfig::default());
+    assert!(maint.scrub_pass_local(&mut e).expect("scrub").is_clean());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Drives one workload through a fault-injected replication pipeline, then
 /// proves anti-entropy resync restores byte-identical reads.
 fn converges_after_faults(name: &str, ops: Vec<Op>, transport_seed: u64) {
