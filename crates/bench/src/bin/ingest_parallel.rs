@@ -15,10 +15,11 @@
 //! configurations measure overhead, not speedup (correctness is covered
 //! by `tests/differential.rs`, which is timing-independent).
 
-use dbdedup_bench::{header, row, scale};
+use dbdedup_bench::{header, row, scale, BenchReport};
 use dbdedup_core::{
     DedupEngine, EngineConfig, IngestConfig, IngestSnapshot, ParallelIngest, ShardedEngine,
 };
+use dbdedup_obs::Registry;
 use dbdedup_util::dist::{LogNormal, SplitMix64};
 use dbdedup_util::ids::RecordId;
 use dbdedup_util::stats::LogHistogram;
@@ -123,6 +124,22 @@ fn main() {
 
     let ops = workload(42, n, 8);
     let serial = run_serial(&ops);
+    let mut bench = BenchReport::new("ingest_parallel");
+    bench.meta_mut().set_u64("inserts", n as u64);
+    bench.meta_mut().set_u64("cores", cores as u64);
+    let measured_row = |m: &Measured, speedup: f64| {
+        let mut reg = Registry::new();
+        reg.set_f64("ops_per_s", m.ops_per_s);
+        reg.set_f64("mib_per_s", m.mib_per_s);
+        reg.set_f64("speedup", speedup);
+        reg.set_f64("client_p99_us", m.client_p99_us);
+        if let Some(report) = &m.report {
+            reg.set_histogram("commit_ns", &report.commit_ns);
+            reg.set_f64("worker_utilization", report.worker_utilization());
+        }
+        reg
+    };
+    bench.push_row("serial", measured_row(&serial, 1.0));
     header(&[
         "mode",
         "shards",
@@ -148,6 +165,10 @@ fn main() {
     for shards in [1usize, 4] {
         for workers in [1usize, 2, 4, 8] {
             let m = run_parallel(&ops, shards, workers);
+            bench.push_row(
+                &format!("shards={shards} workers={workers}"),
+                measured_row(&m, m.ops_per_s / serial.ops_per_s),
+            );
             let report = m.report.expect("parallel report");
             row(&[
                 "parallel".into(),
@@ -169,4 +190,7 @@ fn main() {
     let report = m.report.expect("report");
     println!("\ningest.* registry snapshot (shards=4, workers=4):");
     println!("{}", report.to_json());
+
+    let path = bench.write().expect("bench json");
+    println!("machine-readable report: {}", path.display());
 }

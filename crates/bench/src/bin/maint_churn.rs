@@ -14,9 +14,10 @@
 //! so the `maint.*` gauges can be watched climbing under churn and
 //! draining back to zero.
 
-use dbdedup_bench::emit_metrics_line;
+use dbdedup_bench::{emit_metrics_line, BenchReport};
 use dbdedup_core::{DedupEngine, EngineConfig};
 use dbdedup_maint::{MaintConfig, Maintainer};
+use dbdedup_obs::Registry;
 use dbdedup_util::dist::SplitMix64;
 use dbdedup_util::ids::RecordId;
 use dbdedup_util::stats::LogHistogram;
@@ -162,6 +163,23 @@ fn main() {
     );
     let p99_delta = m.insert_ns.quantile(0.99) as f64 / runs[0].1.insert_ns.quantile(0.99) as f64;
     println!("insert p99 ratio maint/no-maint: {p99_delta:.2}x (paper: off the client path)");
+
+    let mut report = BenchReport::new("maint_churn");
+    report.meta_mut().set_u64("ops", n as u64);
+    report.meta_mut().set_f64("insert_p99_ratio", p99_delta);
+    for (name, r) in &runs {
+        let mut reg = Registry::new();
+        reg.set_u64("inserts", r.inserts);
+        reg.set_u64("deletes", r.deletes);
+        reg.set_u64("backlog_peak", r.backlog_peak as u64);
+        reg.set_u64("gc_reencoded", r.gc_reencoded);
+        reg.set_u64("gc_removed", r.gc_removed);
+        reg.set_u64("compact_reclaimed_bytes", r.compact_reclaimed);
+        reg.set_histogram("insert_ns", &r.insert_ns);
+        report.push_row(name, reg);
+    }
+    let path = report.write().expect("bench json");
+    println!("machine-readable report: {}", path.display());
     if std::env::var_os("DBDEDUP_METRICS_JSON").is_some() {
         println!(
             "metrics snapshots appended to $DBDEDUP_METRICS_JSON (final line is post-quiesce)"

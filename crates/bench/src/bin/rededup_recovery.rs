@@ -11,8 +11,10 @@
 //! headline is the last column converging to the first: recovery erases
 //! the burst's storage penalty entirely.
 
+use dbdedup_bench::BenchReport;
 use dbdedup_core::{DedupEngine, EngineConfig, InsertOutcome};
 use dbdedup_maint::{MaintConfig, Maintainer};
+use dbdedup_obs::Registry;
 use dbdedup_util::dist::SplitMix64;
 use dbdedup_util::ids::RecordId;
 use std::time::Instant;
@@ -119,4 +121,18 @@ fn main() {
         (degraded.ratio_after - control.ratio_after).abs() < 1e-9,
         "recovered run must match the never-degraded storage ratio exactly"
     );
+
+    let mut report = BenchReport::new("rededup_recovery");
+    report.meta_mut().set_u64("revisions", total as u64);
+    report.meta_mut().set_u64("burst", burst as u64);
+    for (name, r) in [("never-degraded", &control), ("degraded-burst", &degraded)] {
+        let mut reg = Registry::new();
+        reg.set_u64("rededuped", r.rededuped);
+        reg.set_f64("ratio_before_drain", r.ratio_before_drain);
+        reg.set_f64("ratio_after", r.ratio_after);
+        reg.set_f64("drain_s", r.drain_secs);
+        report.push_row(name, reg);
+    }
+    let path = report.write().expect("bench json");
+    println!("machine-readable report: {}", path.display());
 }

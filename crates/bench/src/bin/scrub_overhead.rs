@@ -15,8 +15,10 @@
 //! metrics-registry snapshot (including the `scrub.*` gauges) per
 //! maintenance pump plus a final one, as a JSONL time series.
 
+use dbdedup_bench::BenchReport;
 use dbdedup_core::{DedupEngine, EngineConfig, MetricsSnapshot};
 use dbdedup_maint::{MaintConfig, Maintainer};
+use dbdedup_obs::Registry;
 use dbdedup_util::dist::SplitMix64;
 use dbdedup_util::ids::RecordId;
 use dbdedup_util::stats::LogHistogram;
@@ -139,4 +141,19 @@ fn main() {
     if std::env::var_os("DBDEDUP_METRICS_JSON").is_some() {
         println!("metrics snapshots appended to $DBDEDUP_METRICS_JSON (scrubbed run only)");
     }
+
+    let mut report = BenchReport::new("scrub_overhead");
+    report.meta_mut().set_u64("revisions", total as u64);
+    report.meta_mut().set_f64("insert_p99_ratio", overhead);
+    for (name, r) in [("scrub-off", &baseline), ("scrub-on", &scrubbed)] {
+        let mut reg = Registry::new();
+        reg.set_f64("throughput_ops_per_s", r.throughput);
+        reg.set_f64("insert_p50_us", r.p50_us);
+        reg.set_f64("insert_p99_us", r.p99_us);
+        reg.set_u64("scrub_verified", r.metrics.scrub_verified);
+        reg.set_u64("scrub_passes", r.metrics.scrub_passes);
+        report.push_row(name, reg);
+    }
+    let path = report.write().expect("bench json");
+    println!("machine-readable report: {}", path.display());
 }

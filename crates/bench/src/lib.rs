@@ -16,9 +16,11 @@
 #![forbid(unsafe_code)]
 
 use dbdedup_core::{DedupEngine, EngineConfig, MetricsSnapshot};
+use dbdedup_obs::Registry;
 use dbdedup_util::ids::RecordId;
 use dbdedup_util::stats::LogHistogram;
 use dbdedup_workloads::Op;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Insert count per workload, from `DBDEDUP_SCALE` (default 2000).
@@ -43,6 +45,91 @@ pub fn dump_events(engine: &DedupEngine, path: &std::path::Path) -> std::io::Res
     std::fs::write(path, engine.event_log().to_jsonl())
 }
 
+/// Machine-readable benchmark emission: every harness binary assembles
+/// one `BenchReport` — run-level metadata plus one labelled [`Registry`]
+/// row per configuration — and writes it as `BENCH_<name>.json` so the
+/// tables the binaries print are also consumable by scripts. The schema
+/// is documented in `docs/bench_json.md`.
+pub struct BenchReport {
+    name: String,
+    meta: Registry,
+    rows: Vec<(String, Registry)>,
+}
+
+impl BenchReport {
+    /// Starts a report for the harness `name` (the file stem:
+    /// `BENCH_<name>.json`).
+    pub fn new(name: &str) -> Self {
+        Self { name: name.to_string(), meta: Registry::new(), rows: Vec::new() }
+    }
+
+    /// Run-level metadata fields (scale, seeds, derived headline numbers).
+    pub fn meta_mut(&mut self) -> &mut Registry {
+        &mut self.meta
+    }
+
+    /// Appends one labelled configuration row.
+    pub fn push_row(&mut self, label: &str, metrics: Registry) {
+        self.rows.push((label.to_string(), metrics));
+    }
+
+    /// Renders the report as one JSON object:
+    /// `{"bench":…,"schema":1,"meta":{…},"rows":[{"label":…,"metrics":{…}},…]}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"bench\":\"");
+        json_escape(&self.name, &mut s);
+        s.push_str("\",\"schema\":1,\"meta\":");
+        s.push_str(&self.meta.to_json());
+        s.push_str(",\"rows\":[");
+        for (i, (label, metrics)) in self.rows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"label\":\"");
+            json_escape(label, &mut s);
+            s.push_str("\",\"metrics\":");
+            s.push_str(&metrics.to_json());
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// The directory bench JSON lands in: `DBDEDUP_BENCH_JSON_DIR`, or
+    /// `results/` under the current directory.
+    pub fn output_dir() -> PathBuf {
+        std::env::var_os("DBDEDUP_BENCH_JSON_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("results"))
+    }
+
+    /// Writes `BENCH_<name>.json` into [`output_dir`](Self::output_dir)
+    /// (created if missing) and returns the path. Written via a temp file
+    /// plus rename, so a concurrently reading script never sees a torn
+    /// report.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = Self::output_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+}
+
+fn json_escape(input: &str, out: &mut String) {
+    for c in input.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
 /// Outcome of driving a trace through an engine.
 pub struct RunResult {
     /// Final engine metrics.
@@ -63,6 +150,17 @@ impl RunResult {
         } else {
             self.ops as f64 / self.elapsed
         }
+    }
+
+    /// The run as a [`BenchReport`] row: throughput, op count, elapsed
+    /// seconds, and the client latency histogram quantiles.
+    pub fn registry(&self) -> Registry {
+        let mut r = Registry::new();
+        r.set_f64("throughput_ops_per_s", self.throughput());
+        r.set_u64("ops", self.ops);
+        r.set_f64("elapsed_s", self.elapsed);
+        r.set_histogram("latency_ns", &self.latency_ns);
+        r
     }
 }
 
@@ -217,6 +315,77 @@ mod tests {
             assert_eq!(gauge(&e, key), 0.0, "{key} must drain to zero after quiesce");
         }
         assert!(gauge(&e, "maint.removed") > 0.0, "the pinned record was physically removed");
+    }
+
+    /// A `BenchReport` must render parseable JSON carrying every meta
+    /// field and row metric, and `write()` must land it atomically at
+    /// `BENCH_<name>.json` under the configured directory.
+    #[test]
+    fn bench_report_writes_schema_stable_json() {
+        let mut report = BenchReport::new("unit_smoke");
+        report.meta_mut().set_u64("scale", 123);
+        report.meta_mut().set_f64("burst_prob", 0.25);
+        let mut row = Registry::new();
+        row.set_f64("throughput_ops_per_s", 1000.5);
+        row.set_u64("ops", 64);
+        report.push_row("shard=1 \"quoted\"", row);
+
+        let json = report.to_json();
+        let parsed = dbdedup_obs::json::parse(&json).expect("report is valid JSON");
+        let obj = parsed.as_obj().expect("report is an object");
+        assert_eq!(parsed.get("bench").and_then(|v| v.as_str()), Some("unit_smoke"));
+        assert_eq!(parsed.get("schema").and_then(|v| v.as_num()), Some(1.0));
+        let meta = parsed.get("meta").expect("meta present");
+        assert_eq!(meta.get("scale").and_then(|v| v.as_num()), Some(123.0));
+        assert_eq!(meta.get("burst_prob").and_then(|v| v.as_num()), Some(0.25));
+        match parsed.get("rows").expect("rows present") {
+            dbdedup_obs::json::Json::Arr(rows) => {
+                assert_eq!(rows.len(), 1);
+                assert_eq!(
+                    rows[0].get("label").and_then(|v| v.as_str()),
+                    Some("shard=1 \"quoted\""),
+                    "labels round-trip through escaping"
+                );
+                let metrics = rows[0].get("metrics").expect("metrics present");
+                assert_eq!(metrics.get("ops").and_then(|v| v.as_num()), Some(64.0));
+            }
+            other => panic!("rows is not an array: {other:?}"),
+        }
+        assert_eq!(obj.len(), 4, "top-level keys: bench, schema, meta, rows");
+
+        // write() reads DBDEDUP_BENCH_JSON_DIR at call time; mutating the
+        // env would race parallel tests, so exercise the file contract
+        // against the rendered JSON directly.
+        let dir = std::env::temp_dir().join(format!("dbdedup-benchjson-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_unit_smoke.json");
+        std::fs::write(&path, report.to_json()).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, json);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `RunResult::registry()` exports the headline numbers plus the full
+    /// latency percentile breakdown.
+    #[test]
+    fn run_result_registry_exports_latency_quantiles() {
+        let mut cfg = EngineConfig::default();
+        cfg.min_benefit_bytes = 16;
+        let mut e = engine_for(cfg);
+        let r = run_trace(&mut e, "wikipedia", Wikipedia::mixed(20, 0.5, 7));
+        let reg = r.registry();
+        for key in [
+            "throughput_ops_per_s",
+            "ops",
+            "elapsed_s",
+            "latency_ns.count",
+            "latency_ns.p50",
+            "latency_ns.p99",
+            "latency_ns.max",
+        ] {
+            assert!(reg.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(reg.get("ops"), Some(dbdedup_obs::MetricValue::U64(r.ops)));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::config::EngineConfig;
 use crate::filter::SizeFilter;
 use crate::governor::{Governor, GovernorVerdict};
+use crate::health::{self, HealthInputs, HealthReport, HealthThresholds, LinkState};
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
 use crate::pipeline::{InsertPreparer, PreparedInsert};
 use crate::repair::RepairSource;
@@ -14,7 +15,7 @@ use dbdedup_delta::ops::DeltaError;
 use dbdedup_delta::{reencode, DbDeltaConfig, DbDeltaEncoder, Delta};
 use dbdedup_encoding::{ChainManager, Writeback};
 use dbdedup_index::{CuckooConfig, PartitionedFeatureIndex};
-use dbdedup_obs::{EventKind, EventLog, Severity, Stage, StageSet, StageTracer};
+use dbdedup_obs::{EventKind, EventLog, FlightRecorder, Severity, Stage, StageSet, StageTracer};
 use dbdedup_storage::oplog::{CursorGap, DurableOplog};
 use dbdedup_storage::store::{CompactStats, RecordStore, StorageForm, StoreConfig, StoreError};
 use dbdedup_storage::{IoMeter, Oplog, OplogEntry, OplogKind, OplogPayload};
@@ -265,6 +266,10 @@ pub struct DedupEngine {
     tracer: StageTracer,
     /// Structured incident log, shared with replication components.
     events: Arc<EventLog>,
+    /// Optional anomaly flight recorder; when attached it taps the event
+    /// log (mirroring events, auto-firing dump triggers) and the stage
+    /// tracer (mirroring sampled spans).
+    flight: Option<Arc<FlightRecorder>>,
     /// While set, decode reads skip the I/O meter. The scrubber turns this
     /// on for its verification walk: charging those reads to the idleness
     /// signal would let one background task (verification) starve another
@@ -436,6 +441,7 @@ impl DedupEngine {
             oplog,
             store,
             config,
+            flight: None,
             unmetered_reads: false,
         })
     }
@@ -1994,7 +2000,63 @@ impl DedupEngine {
     /// event traces.
     pub fn set_telemetry_clock(&mut self, clock: Arc<dyn Clock>) {
         self.tracer.set_clock(clock.clone());
+        if let Some(flight) = &self.flight {
+            flight.set_clock(clock.clone());
+        }
         self.events.set_clock(clock);
+    }
+
+    /// Attaches an anomaly [`FlightRecorder`]: the event log mirrors every
+    /// event into its ring (auto-firing dump triggers on anomalies) and
+    /// the stage tracer mirrors sampled spans. Call after
+    /// [`set_telemetry_clock`](Self::set_telemetry_clock) if the recorder
+    /// should share the same (virtual) clock — or hand it one directly.
+    pub fn set_flight_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        self.events.set_flight_recorder(Arc::clone(&recorder));
+        self.tracer.set_flight_recorder(Arc::clone(&recorder));
+        self.flight = Some(recorder);
+    }
+
+    /// The attached anomaly flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.flight.clone()
+    }
+
+    /// Records a periodic full-registry snapshot into the flight
+    /// recorder's ring (no-op when no recorder is attached). The driving
+    /// loop calls this on its maintenance cadence so a dump carries the
+    /// metric state leading up to the anomaly, not just events.
+    pub fn flight_snapshot(&self) {
+        if let Some(flight) = &self.flight {
+            flight.record_snapshot(&self.metrics().registry().to_json());
+        }
+    }
+
+    /// The I/O meter's current pressure view (queue depth, idleness).
+    pub fn io_pressure(&self) -> dbdedup_storage::IoPressure {
+        self.io.pressure()
+    }
+
+    /// Assesses node health with default thresholds. `links` carries the
+    /// state of every replication link (empty when replication is not
+    /// configured); everything else is read from the engine's own state.
+    pub fn health(&self, links: &[LinkState]) -> HealthReport {
+        self.health_with(links, &HealthThresholds::default())
+    }
+
+    /// Assesses node health with explicit thresholds.
+    pub fn health_with(&self, links: &[LinkState], thresholds: &HealthThresholds) -> HealthReport {
+        let inputs = HealthInputs {
+            ingest_overloaded: self.governor.is_overloaded(),
+            links: links.to_vec(),
+            degraded_backlog: self.degraded.len() as u64,
+            gc_backlog: self.chains.deleted_ids().len() as u64,
+            reclaimable_dead_bytes: self.store.reclaimable_dead_bytes(),
+            scrub_unhealable: self.metrics.scrub_unhealable,
+            broken_records: self.broken.len() as u64,
+            io: self.io.pressure(),
+        };
+        health::assess(&inputs, thresholds)
     }
 
     /// A consistent snapshot of every figure-relevant metric.
@@ -2030,6 +2092,7 @@ impl DedupEngine {
             io_idle_fraction: self.io.idle_fraction(),
             events_logged: self.events.logged(),
             events_dropped: self.events.dropped(),
+            events_ring_len: self.events.len() as u64,
             maint_gc_backlog: self.chains.deleted_ids().len() as u64,
             maint_pinned_dead_bytes: self.pinned_dead_bytes(),
             maint_dead_bytes: self.store.dead_bytes(),
@@ -2425,6 +2488,38 @@ mod tests {
         assert!(matches!(e.read(RecordId(7)), Err(EngineError::NotFound(_))));
         // Repair-removing an id that never existed is a no-op.
         e.repair_remove(RecordId(99)).unwrap();
+    }
+
+    #[test]
+    fn health_flips_degraded_with_overload_and_back() {
+        let mut e = engine();
+        let r = e.health(&[]);
+        assert_eq!(r.verdict, crate::health::Verdict::Ready);
+        assert!(r.ready());
+        e.set_replication_pressure(true);
+        let r = e.health(&[]);
+        assert_eq!(r.verdict, crate::health::Verdict::Degraded);
+        assert!(r.ready(), "overload degrades but keeps serving");
+        e.set_replication_pressure(false);
+        assert_eq!(e.health(&[]).verdict, crate::health::Verdict::Ready);
+        // A partitioned-only link set pulls the node from rotation.
+        let r = e.health(&[crate::health::LinkState::Partitioned]);
+        assert!(!r.ready());
+    }
+
+    #[test]
+    fn flight_recorder_attaches_and_snapshots() {
+        use dbdedup_obs::{FlightConfig, FlightTrigger};
+        let mut e = engine();
+        let rec = dbdedup_obs::FlightRecorder::shared(FlightConfig::default());
+        e.set_flight_recorder(Arc::clone(&rec));
+        assert!(e.flight_recorder().is_some());
+        e.insert("db", RecordId(1), &versioned_docs(1, 77)[0]).unwrap();
+        e.flight_snapshot();
+        assert!(!rec.is_empty());
+        let dump = rec.trigger(FlightTrigger::OverloadOnset);
+        assert!(dump.contains("\"t\":\"snapshot\""), "{dump}");
+        assert!(dump.contains("\"unique_inserts\":1"), "{dump}");
     }
 
     #[test]

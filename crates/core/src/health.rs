@@ -1,0 +1,488 @@
+//! The unified node health model.
+//!
+//! Every subsystem already exposes its own distress signals — the
+//! governor's overload gate, the replica health state machine, the
+//! maintenance backlogs, the scrubber's quarantine count, the I/O
+//! meter's queue depth. This module folds them into one typed verdict an
+//! operator (or an orchestrator's readiness probe) can act on without
+//! knowing the internals: [`assess`] takes a [`HealthInputs`] snapshot
+//! plus [`HealthThresholds`] and produces a [`HealthReport`] with a
+//! per-subsystem breakdown and an overall worst-of [`Verdict`].
+//!
+//! The semantics follow the usual liveness/readiness split:
+//!
+//! * **live** — the process is up and able to answer; always `true` for
+//!   a report produced by a running engine (the status server's defaults
+//!   cover the not-yet-booted window).
+//! * **[`Verdict::Ready`]** — serving normally.
+//! * **[`Verdict::Degraded`]** — serving, but with reduced guarantees
+//!   (overload pass-through, lagging replica, maintenance debt above
+//!   threshold). Still counts as ready for `/ready`.
+//! * **[`Verdict::Unready`]** — should be pulled from rotation: data
+//!   integrity is in question (unhealable corruption, broken chains) or
+//!   every replica link is partitioned.
+//!
+//! The replica link states live here as [`LinkState`] rather than in
+//! `dbdedup-repl` because the dependency points the other way: repl
+//! depends on core and provides a `From<ReplicaHealth>` conversion.
+
+use dbdedup_storage::IoPressure;
+
+/// The health of one replication link, as the health model sees it.
+///
+/// This mirrors the replica health state machine in `dbdedup-repl`
+/// (`ReplicaHealth`); repl converts via `From`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkState {
+    /// Steady-state streaming within the lag threshold.
+    Healthy,
+    /// Connected but behind by more than the lag threshold.
+    Lagging,
+    /// Unreachable; deliveries are failing.
+    Partitioned,
+    /// Reconnected and replaying the gap via cursor catch-up.
+    CatchingUp,
+}
+
+impl LinkState {
+    /// The state's stable snake_case name (JSON field value).
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkState::Healthy => "healthy",
+            LinkState::Lagging => "lagging",
+            LinkState::Partitioned => "partitioned",
+            LinkState::CatchingUp => "catching_up",
+        }
+    }
+}
+
+/// The three-level health verdict, ordered from best to worst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// Serving normally.
+    Ready,
+    /// Serving with reduced guarantees; still ready for traffic.
+    Degraded,
+    /// Should be pulled from rotation.
+    Unready,
+}
+
+impl Verdict {
+    /// The verdict's stable snake_case name (JSON field value).
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Ready => "ready",
+            Verdict::Degraded => "degraded",
+            Verdict::Unready => "unready",
+        }
+    }
+
+    /// The worse of two verdicts (the aggregation operator).
+    pub fn worst(self, other: Verdict) -> Verdict {
+        self.max(other)
+    }
+}
+
+/// One subsystem's contribution to the overall verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubsystemHealth {
+    /// Stable subsystem name: `ingest`, `replication`, `maintenance`,
+    /// `integrity`, or `io`.
+    pub name: &'static str,
+    /// This subsystem's verdict.
+    pub verdict: Verdict,
+    /// Human-readable one-line explanation of the verdict.
+    pub reason: String,
+}
+
+/// The aggregated health report the status endpoint serves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Process liveness (always `true` from a running engine).
+    pub live: bool,
+    /// Worst verdict across all subsystems.
+    pub verdict: Verdict,
+    /// Per-subsystem breakdown, in stable order.
+    pub subsystems: Vec<SubsystemHealth>,
+}
+
+impl HealthReport {
+    /// Whether the node should stay in rotation (`/ready` semantics):
+    /// anything short of [`Verdict::Unready`] serves traffic.
+    pub fn ready(&self) -> bool {
+        self.verdict != Verdict::Unready
+    }
+
+    /// Renders the report as one JSON object, schema-stable:
+    /// `{"live":…,"verdict":"…","subsystems":[{"name":…,"verdict":…,
+    /// "reason":…},…]}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128 + self.subsystems.len() * 96);
+        s.push_str("{\"live\":");
+        s.push_str(if self.live { "true" } else { "false" });
+        s.push_str(",\"verdict\":\"");
+        s.push_str(self.verdict.name());
+        s.push_str("\",\"subsystems\":[");
+        for (i, sub) in self.subsystems.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"name\":\"");
+            s.push_str(sub.name);
+            s.push_str("\",\"verdict\":\"");
+            s.push_str(sub.verdict.name());
+            s.push_str("\",\"reason\":\"");
+            escape_json(&sub.reason, &mut s);
+            s.push_str("\"}");
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+fn escape_json(input: &str, out: &mut String) {
+    for c in input.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Tunable limits above which a backlog counts as distress.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthThresholds {
+    /// Overload-degraded records awaiting re-dedup before the maintenance
+    /// subsystem reports [`Verdict::Degraded`].
+    pub degraded_backlog_max: u64,
+    /// Chain-GC backlog (deleted-but-pinned records) before maintenance
+    /// reports [`Verdict::Degraded`].
+    pub gc_backlog_max: u64,
+    /// Reclaimable dead bytes before maintenance reports
+    /// [`Verdict::Degraded`].
+    pub reclaimable_dead_bytes_max: u64,
+    /// I/O queue depth as a multiple of the idleness threshold before the
+    /// io subsystem reports [`Verdict::Degraded`].
+    pub io_saturation_max: f64,
+}
+
+impl Default for HealthThresholds {
+    fn default() -> Self {
+        Self {
+            degraded_backlog_max: 64,
+            gc_backlog_max: 128,
+            reclaimable_dead_bytes_max: 64 * 1024 * 1024,
+            io_saturation_max: 8.0,
+        }
+    }
+}
+
+/// Everything [`assess`] folds into a verdict — a pure-data snapshot so
+/// the aggregation is trivially testable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthInputs {
+    /// Whether the ingest overload gate is currently open (inserts are
+    /// bypassing dedup).
+    pub ingest_overloaded: bool,
+    /// State of every replication link. Empty means replication is not
+    /// configured, which is healthy.
+    pub links: Vec<LinkState>,
+    /// Overload-degraded records awaiting out-of-line re-dedup.
+    pub degraded_backlog: u64,
+    /// Deleted-but-pinned records awaiting chain GC.
+    pub gc_backlog: u64,
+    /// Dead bytes compaction could reclaim right now.
+    pub reclaimable_dead_bytes: u64,
+    /// Records the scrub quarantined with no repair source.
+    pub scrub_unhealable: u64,
+    /// Records currently known unreadable (broken decode chains).
+    pub broken_records: u64,
+    /// The I/O meter's pressure view.
+    pub io: IoPressure,
+}
+
+/// Folds the inputs into a [`HealthReport`]: each subsystem gets a
+/// verdict and a reason, and the overall verdict is the worst of them.
+pub fn assess(inputs: &HealthInputs, thresholds: &HealthThresholds) -> HealthReport {
+    let mut subsystems = Vec::with_capacity(5);
+
+    // Ingest: the overload gate trades dedup quality for throughput —
+    // degraded, not unready, because writes still land durably.
+    subsystems.push(if inputs.ingest_overloaded {
+        SubsystemHealth {
+            name: "ingest",
+            verdict: Verdict::Degraded,
+            reason: "overload gate open: inserts bypass dedup".to_string(),
+        }
+    } else {
+        SubsystemHealth {
+            name: "ingest",
+            verdict: Verdict::Ready,
+            reason: "inline dedup active".to_string(),
+        }
+    });
+
+    // Replication: all links partitioned means the node is isolated and
+    // must leave rotation; any non-healthy link is a degradation.
+    let partitioned = inputs.links.iter().filter(|l| **l == LinkState::Partitioned).count();
+    let unhealthy = inputs.links.iter().filter(|l| **l != LinkState::Healthy).count();
+    subsystems.push(if !inputs.links.is_empty() && partitioned == inputs.links.len() {
+        SubsystemHealth {
+            name: "replication",
+            verdict: Verdict::Unready,
+            reason: format!("all {partitioned} replica links partitioned"),
+        }
+    } else if unhealthy > 0 {
+        let states: Vec<&str> = inputs.links.iter().map(|l| l.name()).collect();
+        SubsystemHealth {
+            name: "replication",
+            verdict: Verdict::Degraded,
+            reason: format!(
+                "{unhealthy}/{} links unhealthy: [{}]",
+                inputs.links.len(),
+                states.join(",")
+            ),
+        }
+    } else {
+        SubsystemHealth {
+            name: "replication",
+            verdict: Verdict::Ready,
+            reason: format!("{} links healthy", inputs.links.len()),
+        }
+    });
+
+    // Maintenance: debt above threshold means background work is not
+    // keeping up — still serving, so degraded at worst.
+    let mut debts = Vec::new();
+    if inputs.degraded_backlog > thresholds.degraded_backlog_max {
+        debts.push(format!(
+            "re-dedup backlog {} > {}",
+            inputs.degraded_backlog, thresholds.degraded_backlog_max
+        ));
+    }
+    if inputs.gc_backlog > thresholds.gc_backlog_max {
+        debts.push(format!("gc backlog {} > {}", inputs.gc_backlog, thresholds.gc_backlog_max));
+    }
+    if inputs.reclaimable_dead_bytes > thresholds.reclaimable_dead_bytes_max {
+        debts.push(format!(
+            "reclaimable dead bytes {} > {}",
+            inputs.reclaimable_dead_bytes, thresholds.reclaimable_dead_bytes_max
+        ));
+    }
+    subsystems.push(if debts.is_empty() {
+        SubsystemHealth {
+            name: "maintenance",
+            verdict: Verdict::Ready,
+            reason: "backlogs within thresholds".to_string(),
+        }
+    } else {
+        SubsystemHealth {
+            name: "maintenance",
+            verdict: Verdict::Degraded,
+            reason: debts.join("; "),
+        }
+    });
+
+    // Integrity: unreadable data the node cannot heal by itself is the
+    // one local condition that must pull it from rotation — a peer with
+    // intact data should serve instead.
+    let damaged = inputs.scrub_unhealable + inputs.broken_records;
+    subsystems.push(if damaged > 0 {
+        SubsystemHealth {
+            name: "integrity",
+            verdict: Verdict::Unready,
+            reason: format!(
+                "{} unhealable, {} broken records awaiting resync",
+                inputs.scrub_unhealable, inputs.broken_records
+            ),
+        }
+    } else {
+        SubsystemHealth {
+            name: "integrity",
+            verdict: Verdict::Ready,
+            reason: "no known corruption".to_string(),
+        }
+    });
+
+    // I/O: a deeply saturated queue means foreground latency is suffering
+    // and background flushing is starved.
+    subsystems.push(if inputs.io.saturation() > thresholds.io_saturation_max {
+        SubsystemHealth {
+            name: "io",
+            verdict: Verdict::Degraded,
+            reason: format!(
+                "queue depth {:.1} is {:.1}x the idle threshold",
+                inputs.io.queue_depth,
+                inputs.io.saturation()
+            ),
+        }
+    } else {
+        SubsystemHealth {
+            name: "io",
+            verdict: Verdict::Ready,
+            reason: format!("queue depth {:.1}", inputs.io.queue_depth),
+        }
+    });
+
+    let verdict = subsystems.iter().fold(Verdict::Ready, |v, s| v.worst(s.verdict));
+    HealthReport { live: true, verdict, subsystems }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idle_io() -> IoPressure {
+        IoPressure { queue_depth: 0.0, idle_threshold: 4.0, idle_fraction: 1.0 }
+    }
+
+    fn calm() -> HealthInputs {
+        HealthInputs {
+            ingest_overloaded: false,
+            links: vec![LinkState::Healthy, LinkState::Healthy],
+            degraded_backlog: 0,
+            gc_backlog: 0,
+            reclaimable_dead_bytes: 0,
+            scrub_unhealable: 0,
+            broken_records: 0,
+            io: idle_io(),
+        }
+    }
+
+    #[test]
+    fn calm_node_is_ready() {
+        let r = assess(&calm(), &HealthThresholds::default());
+        assert!(r.live && r.ready());
+        assert_eq!(r.verdict, Verdict::Ready);
+        assert_eq!(r.subsystems.len(), 5);
+        assert!(r.subsystems.iter().all(|s| s.verdict == Verdict::Ready));
+    }
+
+    #[test]
+    fn overload_degrades_but_stays_ready() {
+        let mut i = calm();
+        i.ingest_overloaded = true;
+        let r = assess(&i, &HealthThresholds::default());
+        assert_eq!(r.verdict, Verdict::Degraded);
+        assert!(r.ready(), "degraded still serves traffic");
+        let ingest = r.subsystems.iter().find(|s| s.name == "ingest").unwrap();
+        assert_eq!(ingest.verdict, Verdict::Degraded);
+    }
+
+    #[test]
+    fn one_partitioned_link_degrades_all_partitioned_unreadies() {
+        let mut i = calm();
+        i.links = vec![LinkState::Healthy, LinkState::Partitioned];
+        let r = assess(&i, &HealthThresholds::default());
+        assert_eq!(r.verdict, Verdict::Degraded);
+        i.links = vec![LinkState::Partitioned, LinkState::Partitioned];
+        let r = assess(&i, &HealthThresholds::default());
+        assert_eq!(r.verdict, Verdict::Unready);
+        assert!(!r.ready());
+    }
+
+    #[test]
+    fn no_links_configured_is_healthy() {
+        let mut i = calm();
+        i.links.clear();
+        let r = assess(&i, &HealthThresholds::default());
+        assert_eq!(r.verdict, Verdict::Ready);
+    }
+
+    #[test]
+    fn lagging_and_catching_up_are_degraded_not_unready() {
+        let mut i = calm();
+        i.links = vec![LinkState::Lagging, LinkState::CatchingUp];
+        let r = assess(&i, &HealthThresholds::default());
+        assert_eq!(r.verdict, Verdict::Degraded);
+        let repl = r.subsystems.iter().find(|s| s.name == "replication").unwrap();
+        assert!(
+            repl.reason.contains("lagging") && repl.reason.contains("catching_up"),
+            "{}",
+            repl.reason
+        );
+    }
+
+    #[test]
+    fn maintenance_debt_over_threshold_degrades() {
+        let t = HealthThresholds::default();
+        for set in [
+            |i: &mut HealthInputs, t: &HealthThresholds| {
+                i.degraded_backlog = t.degraded_backlog_max + 1
+            },
+            |i: &mut HealthInputs, t: &HealthThresholds| i.gc_backlog = t.gc_backlog_max + 1,
+            |i: &mut HealthInputs, t: &HealthThresholds| {
+                i.reclaimable_dead_bytes = t.reclaimable_dead_bytes_max + 1
+            },
+        ] {
+            let mut i = calm();
+            set(&mut i, &t);
+            let r = assess(&i, &t);
+            assert_eq!(r.verdict, Verdict::Degraded, "{i:?}");
+            // At threshold exactly: still ready.
+            let mut at = calm();
+            at.degraded_backlog = t.degraded_backlog_max;
+            at.gc_backlog = t.gc_backlog_max;
+            at.reclaimable_dead_bytes = t.reclaimable_dead_bytes_max;
+            assert_eq!(assess(&at, &t).verdict, Verdict::Ready);
+        }
+    }
+
+    #[test]
+    fn corruption_pulls_the_node_from_rotation() {
+        let mut i = calm();
+        i.scrub_unhealable = 1;
+        let r = assess(&i, &HealthThresholds::default());
+        assert_eq!(r.verdict, Verdict::Unready);
+        assert!(!r.ready());
+        i.scrub_unhealable = 0;
+        i.broken_records = 2;
+        assert!(!assess(&i, &HealthThresholds::default()).ready());
+    }
+
+    #[test]
+    fn io_saturation_degrades() {
+        let mut i = calm();
+        i.io = IoPressure { queue_depth: 40.0, idle_threshold: 4.0, idle_fraction: 0.1 };
+        let r = assess(&i, &HealthThresholds::default());
+        assert_eq!(r.verdict, Verdict::Degraded);
+        let io = r.subsystems.iter().find(|s| s.name == "io").unwrap();
+        assert!(io.reason.contains("10.0x"), "{}", io.reason);
+    }
+
+    #[test]
+    fn verdict_ordering_and_worst() {
+        assert!(Verdict::Ready < Verdict::Degraded && Verdict::Degraded < Verdict::Unready);
+        assert_eq!(Verdict::Ready.worst(Verdict::Degraded), Verdict::Degraded);
+        assert_eq!(Verdict::Unready.worst(Verdict::Degraded), Verdict::Unready);
+    }
+
+    #[test]
+    fn json_is_schema_stable_and_escaped() {
+        let r = HealthReport {
+            live: true,
+            verdict: Verdict::Degraded,
+            subsystems: vec![SubsystemHealth {
+                name: "ingest",
+                verdict: Verdict::Degraded,
+                reason: "quote \" backslash \\ newline \n".to_string(),
+            }],
+        };
+        let j = r.to_json();
+        assert!(j.starts_with("{\"live\":true,\"verdict\":\"degraded\",\"subsystems\":["), "{j}");
+        assert!(j.contains("\\\"") && j.contains("\\\\") && j.contains("\\n"), "{j}");
+        // The in-repo parser must round-trip it.
+        let parsed = dbdedup_obs::json::parse(&j).expect("valid json");
+        let obj = parsed.as_obj().unwrap();
+        assert_eq!(obj[0].0, "live");
+        match parsed.get("subsystems").unwrap() {
+            dbdedup_obs::json::Json::Arr(subs) => assert_eq!(subs.len(), 1),
+            other => panic!("subsystems should be an array, got {other:?}"),
+        }
+    }
+}

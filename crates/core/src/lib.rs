@@ -31,6 +31,7 @@ pub mod config;
 pub mod engine;
 pub mod filter;
 pub mod governor;
+pub mod health;
 pub mod metrics;
 pub mod pipeline;
 pub mod repair;
@@ -39,6 +40,9 @@ pub mod shared;
 
 pub use config::{EngineConfig, IngestConfig};
 pub use engine::{DedupEngine, EngineError, InsertOutcome, ScrubSlice};
+pub use health::{
+    HealthInputs, HealthReport, HealthThresholds, LinkState, SubsystemHealth, Verdict,
+};
 pub use metrics::MetricsSnapshot;
 pub use pipeline::{IngestSnapshot, InsertPreparer, ParallelIngest, PreparedInsert};
 pub use repair::RepairSource;

@@ -152,6 +152,8 @@ pub struct MetricsSnapshot {
     pub events_logged: u64,
     /// Events dropped by the event log's ring bound.
     pub events_dropped: u64,
+    /// Events currently resident in the log's bounded ring.
+    pub events_ring_len: u64,
     /// Deleted records still pinned in the store by dependents (the
     /// chain-GC backlog).
     pub maint_gc_backlog: u64,
@@ -242,6 +244,8 @@ impl MetricsSnapshot {
         r.set_f64("io_idle_fraction", self.io_idle_fraction);
         r.set_u64("events_logged", self.events_logged);
         r.set_u64("events_dropped", self.events_dropped);
+        r.set_u64("events.dropped_total", self.events_dropped);
+        r.set_u64("events.len", self.events_ring_len);
         r.set_u64("maint.gc_backlog", self.maint_gc_backlog);
         r.set_u64("maint.pinned_dead_bytes", self.maint_pinned_dead_bytes);
         r.set_u64("maint.dead_bytes", self.maint_dead_bytes);
@@ -340,6 +344,7 @@ mod tests {
             io_idle_fraction: 1.0,
             events_logged: 0,
             events_dropped: 0,
+            events_ring_len: 0,
             maint_gc_backlog: 0,
             maint_pinned_dead_bytes: 0,
             maint_dead_bytes: 0,
@@ -449,6 +454,23 @@ mod tests {
             "\"scrub.unhealable\":0",
             "\"scrub.passes\":3",
             "\"store.salvage.skipped\":5",
+        ] {
+            assert!(j.contains(needle), "{needle} missing from {j}");
+        }
+    }
+
+    #[test]
+    fn json_carries_event_ring_gauges() {
+        let mut s = snap();
+        s.events_logged = 700;
+        s.events_dropped = 444;
+        s.events_ring_len = 256;
+        let j = s.to_json();
+        for needle in [
+            "\"events_logged\":700",
+            "\"events_dropped\":444",
+            "\"events.dropped_total\":444",
+            "\"events.len\":256",
         ] {
             assert!(j.contains(needle), "{needle} missing from {j}");
         }

@@ -159,6 +159,7 @@ impl ShardedEngine {
             total.io_idle_fraction += s.io_idle_fraction;
             total.events_logged += s.events_logged;
             total.events_dropped += s.events_dropped;
+            total.events_ring_len += s.events_ring_len;
             total.maint_gc_backlog += s.maint_gc_backlog;
             total.maint_pinned_dead_bytes += s.maint_pinned_dead_bytes;
             total.maint_dead_bytes += s.maint_dead_bytes;

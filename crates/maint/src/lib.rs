@@ -717,6 +717,43 @@ mod tests {
     }
 
     #[test]
+    fn unhealable_scrub_fires_an_atomic_flight_dump() {
+        use dbdedup_obs::{FlightConfig, FlightRecorder};
+        let dir = scrub_dir("flight");
+        let docs = versioned_docs(3, 13);
+        {
+            let mut e = engine_at(&dir);
+            for (i, d) in docs.iter().enumerate() {
+                e.insert("db", RecordId(i as u64 + 1), d).unwrap();
+            }
+        }
+        let mut e = engine_at(&dir);
+        rot_live_frame(&dir, &e, RecordId(1));
+        let dump_path = dir.join("flight.jsonl");
+        let rec = FlightRecorder::shared(FlightConfig {
+            capacity: 0,
+            dump_path: Some(dump_path.clone()),
+        });
+        e.set_flight_recorder(std::sync::Arc::clone(&rec));
+        let mut m = Maintainer::new(MaintConfig::default());
+        let report = m.scrub_until_clean(&mut e, None::<&mut DedupEngine>, 4).unwrap();
+        assert_eq!(report.totals.unhealable, vec![RecordId(1)], "{report:?}");
+        // The escalation event auto-fired a trigger and the dump landed on
+        // disk atomically (no .tmp left behind).
+        assert!(rec.dumps() >= 1, "{rec:?}");
+        assert_eq!(rec.dump_errors(), 0, "{rec:?}");
+        let dump = std::fs::read_to_string(&dump_path).expect("dump file");
+        assert!(dump.starts_with("{\"t\":\"trigger\""), "{dump}");
+        assert!(dump.contains("\"kind\":\"unhealable_quarantine\""), "{dump}");
+        assert!(
+            dump.contains("\"kind\":\"scrub_unhealable\""),
+            "ring must carry the event: {dump}"
+        );
+        assert!(!dump_path.with_extension("tmp").exists(), "atomic rename must consume the tmp");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn scrub_until_clean_escalates_unhealable_damage_without_source() {
         let dir = scrub_dir("escalate");
         let docs = versioned_docs(3, 12);

@@ -12,6 +12,7 @@
 //! growing. Recording goes through a mutex (`&self`), so one log can be
 //! shared between an engine and a replicator thread via `Arc`.
 
+use crate::flight::{FlightRecorder, FlightTrigger};
 use dbdedup_util::time::{system_clock, Clock};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -340,6 +341,10 @@ struct Inner {
     clock: Arc<dyn Clock>,
     next_seq: u64,
     dropped: u64,
+    /// Optional anomaly flight recorder: every event is mirrored into its
+    /// ring, and trigger-class events fire a dump (see
+    /// [`FlightTrigger::for_event`]).
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 /// The bounded structured event log. See module docs.
@@ -379,6 +384,7 @@ impl EventLog {
                 clock,
                 next_seq: 0,
                 dropped: 0,
+                recorder: None,
             }),
             capacity,
         }
@@ -395,6 +401,13 @@ impl EventLog {
         self.inner.lock().clock = clock;
     }
 
+    /// Attaches an anomaly [`FlightRecorder`]: every subsequent event is
+    /// mirrored into its ring, and events in the trigger taxonomy
+    /// ([`FlightTrigger::for_event`]) fire an automatic dump.
+    pub fn set_flight_recorder(&self, recorder: Arc<FlightRecorder>) {
+        self.inner.lock().recorder = Some(recorder);
+    }
+
     /// Records one event, dropping (and counting) the oldest if full.
     pub fn record(&self, severity: Severity, kind: EventKind) {
         let mut inner = self.inner.lock();
@@ -405,7 +418,18 @@ impl EventLog {
             inner.events.pop_front();
             inner.dropped += 1;
         }
-        inner.events.push_back(Event { seq, at_ns, severity, kind });
+        let event = Event { seq, at_ns, severity, kind };
+        let tap = inner.recorder.clone();
+        inner.events.push_back(event.clone());
+        drop(inner);
+        // The flight-recorder mirror (and any triggered dump I/O) runs
+        // outside the log's lock so a dump can never block recording.
+        if let Some(recorder) = tap {
+            recorder.record_event(&event.to_json());
+            if let Some(trigger) = FlightTrigger::for_event(&event.kind) {
+                let _ = recorder.trigger(trigger);
+            }
+        }
     }
 
     /// Total events ever recorded (including ones since dropped).
@@ -416,6 +440,17 @@ impl EventLog {
     /// Events dropped by the ring bound.
     pub fn dropped(&self) -> u64 {
         self.inner.lock().dropped
+    }
+
+    /// Events currently retained in the ring (the occupancy gauge the
+    /// registry exports as `events.len`).
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().events.is_empty()
     }
 
     /// A copy of the retained events, oldest first.
@@ -517,6 +552,33 @@ mod tests {
         for line in log.to_jsonl().lines() {
             crate::json::parse(line).unwrap_or_else(|e| panic!("bad JSON {line}: {e}"));
         }
+    }
+
+    #[test]
+    fn len_tracks_ring_occupancy() {
+        let log = EventLog::new(3);
+        assert!(log.is_empty());
+        for i in 0..5u64 {
+            log.record(Severity::Info, EventKind::Heal { replica: i });
+        }
+        assert_eq!(log.len(), 3, "occupancy is capped at capacity");
+        assert_eq!(log.dropped(), 2);
+    }
+
+    #[test]
+    fn flight_recorder_tap_mirrors_events_and_fires_triggers() {
+        use crate::flight::{FlightConfig, FlightRecorder};
+        let log = EventLog::new(16);
+        let rec = FlightRecorder::shared(FlightConfig::default());
+        log.set_flight_recorder(Arc::clone(&rec));
+        log.record(Severity::Info, EventKind::Heal { replica: 0 });
+        assert_eq!(rec.dumps(), 0, "heal is not a trigger");
+        log.record(Severity::Warn, EventKind::Partition { replica: 0 });
+        assert_eq!(rec.dumps(), 1, "partition triggers a dump");
+        let dump = rec.last_dump().unwrap();
+        assert!(dump.contains("\"kind\":\"replica_partition\""), "{dump}");
+        assert!(dump.contains("\"kind\":\"heal\""), "ring context precedes the trigger: {dump}");
+        assert!(dump.contains("\"kind\":\"partition\""), "the triggering event is in the ring");
     }
 
     #[test]

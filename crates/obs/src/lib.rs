@@ -16,6 +16,14 @@
 //!   field appears exactly once.
 //! * [`json`] — a tiny in-repo JSON parser used by schema round-trip
 //!   tests (no serde in this workspace).
+//! * [`prom`] — Prometheus text-exposition rendering of the registry,
+//!   with injective key sanitization (dots → underscores).
+//! * [`server`] — the operator-facing status endpoint: a one-thread
+//!   `std::net` HTTP server publishing `/metrics`, `/events`, `/health`
+//!   and `/ready` from snapshots the node's driving loop deposits.
+//! * [`flight`] — the anomaly flight recorder: a bounded ring of recent
+//!   events, sampled spans and registry snapshots, dumped atomically to
+//!   disk when an anomaly trigger fires.
 //!
 //! The paper's evaluation (§4, Fig. 12) is built on per-stage latency
 //! breakdowns — chunking, sketching, index lookup, source fetch, delta
@@ -29,10 +37,16 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod flight;
 pub mod json;
+pub mod prom;
 pub mod registry;
+pub mod server;
 pub mod span;
 
 pub use event::{Event, EventKind, EventLog, Severity};
+pub use flight::{FlightConfig, FlightRecorder, FlightTrigger};
+pub use prom::{render_prometheus, sanitize_metric_name};
 pub use registry::{MetricValue, Registry};
+pub use server::{StatusCell, StatusServer, METRICS_PREFIX};
 pub use span::{Stage, StageSet, StageTracer};

@@ -1,0 +1,129 @@
+//! Prometheus text exposition rendering for the metrics [`Registry`].
+//!
+//! The registry's JSON export keys are dotted (`maint.gc_backlog`,
+//! `stage.chunk.p99`); Prometheus metric names admit only
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*`, so every key is passed through
+//! [`sanitize_metric_name`] (dots and any other illegal byte become `_`).
+//! Sanitization must stay *injective over the registered key set* — two
+//! keys collapsing to one metric name would silently merge series — so
+//! [`render_prometheus`] panics on a collision, mirroring the registry's
+//! own eager duplicate-name panic. The CI `obs-smoke` step scrapes a live
+//! node and re-checks the same property end to end.
+
+use crate::registry::{MetricValue, Registry};
+
+/// Maps one registry key to a legal Prometheus metric name: ASCII
+/// alphanumerics, `_` and `:` pass through, everything else (dots
+/// included) becomes `_`, and a leading digit gets a `_` prefix.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let legal = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if legal { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Renders one metric value in exposition format. Integers verbatim;
+/// floats with the same four-decimal precision as [`Registry::to_json`]
+/// so the two exports of one snapshot agree; non-finite floats become
+/// `NaN` (legal in the exposition format, unlike JSON).
+fn render_value(v: MetricValue) -> String {
+    match v {
+        MetricValue::U64(u) => u.to_string(),
+        MetricValue::F64(f) => {
+            if f.is_finite() {
+                format!("{f:.4}")
+            } else {
+                "NaN".to_string()
+            }
+        }
+    }
+}
+
+/// Renders the registry in Prometheus text exposition format, one
+/// `# TYPE` line and one sample per field, prefixed with `prefix`
+/// (conventionally the `dbdedup_` namespace). Every field is exported as
+/// a gauge: registry snapshots are point-in-time values, and whether a
+/// given key is cumulative is a property of the underlying metric, not
+/// of this rendering.
+///
+/// Panics if two registered keys sanitize to the same metric name — the
+/// same schema guarantee [`Registry::set_u64`] enforces for raw keys.
+pub fn render_prometheus(r: &Registry, prefix: &str) -> String {
+    let mut seen: Vec<String> = Vec::with_capacity(r.len());
+    let mut out = String::new();
+    for key in r.keys() {
+        let name = format!("{prefix}{}", sanitize_metric_name(key));
+        assert!(
+            !seen.contains(&name),
+            "metric name collision after sanitization: {name} (from key {key:?})"
+        );
+        let value = r.get(key).expect("key comes from the registry itself");
+        out.push_str("# TYPE ");
+        out.push_str(&name);
+        out.push_str(" gauge\n");
+        out.push_str(&name);
+        out.push(' ');
+        out.push_str(&render_value(value));
+        out.push('\n');
+        seen.push(name);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_maps_dots_to_underscores() {
+        assert_eq!(sanitize_metric_name("maint.gc_backlog"), "maint_gc_backlog");
+        assert_eq!(sanitize_metric_name("stage.chunk.p99"), "stage_chunk_p99");
+        assert_eq!(sanitize_metric_name("plain"), "plain");
+    }
+
+    #[test]
+    fn sanitize_handles_edge_inputs() {
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_metric_name("ns:counter"), "ns:counter");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn renders_every_field_once_with_type_lines() {
+        let mut r = Registry::new();
+        r.set_u64("events.len", 3);
+        r.set_f64("io_queue_depth", 1.5);
+        let text = render_prometheus(&r, "dbdedup_");
+        assert_eq!(
+            text,
+            "# TYPE dbdedup_events_len gauge\ndbdedup_events_len 3\n\
+             # TYPE dbdedup_io_queue_depth gauge\ndbdedup_io_queue_depth 1.5000\n"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_render_nan() {
+        let mut r = Registry::new();
+        r.set_f64("bad", f64::NAN);
+        let text = render_prometheus(&r, "");
+        assert!(text.contains("bad NaN\n"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "metric name collision")]
+    fn sanitization_collisions_panic() {
+        let mut r = Registry::new();
+        r.set_u64("a.b", 1);
+        r.set_u64("a_b", 2);
+        render_prometheus(&r, "");
+    }
+}

@@ -9,6 +9,7 @@
 //! clock reads — which is what keeps the default overhead within the
 //! ≤ 2 % budget the overhead self-test enforces.
 
+use crate::flight::FlightRecorder;
 use dbdedup_util::stats::LogHistogram;
 use dbdedup_util::time::{system_clock, Clock};
 use std::sync::Arc;
@@ -150,6 +151,9 @@ pub struct StageTracer {
     countdown: u32,
     /// Whether the current operation is being sampled.
     current: bool,
+    /// Optional anomaly flight recorder: sampled spans are mirrored into
+    /// its ring (the unsampled path is untouched — still no clock reads).
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl StageTracer {
@@ -171,6 +175,7 @@ impl StageTracer {
             // First operation is sampled, so short runs still see data.
             countdown: 1.min(sample_every),
             current: false,
+            recorder: None,
         }
     }
 
@@ -188,6 +193,12 @@ impl StageTracer {
     /// clock after construction).
     pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
         self.clock = clock;
+    }
+
+    /// Attaches an anomaly [`FlightRecorder`]: every sampled span is
+    /// mirrored into its ring alongside the histogram observation.
+    pub fn set_flight_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        self.recorder = Some(recorder);
     }
 
     /// Rolls the per-operation sampling decision. Call once at the top of
@@ -223,8 +234,11 @@ impl StageTracer {
     #[inline]
     pub fn stop(&mut self, token: Option<Duration>, stage: Stage) {
         if let Some(t0) = token {
-            let ns = self.clock.now().saturating_sub(t0).as_nanos();
-            self.stages.record(stage, ns.min(u64::MAX as u128) as u64);
+            let ns = self.clock.now().saturating_sub(t0).as_nanos().min(u64::MAX as u128) as u64;
+            self.stages.record(stage, ns);
+            if let Some(recorder) = &self.recorder {
+                recorder.record_span(stage.name(), ns);
+            }
         }
     }
 
@@ -290,6 +304,24 @@ mod tests {
         assert!(tok.is_none());
         t.stop(tok, Stage::Chunk);
         assert_eq!(t.stages().get(Stage::Chunk).count(), 0);
+    }
+
+    #[test]
+    fn sampled_spans_mirror_into_the_flight_recorder() {
+        use crate::flight::{FlightConfig, FlightRecorder, FlightTrigger};
+        let clock = VirtualClock::shared();
+        let mut t = StageTracer::with_clock(2, clock.clone());
+        let rec = FlightRecorder::shared(FlightConfig::default());
+        t.set_flight_recorder(Arc::clone(&rec));
+        assert!(t.sample());
+        let tok = t.start();
+        clock.advance(Duration::from_micros(5));
+        t.stop(tok, Stage::Sketch);
+        assert!(!t.sample());
+        t.stop(t.start(), Stage::Sketch); // unsampled: no mirror
+        assert_eq!(rec.len(), 1);
+        let dump = rec.trigger(FlightTrigger::OverloadOnset);
+        assert!(dump.contains("\"stage\":\"sketch\"") && dump.contains("\"ns\":5000"), "{dump}");
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Edge-case coverage for the vendored `obs::json` parser.
+//!
+//! The unit tests in `src/json.rs` cover the happy paths the telemetry
+//! layer emits; these integration tests push the corners an operator's
+//! tooling could feed back at us — pathological escapes, deep nesting,
+//! duplicate keys — and close the loop between the parser's
+//! duplicate-key visibility and the Prometheus renderer's collision
+//! guarantee.
+
+use dbdedup_obs::json::{parse, Json};
+use dbdedup_obs::{render_prometheus, Registry};
+
+fn str_of(j: &Json, key: &str) -> String {
+    j.get(key).and_then(|v| v.as_str()).unwrap_or_else(|| panic!("missing {key}")).to_string()
+}
+
+#[test]
+fn escaped_quotes_and_backslashes_round_trip() {
+    // A Windows-style path with embedded quotes: every backslash and
+    // quote doubled in the source text.
+    let j = parse(r#"{"p":"C:\\logs\\\"hot\".jsonl","q":"\\\\server\\share"}"#).unwrap();
+    assert_eq!(str_of(&j, "p"), "C:\\logs\\\"hot\".jsonl");
+    assert_eq!(str_of(&j, "q"), "\\\\server\\share");
+
+    // Alternating escape/literal runs must not shift the cursor.
+    let j = parse(r#""a\\b\"c\\\"d""#).unwrap();
+    assert_eq!(j.as_str(), Some("a\\b\"c\\\"d"));
+
+    // A backslash that ends the input mid-escape is an error, not a hang.
+    assert!(parse(r#""dangling\"#).is_err());
+    assert!(parse(r#""bad \x escape""#).is_err());
+}
+
+#[test]
+fn control_character_escapes_decode() {
+    let j = parse(r#""\b\f\n\r\t\/""#).unwrap();
+    assert_eq!(j.as_str(), Some("\u{8}\u{c}\n\r\t/"));
+}
+
+#[test]
+fn unicode_escapes_decode() {
+    let j = parse(r#"{"a":"\u0041\u00e9\u2603","mix":"x\u0031y"}"#).unwrap();
+    assert_eq!(str_of(&j, "a"), "Aé☃");
+    assert_eq!(str_of(&j, "mix"), "x1y");
+    // Uppercase hex digits are legal.
+    assert_eq!(parse(r#""\u00E9""#).unwrap().as_str(), Some("é"));
+    // A lone surrogate cannot be a char; the parser pins it to U+FFFD
+    // rather than erroring (our own output never emits surrogates).
+    assert_eq!(parse(r#""\ud800""#).unwrap().as_str(), Some("\u{fffd}"));
+    // Truncated or non-hex escapes are hard errors.
+    assert!(parse(r#""\u00""#).is_err());
+    assert!(parse(r#""\uZZZZ""#).is_err());
+}
+
+#[test]
+fn deeply_nested_values_parse_and_terminate() {
+    // 256 levels of alternating array/object nesting — far beyond any
+    // snapshot we emit, well within the recursive parser's stack.
+    let depth = 256;
+    let mut doc = String::new();
+    for i in 0..depth {
+        if i % 2 == 0 {
+            doc.push('[');
+        } else {
+            doc.push_str("{\"k\":");
+        }
+    }
+    doc.push_str("42");
+    for i in (0..depth).rev() {
+        if i % 2 == 0 {
+            doc.push(']');
+        } else {
+            doc.push('}');
+        }
+    }
+    let mut j = &parse(&doc).unwrap();
+    for i in 0..depth {
+        j = if i % 2 == 0 {
+            match j {
+                Json::Arr(items) => &items[0],
+                other => panic!("expected array at depth {i}, got {other:?}"),
+            }
+        } else {
+            j.get("k").unwrap_or_else(|| panic!("missing key at depth {i}"))
+        };
+    }
+    assert_eq!(j.as_num(), Some(42.0));
+
+    // An unbalanced variant of the same document must error cleanly.
+    assert!(parse(&doc[..doc.len() - 1]).is_err());
+}
+
+#[test]
+fn duplicate_keys_stay_visible_and_get_returns_first() {
+    let j = parse(r#"{"x":1,"y":2,"x":3}"#).unwrap();
+    let obj = j.as_obj().unwrap();
+    assert_eq!(obj.len(), 3, "duplicates must not be merged");
+    let xs: Vec<f64> =
+        obj.iter().filter(|(k, _)| k == "x").map(|(_, v)| v.as_num().unwrap()).collect();
+    assert_eq!(xs, vec![1.0, 3.0]);
+    assert_eq!(j.get("x").and_then(|v| v.as_num()), Some(1.0), "get() is first-wins");
+}
+
+/// The duplicate-visibility loop closed end to end: keys that are
+/// distinct in the registry but collide after Prometheus sanitization
+/// must be *caught* by the renderer, and keys that survive rendering
+/// must re-parse from the JSON export with exactly one occurrence each.
+#[test]
+fn duplicate_keys_round_trip_against_prometheus_renderer() {
+    let mut r = Registry::new();
+    r.set_u64("events.dropped_total", 4);
+    r.set_u64("events.len", 2);
+    r.set_f64("io.queue.depth", 1.5);
+    let parsed = parse(&r.to_json()).unwrap();
+    let obj = parsed.as_obj().unwrap();
+    assert_eq!(obj.len(), r.len());
+    for key in r.keys() {
+        assert_eq!(obj.iter().filter(|(k, _)| k == key).count(), 1, "{key} appears once");
+    }
+    let text = render_prometheus(&r, "dbdedup_");
+    for key in r.keys() {
+        let sample = format!("dbdedup_{}", dbdedup_obs::sanitize_metric_name(key));
+        assert_eq!(
+            text.lines().filter(|l| l.starts_with(&format!("{sample} "))).count(),
+            1,
+            "{sample} sampled once"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "metric name collision")]
+fn sanitization_collisions_cannot_silently_merge_series() {
+    let mut r = Registry::new();
+    // Distinct JSON keys (the parser sees both) that collapse to one
+    // Prometheus name — the renderer must refuse rather than merge.
+    r.set_u64("io.queue_depth", 1);
+    r.set_u64("io_queue.depth", 2);
+    assert_eq!(parse(&r.to_json()).unwrap().as_obj().unwrap().len(), 2);
+    render_prometheus(&r, "dbdedup_");
+}

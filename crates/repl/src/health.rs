@@ -49,6 +49,20 @@ impl ReplicaHealth {
     }
 }
 
+impl From<ReplicaHealth> for dbdedup_core::health::LinkState {
+    /// The health model's view of a link state (core cannot depend on
+    /// repl, so it mirrors this enum; the two must stay in lockstep).
+    fn from(h: ReplicaHealth) -> Self {
+        use dbdedup_core::health::LinkState;
+        match h {
+            ReplicaHealth::Healthy => LinkState::Healthy,
+            ReplicaHealth::Lagging => LinkState::Lagging,
+            ReplicaHealth::Partitioned => LinkState::Partitioned,
+            ReplicaHealth::CatchingUp => LinkState::CatchingUp,
+        }
+    }
+}
+
 /// Tracks one replica's [`ReplicaHealth`], counting transitions and the
 /// worst lag observed.
 #[derive(Debug)]

@@ -95,6 +95,19 @@ impl ReplicaSet {
         self.health[i].state()
     }
 
+    /// Every link's state in the core health model's vocabulary, in
+    /// fan-out order — the `links` argument of
+    /// [`DedupEngine::health`].
+    pub fn link_states(&self) -> Vec<dbdedup_core::health::LinkState> {
+        self.health.iter().map(|h| h.state().into()).collect()
+    }
+
+    /// The primary's aggregated health report, folding every replica
+    /// link into the node-level verdict.
+    pub fn health_report(&self) -> dbdedup_core::health::HealthReport {
+        self.primary.health(&self.link_states())
+    }
+
     /// Full anti-entropy passes forced by retention-floor gaps.
     pub fn full_resyncs(&self) -> u64 {
         self.full_resyncs
@@ -327,6 +340,31 @@ mod tests {
         assert!(log.of_kind("health_transition").len() as u64 >= 3);
         // Ship latency lands in the primary's stage table.
         assert!(set.primary.stage_timings().get(Stage::ReplShip).count() > 0);
+    }
+
+    #[test]
+    fn health_report_folds_link_states_into_node_verdict() {
+        use dbdedup_core::health::{LinkState, Verdict};
+        let mut set = ReplicaSet::open_temp(cfg(), 2).unwrap();
+        set.primary.insert("db", RecordId(1), &vec![9u8; 4_000]).unwrap();
+        set.sync().unwrap();
+        assert_eq!(set.link_states(), vec![LinkState::Healthy, LinkState::Healthy]);
+        assert_eq!(set.health_report().verdict, Verdict::Ready);
+        // One partitioned link degrades; both pull the node from rotation.
+        set.set_partitioned(0, true);
+        let r = set.health_report();
+        assert_eq!(r.verdict, Verdict::Degraded);
+        assert!(r.ready());
+        set.set_partitioned(1, true);
+        let r = set.health_report();
+        assert_eq!(r.verdict, Verdict::Unready);
+        assert!(!r.ready());
+        // Healing re-enters catch-up (degraded), then sync restores Ready.
+        set.set_partitioned(0, false);
+        set.set_partitioned(1, false);
+        assert_eq!(set.health_report().verdict, Verdict::Degraded);
+        set.sync().unwrap();
+        assert_eq!(set.health_report().verdict, Verdict::Ready);
     }
 
     #[test]

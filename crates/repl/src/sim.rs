@@ -42,7 +42,7 @@ use crate::health::{HealthTracker, ReplicaHealth};
 use crate::resync::anti_entropy_with_clock;
 use dbdedup_core::{DedupEngine, EngineConfig, EngineError};
 use dbdedup_maint::{MaintConfig, Maintainer};
-use dbdedup_obs::{EventKind, EventLog, Severity};
+use dbdedup_obs::{EventKind, EventLog, FlightConfig, FlightRecorder, Severity};
 use dbdedup_storage::oplog::{CursorGap, OplogEntry};
 use dbdedup_util::dist::SplitMix64;
 use dbdedup_util::ids::RecordId;
@@ -102,6 +102,12 @@ pub struct SimConfig {
     /// matter how its schedule interleaves with faults — which is exactly
     /// what the simulator checks.
     pub maint_every: u64,
+    /// Attach an anomaly flight recorder to the primary. Every event is
+    /// mirrored into its ring, every maintenance tick records a registry
+    /// snapshot, and anomaly triggers (overload onset, partitions) fire
+    /// dumps — all stamped by the shared virtual clock, so the dump bytes
+    /// are part of the determinism contract ([`SimReport::flight_jsonl`]).
+    pub flight_recorder: bool,
 }
 
 impl Default for SimConfig {
@@ -126,6 +132,7 @@ impl Default for SimConfig {
             lag_threshold: 8,
             oplog_retain_bytes: 8 << 20,
             maint_every: 4,
+            flight_recorder: false,
         }
     }
 }
@@ -199,6 +206,13 @@ pub struct SimReport {
     /// the shared virtual clock, so the same seed renders the same bytes —
     /// the trace is part of the determinism contract (`Eq` above).
     pub events_jsonl: String,
+    /// Anomaly dumps the flight recorder fired during the run (0 when
+    /// [`SimConfig::flight_recorder`] is off).
+    pub flight_dumps: u64,
+    /// The final flight-recorder dump, byte-for-byte (empty when the
+    /// recorder is off). Part of the determinism contract: the same seed
+    /// must render the same dump bytes.
+    pub flight_jsonl: String,
 }
 
 struct SimReplica {
@@ -232,6 +246,9 @@ pub struct Simulation {
     report: SimReport,
     /// The primary's event log (shared handle; virtual-clock timestamps).
     events: Arc<EventLog>,
+    /// The primary's anomaly flight recorder, when
+    /// [`SimConfig::flight_recorder`] asked for one.
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 /// Order-sensitive trace mixing (SplitMix64 finalizer over a running hash).
@@ -254,6 +271,14 @@ impl Simulation {
         let mut primary =
             DedupEngine::open_temp(ecfg.clone()).map_err(|e| mk(format!("open primary: {e}")))?;
         primary.set_telemetry_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+        let flight = cfg.flight_recorder.then(|| {
+            let rec = Arc::new(FlightRecorder::with_clock(
+                FlightConfig::default(),
+                Arc::clone(&clock) as Arc<dyn Clock>,
+            ));
+            primary.set_flight_recorder(Arc::clone(&rec));
+            rec
+        });
         let events = primary.event_log();
         let mut replicas = Vec::with_capacity(cfg.replicas);
         for i in 0..cfg.replicas {
@@ -290,6 +315,8 @@ impl Simulation {
             maint_paused_ticks: 0,
             rededuped: 0,
             events_jsonl: String::new(),
+            flight_dumps: 0,
+            flight_jsonl: String::new(),
         };
         // Eager trigger + small budget: the simulator wants maintenance
         // interleaved with faults as often as possible, in bounded bites.
@@ -308,6 +335,7 @@ impl Simulation {
             maintainer: Maintainer::new(mcfg),
             report,
             events,
+            flight,
         })
     }
 
@@ -380,6 +408,10 @@ impl Simulation {
         self.report.bypassed_overload = self.primary.metrics().bypassed_overload;
         self.report.health_transitions = self.primary.metrics().health_transitions;
         self.report.events_jsonl = self.events.to_jsonl();
+        if let Some(flight) = &self.flight {
+            self.report.flight_dumps = flight.dumps();
+            self.report.flight_jsonl = flight.last_dump().unwrap_or_default();
+        }
         Ok(self.report.clone())
     }
 
@@ -394,6 +426,10 @@ impl Simulation {
         // writebacks (committing chain links), then runs the tick — the
         // same idle-time coupling a real deployment uses.
         let (flushed, r) = self.maintainer.pump(&mut self.primary, 0.05, 32)?;
+        // The flight recorder's periodic registry snapshot rides the
+        // maintenance cadence, so an anomaly dump carries the metric
+        // state leading up to the trigger.
+        self.primary.flight_snapshot();
         if r.paused {
             self.report.maint_paused_ticks += 1;
         }
@@ -772,6 +808,45 @@ mod tests {
         assert_eq!(a.trace_hash, b.trace_hash);
         assert!(!a.events_jsonl.is_empty(), "the schedule must log events");
         assert_eq!(a.events_jsonl, b.events_jsonl, "event trace must be byte-identical");
+    }
+
+    #[test]
+    fn flight_recorder_dump_is_byte_stable_across_same_seed_runs() {
+        // Bursty traffic against tiny queues guarantees overload-onset
+        // triggers; partitions add replica-partition triggers. Two runs of
+        // the seed must produce byte-identical dump contents — ring
+        // entries, registry snapshots, timestamps and all.
+        let cfg = SimConfig {
+            seed: 0xF117_B0C5,
+            replicas: 3,
+            ticks: 50,
+            burst_prob: 0.4,
+            partition_prob: 0.12,
+            queue_depth: 2,
+            maint_every: 2,
+            flight_recorder: true,
+            ..Default::default()
+        };
+        let a = Simulation::new(cfg.clone()).unwrap().run().unwrap_or_else(|e| panic!("{e}"));
+        assert!(a.flight_dumps > 0, "the schedule must fire anomaly triggers: {a:?}");
+        assert!(a.flight_jsonl.starts_with("{\"t\":\"trigger\""), "{}", a.flight_jsonl);
+        assert!(a.flight_jsonl.contains("\"t\":\"event\""), "dump must carry ring events");
+        assert!(
+            a.flight_jsonl.contains("\"t\":\"snapshot\""),
+            "dump must carry periodic registry snapshots"
+        );
+        let b = Simulation::new(cfg).unwrap().run().unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(a.flight_dumps, b.flight_dumps);
+        assert_eq!(a.flight_jsonl, b.flight_jsonl, "dump bytes must replay with the seed");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recorder_off_keeps_reports_unchanged() {
+        let cfg = SimConfig { seed: 77, ticks: 40, ..Default::default() };
+        let r = Simulation::new(cfg).unwrap().run().unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(r.flight_dumps, 0);
+        assert!(r.flight_jsonl.is_empty());
     }
 
     #[test]

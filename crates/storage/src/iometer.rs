@@ -10,6 +10,37 @@
 
 use std::time::Instant;
 
+/// A point-in-time view of the modeled device's pressure, exported to the
+/// operator surface (the health model classifies I/O pressure from the
+/// queue depth relative to the idleness threshold).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoPressure {
+    /// Current modeled queue length (operations).
+    pub queue_depth: f64,
+    /// The configured idleness threshold (operations).
+    pub idle_threshold: f64,
+    /// Fraction of metered time the device has been idle, in `[0, 1]`.
+    pub idle_fraction: f64,
+}
+
+impl IoPressure {
+    /// Whether the device is currently idle enough for background work.
+    pub fn is_idle(&self) -> bool {
+        self.queue_depth <= self.idle_threshold
+    }
+
+    /// Queue depth as a multiple of the idleness threshold — the
+    /// saturation signal the health model thresholds on. A zero
+    /// threshold reports the raw queue depth.
+    pub fn saturation(&self) -> f64 {
+        if self.idle_threshold > 0.0 {
+            self.queue_depth / self.idle_threshold
+        } else {
+            self.queue_depth
+        }
+    }
+}
+
 /// A drain-rate queue model of device I/O.
 #[derive(Debug, Clone)]
 pub struct IoMeter {
@@ -89,6 +120,15 @@ impl IoMeter {
             1.0
         } else {
             (1.0 - self.busy_secs / self.total_secs).clamp(0.0, 1.0)
+        }
+    }
+
+    /// The pressure view the operator surface exports.
+    pub fn pressure(&self) -> IoPressure {
+        IoPressure {
+            queue_depth: self.queue,
+            idle_threshold: self.idle_threshold,
+            idle_fraction: self.idle_fraction(),
         }
     }
 }

@@ -38,7 +38,7 @@ pub mod oplog;
 pub mod store;
 
 pub use fault::{FaultInjector, FaultKind, FaultPlan, WriteOutcome};
-pub use iometer::IoMeter;
+pub use iometer::{IoMeter, IoPressure};
 pub use oplog::{CursorGap, Oplog, OplogEntry, OplogKind, OplogPayload};
 pub use store::{
     CompactStats, RecordStore, RecoveryReport, SalvagedFrame, StorageForm, StoreConfig, StoreError,

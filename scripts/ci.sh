@@ -60,4 +60,16 @@ echo "==> scrub-smoke"
 cargo test -q -p dbdedup-maint --test scrub_props
 cargo test -q --test fault_injection bitflip_on_degraded
 
+# Operator surface: boot a real engine plus StatusServer on an ephemeral
+# port and scrape it over TCP (tests/obs_endpoint.rs) — /metrics must
+# cover every registry key exactly once with JSON/Prometheus value
+# agreement under name sanitization, /health must flip Ready→Degraded→
+# Ready through the overload gate, and /ready must gate 503 when every
+# replica link is partitioned. Plus the obs::json parser edge sweep and
+# the flight-recorder determinism property in the sim.
+echo "==> obs-smoke"
+cargo test -q --test obs_endpoint
+cargo test -q -p dbdedup-obs --test json_edge
+cargo test -q -p dbdedup-repl --lib sim::tests::flight_recorder_dump_is_byte_stable_across_same_seed_runs
+
 echo "==> ci.sh: all green"

@@ -33,6 +33,7 @@
 //! | [`cache`] | source record cache, lossy write-back cache |
 //! | [`storage`] | record store, oplog, blockz compression, I/O meter |
 //! | [`maint`] | background maintenance: chain GC, incremental compaction, retention |
+//! | [`obs`] | telemetry: metrics registry, event log, status endpoint, flight recorder |
 //! | [`repl`] | primary/secondary replication |
 //! | [`workloads`] | the four paper dataset generators |
 //! | [`util`] | hashes, codecs, stats, samplers |
@@ -47,6 +48,7 @@ pub use dbdedup_delta as delta;
 pub use dbdedup_encoding as encoding;
 pub use dbdedup_index as index;
 pub use dbdedup_maint as maint;
+pub use dbdedup_obs as obs;
 pub use dbdedup_repl as repl;
 pub use dbdedup_storage as storage;
 pub use dbdedup_util as util;

@@ -1,0 +1,195 @@
+//! End-to-end smoke test of the operator surface: a real engine, a real
+//! `StatusServer` on an ephemeral port, and scrapes over a real TCP
+//! socket. This is what CI's `obs-smoke` step runs.
+//!
+//! The load-bearing assertions:
+//!
+//! 1. `/metrics` covers **every** key of the engine's metrics registry,
+//!    exactly once, and each sample's value agrees with the registry's
+//!    own JSON export — the sanitization differential (dots → `_`) over
+//!    the full registered key set, not a hand-picked sample.
+//! 2. `/health` + `/ready` flip Ready → Degraded → Ready as the overload
+//!    gate opens and drains, through fresh publishes.
+//! 3. `/events` serves the engine's structured event log as JSONL.
+
+use dbdedup::engine::health::LinkState;
+use dbdedup::obs::json::{parse, Json};
+use dbdedup::obs::{
+    sanitize_metric_name, MetricValue, Registry, StatusCell, StatusServer, METRICS_PREFIX,
+};
+use dbdedup::{DedupEngine, EngineConfig, RecordId};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: smoke\r\n\r\n").expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    let code: u16 =
+        response.split_ascii_whitespace().nth(1).and_then(|c| c.parse().ok()).expect("status");
+    let body = response.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    (code, body)
+}
+
+fn engine_with_traffic() -> DedupEngine {
+    let mut cfg = EngineConfig::default();
+    cfg.min_benefit_bytes = 16;
+    let mut e = DedupEngine::open_temp(cfg).expect("engine");
+    let doc: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+    for i in 0..8u64 {
+        let mut v = doc.clone();
+        let at = (i as usize * 13) % v.len();
+        v[at] ^= 0x5A;
+        e.insert("smoke", RecordId(i), &v).expect("insert");
+    }
+    e.flush_all_writebacks().expect("flush");
+    // Grant the modeled disk a virtual second so the io queue drains —
+    // a saturated IoMeter would (correctly) degrade the verdict.
+    e.pump(1.0, 32).expect("pump");
+    e
+}
+
+fn publish(cell: &StatusCell, e: &DedupEngine) {
+    let report = e.health(&[LinkState::Healthy]);
+    cell.publish_registry(&e.metrics().registry());
+    cell.publish_health(report.ready(), report.to_json());
+}
+
+/// The expected exposition sample for one registry entry, mirroring the
+/// renderer's documented formatting contract (u64 verbatim, f64 at four
+/// decimals, non-finite pinned to NaN).
+fn expected_sample(key: &str, v: MetricValue) -> String {
+    let name = format!("{METRICS_PREFIX}{}", sanitize_metric_name(key));
+    match v {
+        MetricValue::U64(u) => format!("{name} {u}"),
+        MetricValue::F64(f) if f.is_finite() => format!("{name} {f:.4}"),
+        MetricValue::F64(_) => format!("{name} NaN"),
+    }
+}
+
+#[test]
+fn live_endpoint_serves_full_registry_health_and_events() {
+    let mut e = engine_with_traffic();
+    let cell = StatusCell::shared();
+    cell.set_event_log(e.event_log());
+    let server = StatusServer::start("127.0.0.1:0", Arc::clone(&cell)).expect("bind");
+    let addr = server.addr();
+
+    // Before the first publish the node is booting: live, not ready.
+    let (code, body) = get(addr, "/ready");
+    assert_eq!(code, 503, "booting node must gate readiness: {body}");
+
+    publish(&cell, &e);
+    let registry: Registry = e.metrics().registry();
+    let (code, prom) = get(addr, "/metrics");
+    assert_eq!(code, 200);
+
+    // Differential over EVERY registered key: the JSON export and the
+    // Prometheus exposition must agree on both membership and value
+    // under the dots→underscores sanitization.
+    let json = parse(&registry.to_json()).expect("registry JSON parses");
+    let obj = json.as_obj().expect("registry JSON is an object");
+    assert_eq!(obj.len(), registry.len(), "JSON export covers every key");
+    assert!(registry.len() > 30, "a live engine registry is not a toy: {}", registry.len());
+    for key in registry.keys() {
+        let value = registry.get(key).expect("own key");
+        let sample = expected_sample(key, value);
+        assert!(
+            prom.lines().any(|l| l == sample),
+            "/metrics is missing or disagrees on {key:?}: wanted {sample:?}"
+        );
+        match (value, json.get(key)) {
+            (MetricValue::U64(u), Some(Json::Num(n))) => assert_eq!(*n, u as f64, "{key}"),
+            (MetricValue::F64(f), Some(Json::Num(n))) if f.is_finite() => {
+                assert!((n - f).abs() < 5e-5, "{key}: json {n} vs registry {f}")
+            }
+            (MetricValue::F64(f), Some(Json::Null)) => assert!(!f.is_finite(), "{key}"),
+            (v, j) => panic!("{key}: registry {v:?} vs json {j:?}"),
+        }
+    }
+    // Exactly one sample per key: sanitization stayed injective and the
+    // renderer emitted no extras beyond its # TYPE preamble lines.
+    let samples: Vec<&str> =
+        prom.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).collect();
+    assert_eq!(samples.len(), registry.len(), "one sample per registered key");
+    let mut names: Vec<&str> = samples.iter().filter_map(|l| l.split(' ').next()).collect();
+    names.sort_unstable();
+    let before = names.len();
+    names.dedup();
+    assert_eq!(names.len(), before, "duplicate sanitized metric names in /metrics");
+    assert!(prom.lines().filter(|l| l.starts_with("# TYPE ")).count() == registry.len());
+
+    // New namespaced gauges from this PR ride along.
+    assert!(prom.contains("dbdedup_events_dropped_total "), "{prom}");
+    assert!(prom.contains("dbdedup_events_len "), "{prom}");
+
+    // /health and /ready: a healthy engine with one healthy link.
+    let (code, body) = get(addr, "/health");
+    assert_eq!(code, 200);
+    let health = parse(&body).expect("health JSON parses");
+    assert_eq!(health.get("verdict").and_then(|v| v.as_str()), Some("ready"), "{body}");
+    let (code, _) = get(addr, "/ready");
+    assert_eq!(code, 200);
+
+    // Open the overload gate: the node degrades but stays ready (shed
+    // dedup, not shed writes), and the verdict flips back once the gate
+    // drains. The server only knows what the loop publishes — so this
+    // also proves the publish path, not just the assessor.
+    e.set_replication_pressure(true);
+    publish(&cell, &e);
+    let (_, body) = get(addr, "/health");
+    let health = parse(&body).expect("health JSON parses");
+    assert_eq!(health.get("verdict").and_then(|v| v.as_str()), Some("degraded"), "{body}");
+    match health.get("subsystems") {
+        Some(Json::Arr(subs)) => {
+            assert!(
+                subs.iter().any(|s| {
+                    s.get("name").and_then(|v| v.as_str()) == Some("ingest")
+                        && s.get("verdict").and_then(|v| v.as_str()) == Some("degraded")
+                }),
+                "ingest subsystem must carry the overload reason: {body}"
+            );
+        }
+        other => panic!("subsystems is not an array: {other:?}"),
+    }
+    let (code, _) = get(addr, "/ready");
+    assert_eq!(code, 200, "degraded is still ready — writes are admitted");
+
+    e.set_replication_pressure(false);
+    publish(&cell, &e);
+    let (_, body) = get(addr, "/health");
+    let health = parse(&body).expect("health JSON parses");
+    assert_eq!(health.get("verdict").and_then(|v| v.as_str()), Some("ready"), "{body}");
+
+    // /events: the structured log as parseable JSONL.
+    let (code, body) = get(addr, "/events");
+    assert_eq!(code, 200);
+    for line in body.lines() {
+        parse(line).expect("every /events line is valid JSON");
+    }
+
+    assert!(cell.requests() >= 7);
+    server.shutdown();
+}
+
+/// A node whose every replica link is partitioned must publish Unready
+/// and gate `/ready` with a 503 — the signal a load balancer acts on.
+#[test]
+fn partitioned_links_gate_readiness() {
+    let e = engine_with_traffic();
+    let cell = StatusCell::shared();
+    let server = StatusServer::start("127.0.0.1:0", Arc::clone(&cell)).expect("bind");
+    let report = e.health(&[LinkState::Partitioned, LinkState::Partitioned]);
+    cell.publish_registry(&e.metrics().registry());
+    cell.publish_health(report.ready(), report.to_json());
+
+    let (code, body) = get(server.addr(), "/health");
+    assert_eq!(code, 200, "/health always answers, even unready");
+    assert!(body.contains("\"verdict\":\"unready\""), "{body}");
+    let (code, body) = get(server.addr(), "/ready");
+    assert_eq!(code, 503, "{body}");
+    assert_eq!(body, "{\"ready\":false}");
+    server.shutdown();
+}
