@@ -1,0 +1,175 @@
+//! Tiered feature index — dedup ratio and insert latency against a
+//! **fixed** index memory budget while the record count grows 100×.
+//!
+//! The paper sizes its cuckoo index for the working set (§3.1.2); this
+//! harness asks what happens when the data outgrows that budget. Three
+//! configurations run the same seeded workload at 1×/10×/100× scale:
+//!
+//! - `unlimited` — the paper config: the whole index stays in memory.
+//! - `tiered`    — the fixed budget with cold entries spilled into
+//!   immutable on-disk runs behind a Bloom prefilter: the dedup ratio
+//!   should decay gracefully as more lookups go cold.
+//! - `evict`     — the same budget with spilling disabled: pure LRU
+//!   eviction, the cliff the tiered index exists to avoid.
+//!
+//! The workload interleaves revisions across many independent chains, so
+//! by the time a chain's next revision arrives its source features have
+//! been pushed out of a too-small hot tier — exactly the access pattern
+//! that separates "spilled but findable" from "evicted and gone".
+
+use dbdedup_bench::BenchReport;
+use dbdedup_core::{DedupEngine, EngineConfig};
+use dbdedup_obs::Registry;
+use dbdedup_util::dist::SplitMix64;
+use dbdedup_util::ids::RecordId;
+use dbdedup_util::stats::LogHistogram;
+use std::time::Instant;
+
+/// Fixed hot-tier budget every bounded config runs under (≈ 2.7k
+/// feature entries at 6 accounted bytes each).
+const HOT_BUDGET: usize = 16 << 10;
+/// Revisions per chain; the chain count is what scales 100×.
+const VERSIONS: usize = 8;
+
+struct RunResult {
+    records: u64,
+    ratio: f64,
+    insert_ns: LogHistogram,
+    spills: u64,
+    runs: u64,
+    evictions: u64,
+    cold_hits: u64,
+    bloom_fp: f64,
+}
+
+fn engine(budget: Option<usize>, spill: bool) -> DedupEngine {
+    let mut cfg = EngineConfig::default();
+    cfg.min_benefit_bytes = 16;
+    cfg.index_hot_budget_bytes = budget;
+    cfg.index_spill_to_disk = spill;
+    DedupEngine::open_temp(cfg).expect("temp engine")
+}
+
+fn mutate(doc: &mut [u8], rng: &mut SplitMix64) {
+    for _ in 0..4 {
+        let at = rng.next_index(doc.len().saturating_sub(40).max(1));
+        for b in doc.iter_mut().skip(at).take(32) {
+            *b = (rng.next_u64() % 26 + 97) as u8;
+        }
+    }
+}
+
+/// Round-robin revisions over `chains` independent documents: revision
+/// `k` of every chain lands before revision `k+1` of any, so the reuse
+/// distance equals the chain count and a too-small hot tier has lost the
+/// source features by the time they are needed again.
+fn run(chains: usize, budget: Option<usize>, spill: bool) -> RunResult {
+    let mut e = engine(budget, spill);
+    let mut rng = SplitMix64::new(0x71E2);
+    let mut docs: Vec<Vec<u8>> = (0..chains)
+        .map(|_| (0..4096).map(|_| (rng.next_u64() % 26 + 97) as u8).collect())
+        .collect();
+    let mut insert_ns = LogHistogram::new();
+    let mut id = 0u64;
+    for _ in 0..VERSIONS {
+        for doc in docs.iter_mut() {
+            mutate(doc, &mut rng);
+            let t0 = Instant::now();
+            e.insert("bench", RecordId(id), doc).expect("insert");
+            insert_ns.record(t0.elapsed().as_nanos() as u64);
+            id += 1;
+            // A virtual idle window per batch keeps the modeled device's
+            // queue (which writebacks, cold probes and spills submit
+            // against) drained, so the overload governor measures the
+            // index, not an artificially saturated disk.
+            if id.is_multiple_of(64) {
+                e.pump(0.5, 32).expect("pump");
+            }
+        }
+    }
+    // Backward encoding parks the old version's delta in the write-back
+    // cache; the storage ratio only lands once those flush.
+    e.flush_all_writebacks().expect("final flush");
+    let m = e.metrics();
+    RunResult {
+        records: id,
+        ratio: m.storage_ratio(),
+        insert_ns,
+        spills: m.index_tier.spills,
+        runs: m.index_tier.runs,
+        evictions: m.index_tier.evictions,
+        cold_hits: m.index_tier.cold_hits,
+        bloom_fp: m.index_tier.observed_fp_rate(),
+    }
+}
+
+fn main() {
+    // 100× growth on top of the base chain count; `DBDEDUP_SCALE`
+    // (default 2000) divides down so the full sweep stays tractable.
+    let base_chains = (dbdedup_bench::scale() / 160).max(4);
+    let budget = HOT_BUDGET;
+    println!(
+        "tiered index: fixed {budget}-byte hot budget, {VERSIONS} revisions/chain, \
+         chains ×1/×10/×100\n"
+    );
+    dbdedup_bench::header(&[
+        "config", "records", "ratio", "p50", "p99", "spills", "runs", "evict", "cold_hit",
+    ]);
+
+    let mut report = BenchReport::new("index_tiering");
+    report.meta_mut().set_u64("hot_budget_bytes", budget as u64);
+    report.meta_mut().set_u64("versions_per_chain", VERSIONS as u64);
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    for scale in [1usize, 10, 100] {
+        let chains = base_chains * scale;
+        let configs = [
+            ("unlimited", None, true),
+            ("tiered", Some(budget), true),
+            ("evict", Some(budget), false),
+        ];
+        for (name, cfg_budget, spill) in configs {
+            let r = run(chains, cfg_budget, spill);
+            let label = format!("{name}/x{scale}");
+            dbdedup_bench::row(&[
+                label.clone(),
+                r.records.to_string(),
+                format!("{:.2}", r.ratio),
+                format!("{:.1}", r.insert_ns.quantile(0.50) as f64 / 1000.0),
+                format!("{:.1}", r.insert_ns.quantile(0.99) as f64 / 1000.0),
+                r.spills.to_string(),
+                r.runs.to_string(),
+                r.evictions.to_string(),
+                r.cold_hits.to_string(),
+            ]);
+            let mut reg = Registry::new();
+            reg.set_u64("records", r.records);
+            reg.set_f64("dedup_ratio", r.ratio);
+            reg.set_u64("spills", r.spills);
+            reg.set_u64("runs", r.runs);
+            reg.set_u64("evictions", r.evictions);
+            reg.set_u64("cold_hits", r.cold_hits);
+            reg.set_f64("bloom_observed_fp_rate", r.bloom_fp);
+            reg.set_histogram("insert_ns", &r.insert_ns);
+            report.push_row(&label, reg);
+            ratios.push((label, r.ratio));
+        }
+    }
+
+    // The headline: at 100× the tiered config must retain far more of
+    // the dedup ratio than pure eviction. Retention can exceed 100% —
+    // past its fixed capacity the bare cuckoo table clock-evicts
+    // destructively, while spilled runs keep those entries findable.
+    let at = |label: &str| ratios.iter().find(|(l, _)| l == label).map(|(_, r)| *r).unwrap_or(1.0);
+    let retention_tiered = at("tiered/x100") / at("unlimited/x100");
+    let retention_evict = at("evict/x100") / at("unlimited/x100");
+    println!(
+        "\nratio retained at 100x vs unlimited: tiered {:.0}%, evict-only {:.0}% \
+         (graceful decay vs the eviction cliff)",
+        retention_tiered * 100.0,
+        retention_evict * 100.0
+    );
+    report.meta_mut().set_f64("ratio_retention_tiered_x100", retention_tiered);
+    report.meta_mut().set_f64("ratio_retention_evict_x100", retention_evict);
+    let path = report.write().expect("bench json");
+    println!("machine-readable report: {}", path.display());
+}

@@ -61,6 +61,19 @@ pub struct EngineConfig {
     pub trace_sample_every: u32,
     /// Maximum events retained by the structured event log ring buffer.
     pub event_log_capacity: usize,
+    /// Accounted-byte budget for each database's hot (in-memory) feature
+    /// index tier. Reaching it spills the tier into an immutable on-disk
+    /// run behind a Bloom prefilter. `None` (the default, the paper's
+    /// configuration) keeps the index purely in memory and is byte-for-byte
+    /// identical to the pre-tiering engine.
+    pub index_hot_budget_bytes: Option<usize>,
+    /// Whether spills persist to disk runs. When false, reaching the hot
+    /// budget discards the tier instead — the eviction-cliff baseline the
+    /// `index_tiering` bench compares against.
+    pub index_spill_to_disk: bool,
+    /// Target false-positive rate for each run's Bloom prefilter: the
+    /// fraction of cold lookups allowed to pay a wasted disk probe.
+    pub index_bloom_fp_target: f64,
 }
 
 impl Default for EngineConfig {
@@ -86,6 +99,9 @@ impl Default for EngineConfig {
             oplog_retain_bytes: dbdedup_storage::oplog::DEFAULT_OPLOG_RETAIN_BYTES,
             trace_sample_every: 32,
             event_log_capacity: 1024,
+            index_hot_budget_bytes: None,
+            index_spill_to_disk: true,
+            index_bloom_fp_target: 0.01,
         }
     }
 }

@@ -5,7 +5,7 @@ use crate::config::EngineConfig;
 use crate::filter::SizeFilter;
 use crate::governor::{Governor, GovernorVerdict};
 use crate::health::{self, HealthInputs, HealthReport, HealthThresholds, LinkState};
-use crate::metrics::{EngineMetrics, MetricsSnapshot};
+use crate::metrics::{EngineMetrics, IndexTierMetrics, MetricsSnapshot};
 use crate::pipeline::{InsertPreparer, PreparedInsert};
 use crate::repair::RepairSource;
 use bytes::Bytes;
@@ -14,7 +14,9 @@ use dbdedup_chunker::SketchExtractor;
 use dbdedup_delta::ops::DeltaError;
 use dbdedup_delta::{reencode, DbDeltaConfig, DbDeltaEncoder, Delta};
 use dbdedup_encoding::{ChainManager, Writeback};
-use dbdedup_index::{CuckooConfig, PartitionedFeatureIndex};
+use dbdedup_index::{
+    CuckooConfig, FeatureIndex, PartitionedIndex, TieredConfig, TieredFeatureIndex, TieredStats,
+};
 use dbdedup_obs::{EventKind, EventLog, FlightRecorder, Severity, Stage, StageSet, StageTracer};
 use dbdedup_storage::oplog::{CursorGap, DurableOplog};
 use dbdedup_storage::store::{CompactStats, RecordStore, StorageForm, StoreConfig, StoreError};
@@ -190,6 +192,25 @@ pub enum RededupOutcome {
     Skipped,
 }
 
+/// Outcome of one budgeted tiered-index merge slice
+/// ([`DedupEngine::index_merge_step`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexMergeStats {
+    /// Cold-tier runs consumed (merged or quarantined) this slice.
+    pub runs_merged: u64,
+    /// Entries written into merged runs this slice.
+    pub entries_written: u64,
+    /// Run bytes read plus written this slice (the budget currency).
+    pub bytes_processed: u64,
+}
+
+impl IndexMergeStats {
+    /// Whether the slice did no work.
+    pub fn is_noop(&self) -> bool {
+        self.runs_merged == 0
+    }
+}
+
 /// Maps dense 4-byte index slots to record ids (the feature index stores
 /// slots, as the paper's index stores 4-byte record pointers).
 #[derive(Debug, Default)]
@@ -237,7 +258,7 @@ pub struct DedupEngine {
     oplog: OplogBackend,
     extractor: SketchExtractor,
     encoder: DbDeltaEncoder,
-    index: PartitionedFeatureIndex,
+    index: PartitionedIndex<TieredFeatureIndex>,
     chains: ChainManager,
     source_cache: SourceRecordCache,
     wb_cache: WritebackCache,
@@ -346,8 +367,22 @@ impl DedupEngine {
         // sketches are bit-identical to inline ones.
         let extractor = InsertPreparer::from_config(&config).into_extractor();
         let encoder = DbDeltaEncoder::new(DbDeltaConfig::with_interval(config.anchor_interval));
-        let index = PartitionedFeatureIndex::new(CuckooConfig {
-            max_candidates: config.max_candidates_per_feature,
+        // Hot tier only by default (the paper's configuration); a budget
+        // turns on tiering, spilling into Bloom-gated runs kept under the
+        // store's directory so a store and its derived index files move
+        // together. Runs are derived data — losing them only costs ratio.
+        let index = PartitionedIndex::new(TieredConfig {
+            cuckoo: CuckooConfig {
+                max_candidates: config.max_candidates_per_feature,
+                ..Default::default()
+            },
+            hot_budget_bytes: config.index_hot_budget_bytes,
+            bloom_fp_target: config.index_bloom_fp_target,
+            run_dir: if config.index_spill_to_disk {
+                Some(store.dir().join("index-runs"))
+            } else {
+                None
+            },
             ..Default::default()
         });
         let oplog = match &config.oplog_path {
@@ -551,8 +586,9 @@ impl DedupEngine {
         let t = self.tracer.start();
         let slot = self.slots.assign(id);
         let mut counts: FxHashMap<u32, u32> = FxHashMap::default();
-        {
+        let cold_probes = {
             let part = self.index.partition_mut(db);
+            let probes_before = part.stats().cold_probes;
             for &feature in sketch.features() {
                 for cand in part.lookup_insert(feature, slot) {
                     if cand != slot {
@@ -560,6 +596,12 @@ impl DedupEngine {
                     }
                 }
             }
+            part.stats().cold_probes - probes_before
+        };
+        if cold_probes > 0 {
+            // Cold-tier probes are real disk reads; meter them so the
+            // idleness signal sees index I/O like any other foreground read.
+            self.io.submit(cold_probes);
         }
         self.tracer.stop(t, Stage::IndexLookup);
         // ③ Cache-aware source selection (§3.1.3).
@@ -1402,8 +1444,9 @@ impl DedupEngine {
         // the record's features enter the index here, just later).
         let slot = self.slots.assign(id);
         let mut counts: FxHashMap<u32, u32> = FxHashMap::default();
-        {
+        let cold_probes = {
             let part = self.index.partition_mut(db);
+            let probes_before = part.stats().cold_probes;
             for &feature in sketch.features() {
                 for cand in part.lookup_insert(feature, slot) {
                     if cand != slot {
@@ -1411,6 +1454,10 @@ impl DedupEngine {
                     }
                 }
             }
+            part.stats().cold_probes - probes_before
+        };
+        if cold_probes > 0 {
+            self.io.submit(cold_probes);
         }
         // ③ Cache-aware source selection (§3.1.3), same scoring as inline.
         let mut best: Option<(u32, RecordId)> = None;
@@ -1567,6 +1614,139 @@ impl DedupEngine {
     /// shadow are rewritten away).
     pub fn reclaimable_dead_bytes(&self) -> u64 {
         self.store.reclaimable_dead_bytes()
+    }
+
+    // ------------------------------------------------------------------
+    // Tiered-index maintenance
+    // ------------------------------------------------------------------
+
+    /// Cold-tier feature runs above the per-partition merge target — the
+    /// tiered index's contribution to the maintenance backlog. Zero when
+    /// tiering is off (no budget configured) or already converged.
+    pub fn index_merge_backlog(&self) -> u64 {
+        self.index
+            .partition_names()
+            .iter()
+            .filter_map(|db| self.index.partition(db))
+            .map(|p| p.merge_backlog())
+            .sum()
+    }
+
+    /// One budgeted slice of cold-tier run merging: walks partitions in
+    /// name order and merges run pairs (newest first) until `max_bytes` of
+    /// run data has been processed — at least one pair whenever any backlog
+    /// exists, so progress is guaranteed. Merging touches only derived
+    /// local files, so it is oplog-silent by construction.
+    pub fn index_merge_step(&mut self, max_bytes: u64) -> Result<IndexMergeStats, EngineError> {
+        self.tracer.sample();
+        let t = self.tracer.start();
+        let mut out = IndexMergeStats::default();
+        'partitions: for db in self.index.partition_names() {
+            let part = self.index.partition_mut(&db);
+            while let Some(step) = part.merge_step() {
+                let o = step.map_err(|e| EngineError::Store(StoreError::Io(e)))?;
+                out.runs_merged += o.runs_merged;
+                out.entries_written += o.entries;
+                out.bytes_processed += o.bytes_read + o.bytes_written;
+                if out.bytes_processed >= max_bytes.max(1) {
+                    break 'partitions;
+                }
+            }
+        }
+        self.tracer.stop(t, Stage::MaintIndexMerge);
+        if out.runs_merged > 0 {
+            // Each merge reads and rewrites run files: real background I/O.
+            self.io.submit(out.runs_merged);
+            self.events.record(
+                Severity::Info,
+                EventKind::MaintIndexMerge { runs: out.runs_merged, entries: out.entries_written },
+            );
+        }
+        Ok(out)
+    }
+
+    /// Rebuilds `db`'s feature-index partition from the record store:
+    /// drops the partition outright (deleting its derived run files) and
+    /// re-registers the features of every live, readable record. This is
+    /// the recovery path after run-file corruption — runs are derived
+    /// data, so the store is always sufficient to regenerate them.
+    ///
+    /// The store does not persist a record→database mapping, so every live
+    /// record re-registers under `db`. In mixed-database deployments that
+    /// only adds advisory false-positive candidates, which downstream
+    /// delta verification discards. Returns the number of records indexed.
+    pub fn rebuild_index_partition(&mut self, db: &str) -> Result<u64, EngineError> {
+        self.index.drop_partition(db);
+        let mut registered = 0u64;
+        for id in self.live_record_ids() {
+            // Unreadable (broken-chain) records can't be sketched; they are
+            // resync's problem, not the index's.
+            let Ok(content) = self.read(id) else { continue };
+            let mut chunks = Vec::new();
+            self.extractor.chunker().chunk_into(&content, &mut chunks);
+            let sketch = self.extractor.extract_from_chunks(&content, &chunks);
+            let slot = self.slots.assign(id);
+            let part = self.index.partition_mut(db);
+            for &feature in sketch.features() {
+                part.lookup_insert(feature, slot);
+            }
+            registered += 1;
+        }
+        Ok(registered)
+    }
+
+    /// Aggregated tiered-index behavior counters across all partitions.
+    pub fn index_tier_stats(&self) -> TieredStats {
+        let mut total = TieredStats::default();
+        for db in self.index.partition_names() {
+            if let Some(p) = self.index.partition(&db) {
+                let s = p.stats();
+                total.spills += s.spills;
+                total.spill_errors += s.spill_errors;
+                total.dropped_runs += s.dropped_runs;
+                total.hot_hits += s.hot_hits;
+                total.cold_hits += s.cold_hits;
+                total.cold_probes += s.cold_probes;
+                total.bloom_rejects += s.bloom_rejects;
+                total.bloom_false_probes += s.bloom_false_probes;
+                total.probe_errors += s.probe_errors;
+                total.merges += s.merges;
+                total.merged_entries += s.merged_entries;
+            }
+        }
+        total
+    }
+
+    /// The tiered index's full gauge set for the metrics registry:
+    /// behavior counters plus current occupancy of both tiers.
+    pub fn index_tier_metrics(&self) -> IndexTierMetrics {
+        let s = self.index_tier_stats();
+        let mut m = IndexTierMetrics {
+            partitions: self.index.partition_count() as u64,
+            entries: self.index.len() as u64,
+            allocated_bytes: self.index.allocated_bytes() as u64,
+            evictions: self.index.evictions(),
+            spills: s.spills,
+            spill_errors: s.spill_errors,
+            hot_hits: s.hot_hits,
+            cold_hits: s.cold_hits,
+            cold_probes: s.cold_probes,
+            bloom_rejects: s.bloom_rejects,
+            bloom_false_probes: s.bloom_false_probes,
+            dropped_runs: s.dropped_runs,
+            merges: s.merges,
+            merged_entries: s.merged_entries,
+            ..Default::default()
+        };
+        for db in self.index.partition_names() {
+            if let Some(p) = self.index.partition(&db) {
+                m.runs += p.run_count() as u64;
+                m.run_entries += p.run_entries() as u64;
+                m.run_file_bytes += p.run_file_bytes();
+                m.merge_backlog += p.merge_backlog();
+            }
+        }
+        m
     }
 
     /// Retires up to `max_records` versions sitting more than `max_tail`
@@ -2052,6 +2232,7 @@ impl DedupEngine {
             degraded_backlog: self.degraded.len() as u64,
             gc_backlog: self.chains.deleted_ids().len() as u64,
             reclaimable_dead_bytes: self.store.reclaimable_dead_bytes(),
+            index_merge_backlog: self.index_merge_backlog(),
             scrub_unhealable: self.metrics.scrub_unhealable,
             broken_records: self.broken.len() as u64,
             io: self.io.pressure(),
@@ -2113,6 +2294,7 @@ impl DedupEngine {
             scrub_inconsistencies: self.metrics.scrub_inconsistencies,
             scrub_passes: self.metrics.scrub_passes,
             salvage_skipped: self.metrics.salvage_skipped,
+            index_tier: self.index_tier_metrics(),
         }
     }
 }

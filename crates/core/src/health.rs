@@ -166,6 +166,9 @@ pub struct HealthThresholds {
     /// Reclaimable dead bytes before maintenance reports
     /// [`Verdict::Degraded`].
     pub reclaimable_dead_bytes_max: u64,
+    /// Cold-tier feature runs above the per-partition merge target before
+    /// maintenance reports [`Verdict::Degraded`].
+    pub index_merge_backlog_max: u64,
     /// I/O queue depth as a multiple of the idleness threshold before the
     /// io subsystem reports [`Verdict::Degraded`].
     pub io_saturation_max: f64,
@@ -177,6 +180,7 @@ impl Default for HealthThresholds {
             degraded_backlog_max: 64,
             gc_backlog_max: 128,
             reclaimable_dead_bytes_max: 64 * 1024 * 1024,
+            index_merge_backlog_max: 16,
             io_saturation_max: 8.0,
         }
     }
@@ -198,6 +202,8 @@ pub struct HealthInputs {
     pub gc_backlog: u64,
     /// Dead bytes compaction could reclaim right now.
     pub reclaimable_dead_bytes: u64,
+    /// Cold-tier feature runs above the per-partition merge target.
+    pub index_merge_backlog: u64,
     /// Records the scrub quarantined with no repair source.
     pub scrub_unhealable: u64,
     /// Records currently known unreadable (broken decode chains).
@@ -274,6 +280,12 @@ pub fn assess(inputs: &HealthInputs, thresholds: &HealthThresholds) -> HealthRep
             inputs.reclaimable_dead_bytes, thresholds.reclaimable_dead_bytes_max
         ));
     }
+    if inputs.index_merge_backlog > thresholds.index_merge_backlog_max {
+        debts.push(format!(
+            "index run backlog {} > {}",
+            inputs.index_merge_backlog, thresholds.index_merge_backlog_max
+        ));
+    }
     subsystems.push(if debts.is_empty() {
         SubsystemHealth {
             name: "maintenance",
@@ -348,6 +360,7 @@ mod tests {
             degraded_backlog: 0,
             gc_backlog: 0,
             reclaimable_dead_bytes: 0,
+            index_merge_backlog: 0,
             scrub_unhealable: 0,
             broken_records: 0,
             io: idle_io(),
@@ -419,6 +432,9 @@ mod tests {
             |i: &mut HealthInputs, t: &HealthThresholds| {
                 i.reclaimable_dead_bytes = t.reclaimable_dead_bytes_max + 1
             },
+            |i: &mut HealthInputs, t: &HealthThresholds| {
+                i.index_merge_backlog = t.index_merge_backlog_max + 1
+            },
         ] {
             let mut i = calm();
             set(&mut i, &t);
@@ -429,6 +445,7 @@ mod tests {
             at.degraded_backlog = t.degraded_backlog_max;
             at.gc_backlog = t.gc_backlog_max;
             at.reclaimable_dead_bytes = t.reclaimable_dead_bytes_max;
+            at.index_merge_backlog = t.index_merge_backlog_max;
             assert_eq!(assess(&at, &t).verdict, Verdict::Ready);
         }
     }

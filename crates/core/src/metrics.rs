@@ -87,6 +87,85 @@ pub struct EngineMetrics {
     pub salvage_skipped: u64,
 }
 
+/// Tiered feature-index gauges: hot-tier occupancy plus cold-run behavior
+/// (spills, Bloom-gated probes, merges). All zero when tiering is off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexTierMetrics {
+    /// Live per-database partitions.
+    pub partitions: u64,
+    /// Entries across all tiers (hot tables + disk runs).
+    pub entries: u64,
+    /// Actual allocated memory: hot table capacity plus resident cold
+    /// state (Bloom filters, offset tables).
+    pub allocated_bytes: u64,
+    /// Hot-tier LRU evictions.
+    pub evictions: u64,
+    /// Hot-tier spills into cold runs.
+    pub spills: u64,
+    /// Spills whose run file failed to persist (entries dropped).
+    pub spill_errors: u64,
+    /// Open cold-tier runs.
+    pub runs: u64,
+    /// Entries resident in cold-tier runs.
+    pub run_entries: u64,
+    /// Bytes of cold-tier run files on disk.
+    pub run_file_bytes: u64,
+    /// Lookups answered (at least partially) by the hot tier.
+    pub hot_hits: u64,
+    /// Lookups that surfaced extra candidates from a cold run.
+    pub cold_hits: u64,
+    /// Disk probes issued against cold runs (≤ 1 per lookup).
+    pub cold_probes: u64,
+    /// Run consultations answered "cannot hit" by the Bloom filter alone.
+    pub bloom_rejects: u64,
+    /// Probes that passed the Bloom filter but matched nothing (observed
+    /// false positives).
+    pub bloom_false_probes: u64,
+    /// Run files quarantined for failing validation.
+    pub dropped_runs: u64,
+    /// Pairwise run merges completed by maintenance.
+    pub merges: u64,
+    /// Entries written by those merges.
+    pub merged_entries: u64,
+    /// Runs above the per-partition merge target right now.
+    pub merge_backlog: u64,
+}
+
+impl IndexTierMetrics {
+    /// Observed Bloom false-positive rate: wasted probes over all cold
+    /// consultations the filter answered.
+    pub fn observed_fp_rate(&self) -> f64 {
+        let consultations = self.cold_probes + self.bloom_rejects;
+        if consultations == 0 {
+            0.0
+        } else {
+            self.bloom_false_probes as f64 / consultations as f64
+        }
+    }
+
+    /// Accumulates another shard's gauges.
+    pub fn merge(&mut self, o: IndexTierMetrics) {
+        self.partitions += o.partitions;
+        self.entries += o.entries;
+        self.allocated_bytes += o.allocated_bytes;
+        self.evictions += o.evictions;
+        self.spills += o.spills;
+        self.spill_errors += o.spill_errors;
+        self.runs += o.runs;
+        self.run_entries += o.run_entries;
+        self.run_file_bytes += o.run_file_bytes;
+        self.hot_hits += o.hot_hits;
+        self.cold_hits += o.cold_hits;
+        self.cold_probes += o.cold_probes;
+        self.bloom_rejects += o.bloom_rejects;
+        self.bloom_false_probes += o.bloom_false_probes;
+        self.dropped_runs += o.dropped_runs;
+        self.merges += o.merges;
+        self.merged_entries += o.merged_entries;
+        self.merge_backlog += o.merge_backlog;
+    }
+}
+
 /// A point-in-time copy of every metric the figures need, combining engine
 /// counters with cache and store statistics.
 #[derive(Debug, Clone)]
@@ -196,6 +275,8 @@ pub struct MetricsSnapshot {
     pub scrub_passes: u64,
     /// Corrupt frames skipped (quarantined) by open-time salvage.
     pub salvage_skipped: u64,
+    /// Tiered feature-index gauges (hot + cold tiers).
+    pub index_tier: IndexTierMetrics,
 }
 
 impl MetricsSnapshot {
@@ -269,6 +350,26 @@ impl MetricsSnapshot {
         r.set_u64("scrub.inconsistencies", self.scrub_inconsistencies);
         r.set_u64("scrub.passes", self.scrub_passes);
         r.set_u64("store.salvage.skipped", self.salvage_skipped);
+        r.set_u64("index.partitions", self.index_tier.partitions);
+        r.set_u64("index.entries", self.index_tier.entries);
+        r.set_u64("index.accounted_bytes", self.index_bytes as u64);
+        r.set_u64("index.allocated_bytes", self.index_tier.allocated_bytes);
+        r.set_u64("index.evictions", self.index_tier.evictions);
+        r.set_u64("index.spills", self.index_tier.spills);
+        r.set_u64("index.spill_errors", self.index_tier.spill_errors);
+        r.set_u64("index.runs", self.index_tier.runs);
+        r.set_u64("index.run_entries", self.index_tier.run_entries);
+        r.set_u64("index.run_file_bytes", self.index_tier.run_file_bytes);
+        r.set_u64("index.dropped_runs", self.index_tier.dropped_runs);
+        r.set_u64("index.hot.hits", self.index_tier.hot_hits);
+        r.set_u64("index.cold.hits", self.index_tier.cold_hits);
+        r.set_u64("index.cold.probes", self.index_tier.cold_probes);
+        r.set_u64("index.cold.bloom_rejects", self.index_tier.bloom_rejects);
+        r.set_u64("index.cold.bloom_false_probes", self.index_tier.bloom_false_probes);
+        r.set_f64("index.cold.bloom_fp_rate", self.index_tier.observed_fp_rate());
+        r.set_u64("maint.index.backlog", self.index_tier.merge_backlog);
+        r.set_u64("maint.index.merges", self.index_tier.merges);
+        r.set_u64("maint.index.merged_entries", self.index_tier.merged_entries);
         for stage in Stage::ALL {
             r.set_histogram(&format!("stage.{}", stage.name()), self.stages.get(stage));
         }
@@ -365,6 +466,7 @@ mod tests {
             scrub_inconsistencies: 0,
             scrub_passes: 0,
             salvage_skipped: 0,
+            index_tier: IndexTierMetrics::default(),
         }
     }
 
@@ -474,6 +576,43 @@ mod tests {
         ] {
             assert!(j.contains(needle), "{needle} missing from {j}");
         }
+    }
+
+    #[test]
+    fn json_carries_index_tier_gauges() {
+        let mut s = snap();
+        s.index_tier.partitions = 2;
+        s.index_tier.entries = 500;
+        s.index_tier.spills = 3;
+        s.index_tier.runs = 4;
+        s.index_tier.run_entries = 400;
+        s.index_tier.cold_probes = 90;
+        s.index_tier.bloom_rejects = 10;
+        s.index_tier.bloom_false_probes = 1;
+        s.index_tier.merge_backlog = 3;
+        s.index_tier.merges = 7;
+        let j = s.to_json();
+        for needle in [
+            "\"index.partitions\":2",
+            "\"index.entries\":500",
+            "\"index.accounted_bytes\":48",
+            "\"index.spills\":3",
+            "\"index.runs\":4",
+            "\"index.run_entries\":400",
+            "\"index.cold.probes\":90",
+            "\"index.cold.bloom_rejects\":10",
+            "\"index.cold.bloom_fp_rate\":0.0100",
+            "\"maint.index.backlog\":3",
+            "\"maint.index.merges\":7",
+        ] {
+            assert!(j.contains(needle), "{needle} missing from {j}");
+        }
+    }
+
+    #[test]
+    fn observed_fp_rate_handles_zero_consultations() {
+        let m = IndexTierMetrics::default();
+        assert_eq!(m.observed_fp_rate(), 0.0);
     }
 
     #[test]

@@ -172,6 +172,7 @@ impl ShardedEngine {
             total.maint_rededup_skipped += s.maint_rededup_skipped;
             total.maint_degraded_backlog += s.maint_degraded_backlog;
             total.compact.merge(s.compact);
+            total.index_tier.merge(s.index_tier);
         }
         total.io_idle_fraction /= self.shards.len() as f64;
         total

@@ -1,0 +1,160 @@
+//! Seedable Bloom filter — the zero-I/O prefilter in front of each on-disk
+//! feature run.
+//!
+//! A cold-tier lookup first asks the run's in-memory Bloom filter whether
+//! the feature checksum *might* be present. A negative answer is definitive
+//! (no false negatives by construction), so a lookup that cannot hit costs
+//! zero disk reads; a positive answer costs at most one probe, and the
+//! false-positive rate — the fraction of probes that find nothing — is
+//! tunable via [`BloomFilter::with_target_fp`]. This is the LSHBloom
+//! arrangement: a compact probabilistic summary keeps disk-resident index
+//! tiers at ~one probe per lookup.
+//!
+//! The filter uses classic double hashing (Kirsch–Mitzenmacher): two
+//! independent 64-bit hashes `h1`, `h2` derived from a SplitMix64-style
+//! finalizer generate the `k` bit positions as `h1 + i·h2`. All state is
+//! plain words, so the filter serializes verbatim into run files.
+
+/// A fixed-size Bloom filter over `u64` keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    words: Vec<u64>,
+    num_bits: u64,
+    k: u32,
+    seed: u64,
+}
+
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    // SplitMix64 finalizer: full-avalanche over 64 bits.
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl BloomFilter {
+    /// Creates an empty filter with exactly `num_bits` bits (rounded up to a
+    /// whole 64-bit word, minimum one word) and `k` hash functions.
+    pub fn new(num_bits: u64, k: u32, seed: u64) -> Self {
+        let words = num_bits.max(1).div_ceil(64) as usize;
+        Self { words: vec![0; words], num_bits: words as u64 * 64, k: k.clamp(1, 16), seed }
+    }
+
+    /// Sizes a filter for `expected_items` keys at false-positive rate
+    /// `target_fp` (clamped to a sane range), using the standard optimum
+    /// `m = -n·ln(p)/ln(2)²` bits and `k = (m/n)·ln(2)` hashes.
+    pub fn with_target_fp(expected_items: usize, target_fp: f64, seed: u64) -> Self {
+        let n = expected_items.max(1) as f64;
+        let p = target_fp.clamp(1e-6, 0.5);
+        let ln2 = std::f64::consts::LN_2;
+        let m = (-(n * p.ln()) / (ln2 * ln2)).ceil().max(64.0);
+        let k = ((m / n) * ln2).round().clamp(1.0, 16.0);
+        Self::new(m as u64, k as u32, seed)
+    }
+
+    /// Reconstructs a filter from serialized parts (the run-file header).
+    pub fn from_parts(words: Vec<u64>, k: u32, seed: u64) -> Self {
+        let words = if words.is_empty() { vec![0] } else { words };
+        let num_bits = words.len() as u64 * 64;
+        Self { words, num_bits, k: k.clamp(1, 16), seed }
+    }
+
+    #[inline]
+    fn hashes(&self, key: u64) -> (u64, u64) {
+        let h1 = mix64(key ^ self.seed);
+        // Force h2 odd so successive probes never degenerate to one bit.
+        let h2 = mix64(h1 ^ 0xdead_beef_cafe_f00d) | 1;
+        (h1, h2)
+    }
+
+    /// Sets the bits for `key`.
+    pub fn insert(&mut self, key: u64) {
+        let (h1, h2) = self.hashes(key);
+        for i in 0..self.k as u64 {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.num_bits;
+            self.words[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+    }
+
+    /// Whether `key` might have been inserted. `false` is definitive.
+    pub fn contains(&self, key: u64) -> bool {
+        let (h1, h2) = self.hashes(key);
+        for i in 0..self.k as u64 {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.num_bits;
+            if self.words[(bit / 64) as usize] & (1u64 << (bit % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The filter's bit array as 64-bit words (for serialization).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of hash functions.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The hash seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Total bits in the filter.
+    pub fn num_bits(&self) -> u64 {
+        self.num_bits
+    }
+
+    /// Resident memory of the bit array in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::with_target_fp(1000, 0.01, 42);
+        for i in 0..1000u64 {
+            f.insert(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        }
+        for i in 0..1000u64 {
+            assert!(f.contains(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)), "false negative at {i}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_parts() {
+        let mut f = BloomFilter::with_target_fp(100, 0.02, 7);
+        for i in 0..100u64 {
+            f.insert(i << 13 | 5);
+        }
+        let g = BloomFilter::from_parts(f.words().to_vec(), f.k(), f.seed());
+        assert_eq!(f, g);
+        for i in 0..100u64 {
+            assert!(g.contains(i << 13 | 5));
+        }
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::with_target_fp(100, 0.01, 1);
+        let hits = (0..1000u64).filter(|&i| f.contains(mix64(i))).count();
+        assert_eq!(hits, 0, "empty filter must reject everything");
+    }
+
+    #[test]
+    fn sizing_scales_with_target() {
+        let strict = BloomFilter::with_target_fp(1000, 0.001, 0);
+        let loose = BloomFilter::with_target_fp(1000, 0.1, 0);
+        assert!(strict.num_bits() > loose.num_bits());
+        assert!(strict.k() >= loose.k());
+    }
+}

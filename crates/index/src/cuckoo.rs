@@ -127,6 +127,36 @@ impl CuckooFeatureIndex {
         self.table.len() * std::mem::size_of::<Entry>()
     }
 
+    /// The 2-byte checksum stored for `feature`: its high 16 bits, with the
+    /// reserved vacancy value 0 remapped to 1. Exposed so other tiers (the
+    /// on-disk runs) key their entries identically.
+    #[inline]
+    pub fn feature_checksum(feature: u64) -> u16 {
+        Self::checksum_of(feature)
+    }
+
+    /// Iterates the occupied entries as `(checksum, slot, recency_tick)`.
+    ///
+    /// Order is table order (deterministic for a given insert history); the
+    /// tick is the LRU clock value, larger = more recently touched.
+    pub fn entries(&self) -> impl Iterator<Item = (u16, u32, u32)> + '_ {
+        self.table.iter().filter(|e| e.tick != 0).map(|e| (e.checksum, e.slot, e.tick))
+    }
+
+    /// Removes and returns every entry as `(checksum, slot, recency_tick)`,
+    /// shrinking the table back to its initial capacity.
+    ///
+    /// The LRU clock and eviction counter survive the drain so recency
+    /// ordering and stats stay monotonic across spills to the cold tier.
+    pub fn drain_entries(&mut self) -> Vec<(u16, u32, u32)> {
+        let out: Vec<(u16, u32, u32)> = self.entries().collect();
+        let buckets = self.config.initial_buckets.next_power_of_two().max(8);
+        self.table = vec![VACANT; buckets * self.config.bucket_slots];
+        self.bucket_mask = buckets - 1;
+        self.entries = 0;
+        out
+    }
+
     #[inline]
     fn checksum_of(feature: u64) -> u16 {
         // Use high bits so the checksum is independent from the bucket

@@ -18,14 +18,26 @@
 //! * [`exact`] — the full chunk-hash index of the traditional exact-match
 //!   dedup baseline: every unique chunk keyed by its 20-byte SHA-1. Its
 //!   memory accounting is what Figs. 1 and 10 compare against.
+//! * [`tiered`] / [`diskrun`] / [`bloom`] — the memory-bounded tiered
+//!   index: the cuckoo table as a hot tier plus immutable sorted on-disk
+//!   runs spilled when a byte budget is reached, each fronted by an
+//!   in-memory Bloom filter so cold lookups cost at most one disk probe.
+//!   All tiers sit behind the [`partitioned::FeatureIndex`] trait, so
+//!   [`PartitionedFeatureIndex`] composes either flavor unchanged.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bloom;
 pub mod cuckoo;
+pub mod diskrun;
 pub mod exact;
 pub mod partitioned;
+pub mod tiered;
 
+pub use bloom::BloomFilter;
 pub use cuckoo::{CuckooConfig, CuckooFeatureIndex};
+pub use diskrun::{DiskRun, RunError};
 pub use exact::ExactChunkIndex;
-pub use partitioned::PartitionedFeatureIndex;
+pub use partitioned::{FeatureIndex, PartitionedFeatureIndex, PartitionedIndex};
+pub use tiered::{MergeOutcome, TieredConfig, TieredFeatureIndex, TieredStats};

@@ -6,40 +6,141 @@
 //! therefore keeps one feature-index partition per database; when the dedup
 //! governor disables a database, its entire partition is deleted in O(1)
 //! and the memory returns to the system.
+//!
+//! The partition set is generic over the [`FeatureIndex`] trait so the same
+//! wrapper composes either the bare in-memory cuckoo tier
+//! ([`CuckooFeatureIndex`]) or the memory-bounded tiered index
+//! ([`crate::tiered::TieredFeatureIndex`]) without the engine caring which.
 
 use crate::cuckoo::{CuckooConfig, CuckooFeatureIndex};
 use std::collections::HashMap;
 
-/// A set of per-database cuckoo feature indexes.
-#[derive(Debug, Default)]
-pub struct PartitionedFeatureIndex {
-    partitions: HashMap<String, CuckooFeatureIndex>,
-    config: CuckooConfig,
+/// The behavior a feature-index tier must provide to participate in
+/// per-database partitioning.
+///
+/// Implementations are *advisory*: they may return false-positive
+/// candidates and may lose entries, because the engine verifies every
+/// candidate with byte-level delta compression downstream.
+pub trait FeatureIndex {
+    /// Configuration shared by every partition.
+    type Config: Clone;
+
+    /// Creates an empty index for `partition` (the database name; tiers
+    /// with on-disk state key their files by it).
+    fn create(config: &Self::Config, partition: &str) -> Self;
+
+    /// Looks up all records sharing `feature` and registers `slot` under
+    /// it; returns candidates most-relevant first.
+    fn lookup_insert(&mut self, feature: u64, slot: u32) -> Vec<u32>;
+
+    /// Looks up candidates without inserting.
+    fn lookup(&self, feature: u64) -> Vec<u32>;
+
+    /// Number of live entries.
+    fn len(&self) -> usize;
+
+    /// Whether the index holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Accounted memory in bytes (the paper's per-entry accounting plus any
+    /// tier-resident overhead).
+    fn accounted_bytes(&self) -> usize;
+
+    /// Actual allocated memory in bytes (capacity, not occupancy).
+    fn allocated_bytes(&self) -> usize;
+
+    /// Count of entries lost to capacity eviction.
+    fn evictions(&self) -> u64;
+
+    /// Called before the partition is dropped so tiers with on-disk state
+    /// can delete it (runs are derived data; orphan files must not survive
+    /// a governor disable).
+    fn discard(&mut self) {}
 }
 
-impl PartitionedFeatureIndex {
+impl FeatureIndex for CuckooFeatureIndex {
+    type Config = CuckooConfig;
+
+    fn create(config: &CuckooConfig, _partition: &str) -> Self {
+        CuckooFeatureIndex::new(*config)
+    }
+
+    fn lookup_insert(&mut self, feature: u64, slot: u32) -> Vec<u32> {
+        CuckooFeatureIndex::lookup_insert(self, feature, slot)
+    }
+
+    fn lookup(&self, feature: u64) -> Vec<u32> {
+        CuckooFeatureIndex::lookup(self, feature)
+    }
+
+    fn len(&self) -> usize {
+        CuckooFeatureIndex::len(self)
+    }
+
+    fn accounted_bytes(&self) -> usize {
+        CuckooFeatureIndex::accounted_bytes(self)
+    }
+
+    fn allocated_bytes(&self) -> usize {
+        CuckooFeatureIndex::allocated_bytes(self)
+    }
+
+    fn evictions(&self) -> u64 {
+        CuckooFeatureIndex::evictions(self)
+    }
+}
+
+/// A set of per-database feature-index partitions.
+#[derive(Debug)]
+pub struct PartitionedIndex<I: FeatureIndex> {
+    partitions: HashMap<String, I>,
+    config: I::Config,
+}
+
+/// The classic all-in-memory partition set (the paper's configuration).
+pub type PartitionedFeatureIndex = PartitionedIndex<CuckooFeatureIndex>;
+
+impl<I: FeatureIndex> Default for PartitionedIndex<I>
+where
+    I::Config: Default,
+{
+    fn default() -> Self {
+        Self::new(I::Config::default())
+    }
+}
+
+impl<I: FeatureIndex> PartitionedIndex<I> {
     /// Creates an empty partition set; new partitions use `config`.
-    pub fn new(config: CuckooConfig) -> Self {
+    pub fn new(config: I::Config) -> Self {
         Self { partitions: HashMap::new(), config }
     }
 
     /// The partition for `db`, created on first use.
-    pub fn partition_mut(&mut self, db: &str) -> &mut CuckooFeatureIndex {
+    pub fn partition_mut(&mut self, db: &str) -> &mut I {
         if !self.partitions.contains_key(db) {
-            self.partitions.insert(db.to_string(), CuckooFeatureIndex::new(self.config));
+            self.partitions.insert(db.to_string(), I::create(&self.config, db));
         }
         self.partitions.get_mut(db).expect("just inserted")
     }
 
     /// Read-only access to a partition, if it exists.
-    pub fn partition(&self, db: &str) -> Option<&CuckooFeatureIndex> {
+    pub fn partition(&self, db: &str) -> Option<&I> {
         self.partitions.get(db)
     }
 
-    /// Deletes a database's partition outright (governor disable path).
-    /// Returns whether a partition existed.
+    /// Deletes a database's partition outright (governor disable path),
+    /// letting the tier discard any on-disk state first. Returns whether a
+    /// partition existed.
     pub fn drop_partition(&mut self, db: &str) -> bool {
-        self.partitions.remove(db).is_some()
+        match self.partitions.remove(db) {
+            Some(mut p) => {
+                p.discard();
+                true
+            }
+            None => false,
+        }
     }
 
     /// Number of partitions.
@@ -47,9 +148,27 @@ impl PartitionedFeatureIndex {
         self.partitions.len()
     }
 
+    /// Partition names in sorted order (deterministic iteration for
+    /// maintenance and metrics).
+    pub fn partition_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.partitions.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
     /// Total accounted memory across all partitions.
     pub fn accounted_bytes(&self) -> usize {
         self.partitions.values().map(|p| p.accounted_bytes()).sum()
+    }
+
+    /// Total allocated memory across all partitions.
+    pub fn allocated_bytes(&self) -> usize {
+        self.partitions.values().map(|p| p.allocated_bytes()).sum()
+    }
+
+    /// Total capacity evictions across all partitions.
+    pub fn evictions(&self) -> u64 {
+        self.partitions.values().map(|p| p.evictions()).sum()
     }
 
     /// Total live entries across all partitions.
@@ -99,5 +218,14 @@ mod tests {
         p.partition_mut("b").lookup_insert(3 << 50, 3);
         assert_eq!(p.len(), 3);
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn partition_names_are_sorted() {
+        let mut p = PartitionedFeatureIndex::new(CuckooConfig::default());
+        for db in ["zeta", "alpha", "mid"] {
+            p.partition_mut(db).lookup_insert(9 << 50, 1);
+        }
+        assert_eq!(p.partition_names(), vec!["alpha", "mid", "zeta"]);
     }
 }

@@ -1,0 +1,168 @@
+//! Differential and behavioral tests for the tiered feature index.
+//!
+//! The load-bearing contract: with no hot-tier budget the tiered index is
+//! *indistinguishable* from the bare cuckoo index (the spill-disabled path
+//! stays byte-identical), and with a budget it degrades gracefully — old
+//! candidates surface from Bloom-gated disk runs at a cost of at most one
+//! probe per lookup.
+
+use dbdedup_index::{
+    CuckooConfig, CuckooFeatureIndex, FeatureIndex, PartitionedIndex, TieredConfig,
+    TieredFeatureIndex,
+};
+use dbdedup_util::dist::SplitMix64;
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dbdedup-tieredprops-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("mkdir");
+    d
+}
+
+/// A fixed-seed workload of (feature, slot) pairs with realistic reuse:
+/// features are drawn from a bounded universe so the same feature recurs
+/// under many slots, exercising candidate chains.
+fn workload(seed: u64, n: usize, universe: u64) -> Vec<(u64, u32)> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|i| {
+            let f = SplitMix64::new(rng.next_below(universe)).next_u64();
+            (f, i as u32)
+        })
+        .collect()
+}
+
+#[test]
+fn unlimited_budget_tiered_equals_pure_cuckoo() {
+    for seed in [1u64, 42, 0xfeed] {
+        let cfg = CuckooConfig::default();
+        let mut bare = CuckooFeatureIndex::new(cfg);
+        let mut tiered = TieredFeatureIndex::new(
+            TieredConfig { cuckoo: cfg, hot_budget_bytes: None, ..Default::default() },
+            "db",
+        );
+        for (f, s) in workload(seed, 20_000, 3_000) {
+            let a = bare.lookup_insert(f, s);
+            let b = FeatureIndex::lookup_insert(&mut tiered, f, s);
+            assert_eq!(a, b, "candidate sets diverged at seed {seed}, slot {s}");
+        }
+        assert_eq!(bare.len(), FeatureIndex::len(&tiered));
+        assert_eq!(bare.accounted_bytes(), FeatureIndex::accounted_bytes(&tiered));
+        assert_eq!(bare.evictions(), tiered.evictions());
+        let stats = tiered.stats();
+        assert_eq!(stats.spills, 0, "no budget must mean no spills");
+        assert_eq!(stats.cold_probes, 0, "no runs must mean no probes");
+    }
+}
+
+#[test]
+fn partitioned_composes_tiered_unchanged() {
+    // The generic PartitionedIndex must drive the tiered flavor through the
+    // exact same surface the engine uses for the cuckoo flavor.
+    let d = tmpdir("partitioned");
+    let cfg = TieredConfig {
+        hot_budget_bytes: Some(600),
+        run_dir: Some(d.clone()),
+        ..Default::default()
+    };
+    let mut p: PartitionedIndex<TieredFeatureIndex> = PartitionedIndex::new(cfg);
+    for (f, s) in workload(7, 3_000, 500) {
+        p.partition_mut("wiki").lookup_insert(f, s);
+    }
+    for (f, s) in workload(8, 50, 50) {
+        p.partition_mut("mail").lookup_insert(f, s);
+    }
+    assert_eq!(p.partition_count(), 2);
+    assert!(p.partition("wiki").unwrap().stats().spills > 0);
+    assert_eq!(p.partition("mail").unwrap().stats().spills, 0);
+    assert!(p.accounted_bytes() > 0);
+    assert!(p.drop_partition("wiki"));
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+#[test]
+fn bounded_budget_recovers_spilled_candidates() {
+    let d = tmpdir("recover");
+    let cfg = TieredConfig {
+        hot_budget_bytes: Some(1_200), // ~200 entries per spill
+        run_dir: Some(d.clone()),
+        ..Default::default()
+    };
+    let mut idx = TieredFeatureIndex::new(cfg, "db");
+    // Insert 2000 distinct features, then revisit the earliest ones: they
+    // can only be found via the cold tier.
+    let feats: Vec<u64> = (0..2_000u64).map(|i| SplitMix64::new(i).next_u64()).collect();
+    for (i, &f) in feats.iter().enumerate() {
+        FeatureIndex::lookup_insert(&mut idx, f, i as u32);
+    }
+    assert!(idx.stats().spills >= 2, "workload must spill repeatedly");
+    let mut recovered = 0usize;
+    for (i, &f) in feats.iter().take(100).enumerate() {
+        let c = FeatureIndex::lookup(&idx, f);
+        if c.contains(&(i as u32)) {
+            recovered += 1;
+        }
+    }
+    assert!(recovered >= 90, "only {recovered}/100 early candidates recovered from the cold tier");
+    let s = idx.stats();
+    assert!(s.cold_hits > 0, "recovery must come from cold probes");
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+#[test]
+fn probe_count_bounded_by_lookups_even_with_many_runs() {
+    let d = tmpdir("probebound");
+    let cfg = TieredConfig {
+        hot_budget_bytes: Some(600),
+        run_dir: Some(d.clone()),
+        ..Default::default()
+    };
+    let mut idx = TieredFeatureIndex::new(cfg, "db");
+    let wl = workload(99, 8_000, 2_000);
+    let n = wl.len() as u64;
+    for (f, s) in wl {
+        FeatureIndex::lookup_insert(&mut idx, f, s);
+    }
+    assert!(idx.run_count() >= 3, "want several live runs, got {}", idx.run_count());
+    let s = idx.stats();
+    assert!(
+        s.cold_probes <= n,
+        "{} probes over {} lookups: the Bloom gate must cap probes at one per lookup",
+        s.cold_probes,
+        n
+    );
+    // The Bloom filters must actually be skipping runs, not just rubber-
+    // stamping probes.
+    assert!(s.bloom_rejects > 0, "expected Bloom rejections across {} runs", idx.run_count());
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+#[test]
+fn observed_bloom_fp_rate_stays_calibrated_end_to_end() {
+    let d = tmpdir("fpcal");
+    let target = 0.01;
+    let cfg = TieredConfig {
+        hot_budget_bytes: Some(1_200),
+        bloom_fp_target: target,
+        run_dir: Some(d.clone()),
+        ..Default::default()
+    };
+    let mut idx = TieredFeatureIndex::new(cfg, "db");
+    for (f, s) in workload(5, 4_000, 100_000) {
+        FeatureIndex::lookup_insert(&mut idx, f, s);
+    }
+    let s = idx.stats();
+    let consultations = s.cold_probes + s.bloom_rejects;
+    if consultations > 10_000 {
+        let observed = s.bloom_false_probes as f64 / consultations as f64;
+        // The checksum universe is only 16 bits, so genuine collisions
+        // inflate "false" probes; allow generous headroom while still
+        // catching a broken (always-pass) filter.
+        assert!(
+            observed < 0.25,
+            "observed FP-ish probe rate {observed} suggests the Bloom gate is not filtering"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&d);
+}

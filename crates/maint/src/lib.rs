@@ -4,7 +4,7 @@
 //! path defers so inserts and reads stay fast (§4.1 discusses the GC; the
 //! bounded-pause compaction generalizes the host store's space reclaim).
 //!
-//! A [`Maintainer`] owns no data — it schedules bounded slices of four
+//! A [`Maintainer`] owns no data — it schedules bounded slices of six
 //! engine-side task types against a [`DedupEngine`]:
 //!
 //! 1. **Chain GC** — deleted records pinned in the store because live
@@ -36,6 +36,12 @@
 //!    from an attached [`RepairSource`] otherwise — and a record no
 //!    source can supply is escalated in a typed [`ScrubReport`] rather
 //!    than panicking or silently vanishing.
+//! 6. **Tiered-index run merging** — the memory-bounded feature index
+//!    spills cold entries into immutable on-disk runs; the maintainer
+//!    merges them pairwise ([`DedupEngine::index_merge_step`]) toward the
+//!    per-partition target so a cold lookup stays a single Bloom-gated
+//!    probe. Runs are derived local files, so merging is oplog-silent by
+//!    construction.
 //!
 //! Everything here is **local-only**: re-encoding, compaction, retention,
 //! and repair never touch the oplog, so replicas converge regardless of
@@ -81,6 +87,11 @@ pub struct MaintConfig {
     /// (0 disables the in-tick scrub slice). The scrub cursor wraps
     /// forever, so this tier never gates [`Maintainer::quiesced`].
     pub scrub_budget_bytes: u64,
+    /// Cold-tier feature-run bytes (read + written) processed per tick by
+    /// the tiered-index run merger. Whenever any backlog exists at least
+    /// one pair is merged, so progress is guaranteed; 0 keeps that
+    /// minimum-one-pair behavior with the smallest possible slice.
+    pub index_merge_budget_bytes: u64,
 }
 
 impl Default for MaintConfig {
@@ -94,6 +105,7 @@ impl Default for MaintConfig {
             rededup_per_tick: 4,
             pause_under_pressure: true,
             scrub_budget_bytes: 64 * 1024,
+            index_merge_budget_bytes: 256 * 1024,
         }
     }
 }
@@ -120,6 +132,10 @@ pub struct TickReport {
     /// Records escalated as unhealable (quarantined, broken-marked; the
     /// anti-entropy resync retries them from its priority work-list).
     pub scrub_unhealable: u64,
+    /// Cold-tier feature runs merged away by the tiered-index task.
+    pub index_runs_merged: u64,
+    /// Entries those merges rewrote into consolidated runs.
+    pub index_merged_entries: u64,
     /// The tick was skipped because the replication-pressure gate was up.
     pub paused: bool,
 }
@@ -134,6 +150,7 @@ impl TickReport {
             && self.rededuped == 0
             && self.compact.is_noop()
             && self.scrub_corrupt == 0
+            && self.index_runs_merged == 0
             && !self.paused
     }
 }
@@ -169,6 +186,8 @@ pub struct QuiesceReport {
     pub rededuped: u64,
     /// Total compaction work.
     pub compact: CompactStats,
+    /// Total cold-tier feature runs merged away.
+    pub index_runs_merged: u64,
     /// Deleted records skipped because corruption broke their chains
     /// (they stay in the backlog for anti-entropy repair to resolve).
     pub skipped_broken: Vec<RecordId>,
@@ -211,13 +230,15 @@ impl Maintainer {
 
     /// Whether the engine has no maintenance work left: the GC backlog is
     /// empty, no overload-degraded record still awaits out-of-line
-    /// re-dedup, and every reclaimable dead byte has been compacted away.
-    /// (Tombstone frames still shadowing stale puts are *not* reclaimable
-    /// and do not count against quiescence.)
+    /// re-dedup, every reclaimable dead byte has been compacted away, and
+    /// the tiered index's cold runs are merged down to the per-partition
+    /// target. (Tombstone frames still shadowing stale puts are *not*
+    /// reclaimable and do not count against quiescence.)
     pub fn quiesced(&self, engine: &DedupEngine) -> bool {
         engine.gc_backlog_ids().is_empty()
             && engine.degraded_backlog_len() == 0
             && engine.reclaimable_dead_bytes() == 0
+            && engine.index_merge_backlog() == 0
     }
 
     /// Runs one bounded maintenance tick: retention, then chain GC, then
@@ -260,6 +281,11 @@ impl Maintainer {
             if engine.reclaimable_dead_bytes() == 0 {
                 self.compacting = false;
             }
+        }
+        if engine.index_merge_backlog() > 0 {
+            let merged = engine.index_merge_step(self.cfg.index_merge_budget_bytes)?;
+            report.index_runs_merged = merged.runs_merged;
+            report.index_merged_entries = merged.entries_written;
         }
         // Steady-state integrity scrub, last so it verifies this tick's
         // rewrites too. No repair source is attached here: damage heals
@@ -412,11 +438,20 @@ impl Maintainer {
                 report.compact.merge(stats);
                 progress = true;
             }
+            while engine.index_merge_backlog() > 0 {
+                let merged = engine.index_merge_step(self.cfg.index_merge_budget_bytes)?;
+                if merged.is_noop() {
+                    break;
+                }
+                report.index_runs_merged += merged.runs_merged;
+                progress = true;
+            }
             let backlog = engine.gc_backlog_ids();
             let only_broken = backlog.iter().all(|id| report.skipped_broken.contains(id));
             if (backlog.is_empty() || only_broken)
                 && engine.degraded_backlog_len() == 0
                 && engine.reclaimable_dead_bytes() == 0
+                && engine.index_merge_backlog() == 0
             {
                 return Ok(report);
             }
@@ -621,6 +656,54 @@ mod tests {
         assert!(flushed_total > 0, "pump must flush writebacks");
         assert!(e.pending_writebacks() == 0);
         assert!(m.quiesced(&e), "pump ticks must drain maintenance backlogs");
+    }
+
+    // ------------------------------------------------------------------
+    // Tiered-index run merging
+    // ------------------------------------------------------------------
+
+    /// An engine whose hot index tier is tiny, so inserts spill cold runs.
+    fn tiered_engine() -> DedupEngine {
+        let mut cfg = EngineConfig::default();
+        cfg.min_benefit_bytes = 16;
+        cfg.index_hot_budget_bytes = Some(256);
+        DedupEngine::open_temp(cfg).expect("temp engine")
+    }
+
+    #[test]
+    fn index_run_backlog_gates_quiescence_and_merges_drain_it() {
+        let mut e = tiered_engine();
+        for (i, d) in versioned_docs(24, 14).iter().enumerate() {
+            e.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        assert!(e.index_merge_backlog() > 0, "tiny hot budget must spill multiple runs");
+        let lsn = e.oplog_next_lsn();
+        let mut m = Maintainer::new(MaintConfig::default());
+        assert!(!m.quiesced(&e), "run backlog must block quiescence");
+        let report = m.run_until_quiesced(&mut e).unwrap();
+        assert!(report.index_runs_merged > 0, "{report:?}");
+        assert_eq!(e.index_merge_backlog(), 0);
+        assert!(m.quiesced(&e));
+        assert_eq!(e.oplog_next_lsn(), lsn, "run merging must stay oplog-silent");
+    }
+
+    #[test]
+    fn ticks_bound_index_merge_work_per_slice() {
+        let mut e = tiered_engine();
+        for (i, d) in versioned_docs(24, 15).iter().enumerate() {
+            e.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        let backlog = e.index_merge_backlog();
+        assert!(backlog >= 2, "backlog {backlog}");
+        let mut cfg = MaintConfig::default();
+        // A 1-byte budget still merges exactly one pair: progress per tick
+        // is guaranteed but bounded.
+        cfg.index_merge_budget_bytes = 1;
+        let mut m = Maintainer::new(cfg);
+        let r = m.tick(&mut e).unwrap();
+        assert_eq!(r.index_runs_merged, 2, "{r:?}");
+        assert!(!r.is_idle(), "a merging tick is backlog work");
+        assert_eq!(e.index_merge_backlog(), backlog - 1);
     }
 
     // ------------------------------------------------------------------

@@ -193,6 +193,13 @@ pub enum EventKind {
         /// The unhealable record.
         id: u64,
     },
+    /// A tiered-index maintenance slice merged cold-tier feature runs.
+    MaintIndexMerge {
+        /// Runs consumed (merged or quarantined) this slice.
+        runs: u64,
+        /// Entries written into merged runs this slice.
+        entries: u64,
+    },
 }
 
 impl EventKind {
@@ -222,6 +229,7 @@ impl EventKind {
             EventKind::SalvageSkipped { .. } => "salvage_skipped",
             EventKind::MaintScrub { .. } => "maint_scrub",
             EventKind::ScrubUnhealable { .. } => "scrub_unhealable",
+            EventKind::MaintIndexMerge { .. } => "maint_index_merge",
         }
     }
 }
@@ -329,6 +337,9 @@ impl Event {
             }
             EventKind::ScrubUnhealable { id } => {
                 s.push_str(&format!(",\"id\":{id}"));
+            }
+            EventKind::MaintIndexMerge { runs, entries } => {
+                s.push_str(&format!(",\"runs\":{runs},\"entries\":{entries}"));
             }
         }
         s.push('}');
@@ -545,6 +556,7 @@ mod tests {
             EventKind::SalvageSkipped { segment: 0, offset: 16, bytes: 210 },
             EventKind::MaintScrub { verified: 40, corrupt: 1, healed: 1 },
             EventKind::ScrubUnhealable { id: 11 },
+            EventKind::MaintIndexMerge { runs: 2, entries: 300 },
         ];
         for k in kinds {
             log.record(Severity::Info, k);

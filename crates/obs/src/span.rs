@@ -57,11 +57,14 @@ pub enum Stage {
     /// Background integrity scrub: verified segment scan, chain decode
     /// checks, and quarantine-then-heal repair of damaged frames.
     MaintScrub,
+    /// Background tiered-index maintenance: merging cold-tier feature runs
+    /// pairwise toward the per-partition target.
+    MaintIndexMerge,
 }
 
 impl Stage {
     /// Every stage, in stable schema order.
-    pub const ALL: [Stage; 14] = [
+    pub const ALL: [Stage; 15] = [
         Stage::Chunk,
         Stage::Sketch,
         Stage::IndexLookup,
@@ -76,6 +79,7 @@ impl Stage {
         Stage::MaintCompact,
         Stage::MaintRededup,
         Stage::MaintScrub,
+        Stage::MaintIndexMerge,
     ];
 
     /// The stage's stable snake_case name (metric key component).
@@ -95,6 +99,7 @@ impl Stage {
             Stage::MaintCompact => "maint_compact",
             Stage::MaintRededup => "maint_rededup",
             Stage::MaintScrub => "maint_scrub",
+            Stage::MaintIndexMerge => "maint_index_merge",
         }
     }
 }

@@ -102,6 +102,11 @@ pub struct SimConfig {
     /// matter how its schedule interleaves with faults — which is exactly
     /// what the simulator checks.
     pub maint_every: u64,
+    /// Hot-tier memory budget for every engine's feature index (`None`
+    /// keeps the index fully in memory). Small values force spills into
+    /// cold on-disk runs, interleaving the tiered-index maintenance task
+    /// with faults — the trace must stay byte-stable regardless.
+    pub index_hot_budget_bytes: Option<usize>,
     /// Attach an anomaly flight recorder to the primary. Every event is
     /// mirrored into its ring, every maintenance tick records a registry
     /// snapshot, and anomaly triggers (overload onset, partitions) fire
@@ -132,6 +137,7 @@ impl Default for SimConfig {
             lag_threshold: 8,
             oplog_retain_bytes: 8 << 20,
             maint_every: 4,
+            index_hot_budget_bytes: None,
             flight_recorder: false,
         }
     }
@@ -202,6 +208,9 @@ pub struct SimReport {
     /// Overload-degraded records the primary's maintainer re-deduplicated
     /// out-of-line after the bursts passed.
     pub rededuped: u64,
+    /// Cold-tier feature runs the primary's maintainer merged away (0
+    /// unless [`SimConfig::index_hot_budget_bytes`] forces spills).
+    pub index_runs_merged: u64,
     /// The primary's structured event trace as JSONL. Timestamps come from
     /// the shared virtual clock, so the same seed renders the same bytes —
     /// the trace is part of the determinism contract (`Eq` above).
@@ -265,6 +274,7 @@ impl Simulation {
         let mut ecfg = EngineConfig::default();
         ecfg.min_benefit_bytes = 16;
         ecfg.oplog_retain_bytes = cfg.oplog_retain_bytes;
+        ecfg.index_hot_budget_bytes = cfg.index_hot_budget_bytes;
         // Every engine's telemetry runs on the shared virtual clock, so
         // span durations and event timestamps replay with the schedule.
         let clock = VirtualClock::shared();
@@ -314,6 +324,7 @@ impl Simulation {
             maint_reclaimed_bytes: 0,
             maint_paused_ticks: 0,
             rededuped: 0,
+            index_runs_merged: 0,
             events_jsonl: String::new(),
             flight_dumps: 0,
             flight_jsonl: String::new(),
@@ -393,7 +404,12 @@ impl Simulation {
                 .map_err(|e| self.fail(self.report.ticks, format!("quiesce: {e}")))?;
             self.report.maint_reclaimed_bytes += q.compact.bytes_reclaimed;
             self.report.rededuped += q.rededuped;
-            self.note(16, q.reencoded ^ q.rededuped.rotate_left(24), q.compact.bytes_reclaimed);
+            self.report.index_runs_merged += q.index_runs_merged;
+            self.note(
+                16,
+                q.reencoded ^ q.rededuped.rotate_left(24) ^ q.index_runs_merged.rotate_left(48),
+                q.compact.bytes_reclaimed,
+            );
             let backlog = self.primary.degraded_backlog_len();
             if backlog != 0 {
                 return Err(self.fail(
@@ -436,12 +452,14 @@ impl Simulation {
         self.report.maint_gc_records += r.gc_records;
         self.report.maint_reclaimed_bytes += r.compact.bytes_reclaimed;
         self.report.rededuped += r.rededuped;
+        self.report.index_runs_merged += r.index_runs_merged;
         self.note(
             15,
             tick,
             flushed as u64
                 ^ r.gc_records.rotate_left(16)
                 ^ r.rededuped.rotate_left(40)
+                ^ r.index_runs_merged.rotate_left(52)
                 ^ (r.compact.bytes_reclaimed << 8),
         );
         Ok(())
@@ -807,6 +825,27 @@ mod tests {
         assert_eq!(a, b, "a seed must replay its exact event order");
         assert_eq!(a.trace_hash, b.trace_hash);
         assert!(!a.events_jsonl.is_empty(), "the schedule must log events");
+        assert_eq!(a.events_jsonl, b.events_jsonl, "event trace must be byte-identical");
+    }
+
+    #[test]
+    fn tiered_index_keeps_the_trace_byte_stable_per_seed() {
+        // A tiny hot budget makes every engine spill feature runs and the
+        // primary's maintainer merge them between faults. Spill and merge
+        // schedules are deterministic, so two runs of the seed must still
+        // produce byte-identical reports and event traces — and the
+        // convergence invariants must survive the tiering.
+        let cfg = SimConfig {
+            seed: 0x71E2ED,
+            ticks: 50,
+            maint_every: 2,
+            index_hot_budget_bytes: Some(512),
+            ..Default::default()
+        };
+        let a = Simulation::new(cfg.clone()).unwrap().run().unwrap_or_else(|e| panic!("{e}"));
+        assert!(a.index_runs_merged > 0, "the budget must force spills and merges: {a:?}");
+        let b = Simulation::new(cfg).unwrap().run().unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(a, b, "tiering must not perturb the determinism contract");
         assert_eq!(a.events_jsonl, b.events_jsonl, "event trace must be byte-identical");
     }
 

@@ -488,6 +488,13 @@ impl RecordStore {
         self.recovery.clone()
     }
 
+    /// The store's on-disk directory. Sidecar subsystems (the tiered
+    /// feature index's run files) key their derived state under it so a
+    /// store and its derived files move together.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
     fn recover(&mut self) -> Result<(), StoreError> {
         let mut report = RecoveryReport::default();
         // Replay every segment in order; the directory converges to the

@@ -72,4 +72,16 @@ cargo test -q --test obs_endpoint
 cargo test -q -p dbdedup-obs --test json_edge
 cargo test -q -p dbdedup-repl --lib sim::tests::flight_recorder_dump_is_byte_stable_across_same_seed_runs
 
+# Tiered feature index: clippy-clean index crate, the Bloom/tiered
+# property suites, the end-to-end tiering tests (<=1 cold probe per
+# lookup, budgeted oplog-silent merges, quarantine-and-rebuild after run
+# corruption, maintainer/health integration), and the fixed-seed
+# differential smoke proving an unlimited budget is byte-identical to
+# the pure in-memory cuckoo index.
+echo "==> index-smoke"
+cargo clippy -q -p dbdedup-index -- -D warnings
+cargo test -q -p dbdedup-index
+cargo test -q --test index_tiering
+cargo test -q --test index_tiering unlimited_budget_is_byte_identical_to_pure_in_memory_index
+
 echo "==> ci.sh: all green"

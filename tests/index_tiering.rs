@@ -1,0 +1,252 @@
+//! End-to-end checks of the tiered feature index under a real engine:
+//! the ≤ 1-probe cold-lookup guarantee, oplog-silent budgeted run
+//! merging, quarantine-and-rebuild after run-file corruption across a
+//! restart, and the byte-identical differential between an unlimited
+//! budget and the pure in-memory index.
+//!
+//! Run files are **derived data**: every fault scenario here must end
+//! with correct reads and a rebuildable index, never a failed open.
+
+use dbdedup::maint::{MaintConfig, Maintainer};
+use dbdedup::storage::store::{RecordStore, StoreConfig};
+use dbdedup::util::dist::SplitMix64;
+use dbdedup::{DedupEngine, EngineConfig, RecordId};
+use std::path::{Path, PathBuf};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbdedup-tieridx-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn engine_at(dir: &Path, hot_budget: Option<usize>) -> DedupEngine {
+    let mut cfg = EngineConfig::default();
+    cfg.min_benefit_bytes = 16;
+    cfg.index_hot_budget_bytes = hot_budget;
+    let store = RecordStore::open(dir, StoreConfig::default()).expect("open store");
+    DedupEngine::new(store, cfg).expect("engine")
+}
+
+/// A chain of similar versions: every insert sketches features that hit
+/// earlier versions, so the index is exercised on every operation.
+fn versioned_docs(n: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SplitMix64::new(seed);
+    let mut doc: Vec<u8> = (0..10_000).map(|_| (rng.next_u64() % 26 + 97) as u8).collect();
+    let mut out = vec![doc.clone()];
+    for _ in 1..n {
+        for _ in 0..5 {
+            let at = rng.next_index(doc.len() - 50);
+            for b in doc.iter_mut().skip(at).take(40) {
+                *b = (rng.next_u64() % 26 + 97) as u8;
+            }
+        }
+        out.push(doc.clone());
+    }
+    out
+}
+
+/// Every sealed `.run` file under the engine's derived-run directory.
+fn run_files(store_dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let base = store_dir.join("index-runs");
+    let Ok(partitions) = std::fs::read_dir(&base) else { return out };
+    for part in partitions.flatten() {
+        if let Ok(files) = std::fs::read_dir(part.path()) {
+            for f in files.flatten() {
+                if f.path().extension().is_some_and(|e| e == "run") {
+                    out.push(f.path());
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// With a tiny hot budget the index spills many runs, yet every lookup
+/// still issues **at most one** disk probe per partition: the Bloom
+/// prefilter answers "cannot hit" for free and the first passing run ends
+/// the walk.
+#[test]
+fn cold_lookups_cost_at_most_one_probe_each() {
+    let dir = temp_dir("probes");
+    let mut e = engine_at(&dir, Some(512));
+    let docs = versioned_docs(48, 0xC01D);
+    for (i, d) in docs.iter().enumerate() {
+        e.insert("db", RecordId(i as u64), d).unwrap();
+    }
+    let t = e.metrics().index_tier;
+    assert!(t.spills > 1, "the budget must force repeated spills: {t:?}");
+    assert!(t.runs > 1, "spills must leave multiple cold runs: {t:?}");
+    // One lookup loop per insert, each bounded to one probe: even with
+    // `runs` cold files open, probes can never exceed lookups.
+    assert!(
+        t.cold_probes <= (docs.len() as u64) * 2,
+        "≤1 probe per candidate lookup (insert + rededup paths): {t:?}"
+    );
+    assert!(t.bloom_rejects > 0, "the Bloom filter must answer some runs for free: {t:?}");
+    assert!(t.cold_hits > 0, "spilled candidates must still be found: {t:?}");
+    // Advisory index, exact engine: dedup quality survives the spills.
+    let m = e.metrics();
+    assert!(m.deduped_inserts > (docs.len() as u64) / 2, "{m:?}");
+    for (i, d) in docs.iter().enumerate() {
+        assert_eq!(&e.read(RecordId(i as u64)).unwrap()[..], &d[..], "record {i}");
+    }
+    drop(e);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Run merging is oplog-silent (replicas never see it), budgeted (a
+/// 1-byte budget merges exactly one pair per step) and converges to the
+/// per-partition run target.
+#[test]
+fn run_merges_are_oplog_silent_and_budgeted() {
+    let dir = temp_dir("merge");
+    let mut e = engine_at(&dir, Some(512));
+    for (i, d) in versioned_docs(48, 0xBEEF).iter().enumerate() {
+        e.insert("db", RecordId(i as u64), d).unwrap();
+    }
+    let backlog = e.index_merge_backlog();
+    assert!(backlog >= 2, "need a real backlog, got {backlog}");
+    let lsn = e.oplog_next_lsn();
+    let entries_before = e.metrics().index_tier.run_entries;
+
+    let first = e.index_merge_step(1).unwrap();
+    assert_eq!(first.runs_merged, 2, "a minimal budget still merges one pair: {first:?}");
+    assert_eq!(e.index_merge_backlog(), backlog - 1);
+
+    while e.index_merge_backlog() > 0 {
+        e.index_merge_step(1 << 20).unwrap();
+    }
+    let t = e.metrics().index_tier;
+    assert_eq!(t.runs, 1, "merging must converge to the run target: {t:?}");
+    assert_eq!(t.run_entries, entries_before, "merging must not lose entries: {t:?}");
+    assert_eq!(e.oplog_next_lsn(), lsn, "run merging must stay oplog-silent");
+    drop(e);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corrupting sealed run files on disk — one bit-flipped, one torn at the
+/// tail — must be detected by the CRC at reopen: the damaged runs are
+/// quarantined aside, every record still reads correctly, and
+/// `rebuild_index_partition` regenerates the derived state from the
+/// store. Never fail open on derived data.
+#[test]
+fn corrupt_runs_quarantine_at_reopen_and_rebuild_from_store() {
+    let dir = temp_dir("quarantine");
+    let docs = versioned_docs(48, 0xDEAD);
+    {
+        let mut e = engine_at(&dir, Some(512));
+        for (i, d) in docs.iter().enumerate() {
+            e.insert("db", RecordId(i as u64), d).unwrap();
+        }
+        e.flush_all_writebacks().unwrap();
+        assert!(run_files(&dir).len() >= 2, "need at least two sealed runs to corrupt");
+    }
+
+    // Fault injection on the sealed files: BitFlip mid-entry region on
+    // one, torn tail (lost final bytes, as after a crashed rename) on
+    // another.
+    let victims = run_files(&dir);
+    let flipped = &victims[0];
+    let mut bytes = std::fs::read(flipped).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(flipped, &bytes).unwrap();
+    let torn = &victims[1];
+    let len = std::fs::metadata(torn).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(torn)
+        .unwrap()
+        .set_len(len.saturating_sub(5))
+        .unwrap();
+
+    let mut e = engine_at(&dir, Some(512));
+    // First touch of the partition re-opens the run directory and must
+    // quarantine both damaged files.
+    let extra = versioned_docs(2, 0xDEAD2);
+    e.insert("db", RecordId(1000), &extra[0]).unwrap();
+    let t = e.metrics().index_tier;
+    assert!(t.dropped_runs >= 2, "both corrupt runs must be quarantined: {t:?}");
+    assert!(!flipped.exists() && !torn.exists(), "corrupt files must be renamed aside");
+    for (i, d) in docs.iter().enumerate() {
+        assert_eq!(&e.read(RecordId(i as u64)).unwrap()[..], &d[..], "record {i}");
+    }
+
+    // The store is the source of truth for the derived index: a rebuild
+    // re-registers every live record and dedup keeps working.
+    let rebuilt = e.rebuild_index_partition("db").unwrap();
+    assert_eq!(rebuilt, e.live_record_ids().len() as u64);
+    let before = e.metrics().deduped_inserts;
+    e.insert("db", RecordId(1001), &extra[1]).unwrap();
+    assert!(e.metrics().deduped_inserts > before, "rebuilt index must still find sources");
+    drop(e);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Differential: with an unlimited (unset) budget the tiered index *is*
+/// the pure in-memory cuckoo index — same dedup decisions, same stored
+/// bytes, same index occupancy, zero cold-tier activity — on a fixed-seed
+/// workload. The spill-disabled path is byte-identical, so enabling
+/// tiering cannot perturb the paper-config baseline.
+#[test]
+fn unlimited_budget_is_byte_identical_to_pure_in_memory_index() {
+    let dir_a = temp_dir("diff-a");
+    let dir_b = temp_dir("diff-b");
+    // `None` is the paper config; a budget too large to ever trigger must
+    // take the identical code path (no spill ever fires).
+    let mut a = engine_at(&dir_a, None);
+    let mut b = engine_at(&dir_b, Some(1 << 30));
+    for (i, d) in versioned_docs(32, 0x5EED).iter().enumerate() {
+        a.insert("db", RecordId(i as u64), d).unwrap();
+        b.insert("db", RecordId(i as u64), d).unwrap();
+    }
+    let (ma, mb) = (a.metrics(), b.metrics());
+    assert_eq!(ma.stored_bytes, mb.stored_bytes, "dedup decisions must be identical");
+    assert_eq!(ma.deduped_inserts, mb.deduped_inserts);
+    assert_eq!(ma.unique_inserts, mb.unique_inserts);
+    assert_eq!(ma.index_bytes, mb.index_bytes, "hot tiers must account identically");
+    assert_eq!(ma.index_tier.entries, mb.index_tier.entries);
+    for t in [&ma.index_tier, &mb.index_tier] {
+        assert_eq!(t.spills, 0, "{t:?}");
+        assert_eq!(t.runs, 0, "{t:?}");
+        assert_eq!(t.cold_probes, 0, "{t:?}");
+    }
+    assert!(run_files(&dir_a).is_empty() && run_files(&dir_b).is_empty());
+    drop(a);
+    drop(b);
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+/// The maintainer drives merging through its normal tick discipline and
+/// the backlog contributes to (and then clears from) node health's
+/// maintenance debt.
+#[test]
+fn maintainer_ticks_merge_runs_and_health_sees_the_backlog() {
+    use dbdedup::engine::health::HealthThresholds;
+    let dir = temp_dir("health");
+    let mut e = engine_at(&dir, Some(256));
+    for (i, d) in versioned_docs(48, 0x4EA1).iter().enumerate() {
+        e.insert("db", RecordId(i as u64), d).unwrap();
+    }
+    let backlog = e.index_merge_backlog();
+    assert!(backlog > 0);
+    // A threshold below the current backlog degrades the maintenance
+    // subsystem; draining the backlog restores it.
+    let tight = HealthThresholds { index_merge_backlog_max: backlog - 1, ..Default::default() };
+    let report = e.health_with(&[], &tight);
+    let maint = report.subsystems.iter().find(|s| s.name == "maintenance").unwrap();
+    assert!(maint.reason.contains("index run backlog"), "{}", maint.reason);
+
+    let mut m = Maintainer::new(MaintConfig::default());
+    let q = m.run_until_quiesced(&mut e).unwrap();
+    assert!(q.index_runs_merged > 0, "{q:?}");
+    assert_eq!(e.index_merge_backlog(), 0);
+    let report = e.health_with(&[], &tight);
+    let maint = report.subsystems.iter().find(|s| s.name == "maintenance").unwrap();
+    assert!(!maint.reason.contains("index run backlog"), "{}", maint.reason);
+    drop(e);
+    let _ = std::fs::remove_dir_all(&dir);
+}

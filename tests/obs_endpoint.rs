@@ -125,6 +125,12 @@ fn live_endpoint_serves_full_registry_health_and_events() {
     assert!(prom.contains("dbdedup_events_dropped_total "), "{prom}");
     assert!(prom.contains("dbdedup_events_len "), "{prom}");
 
+    // The tiered feature index's gauges are part of the exposition.
+    assert!(prom.contains("dbdedup_index_accounted_bytes "), "{prom}");
+    assert!(prom.contains("dbdedup_index_runs "), "{prom}");
+    assert!(prom.contains("dbdedup_index_cold_bloom_fp_rate "), "{prom}");
+    assert!(prom.contains("dbdedup_maint_index_backlog "), "{prom}");
+
     // /health and /ready: a healthy engine with one healthy link.
     let (code, body) = get(addr, "/health");
     assert_eq!(code, 200);
