@@ -1,0 +1,231 @@
+//! Chunk/sketch hot-path throughput: the fast gear scanner vs the
+//! paper's Rabin scan vs the scalar gear fallback.
+//!
+//! Three micro-measurements per chunker kind over the same corpus —
+//! chunk-only, sketch-only (chunking precomputed), and the fused
+//! chunk+sketch pass `InsertPreparer::prepare` runs per insert — plus the
+//! fused pass fanned out over 1/2/4 worker threads (each worker owns a
+//! disjoint slice of the record stream, the shape `ParallelIngest` uses).
+//! The headline number is the single-worker chunk+sketch speedup of
+//! `gear` over `rabin`: the fast path's ≥ 3× target from the tiered
+//! optimisation plan. A final engine-integrated section runs real inserts
+//! with per-operation tracing and reports the `stage.chunk` /
+//! `stage.sketch` histograms, tying the micro numbers to the histograms
+//! operators actually see.
+//!
+//! Boundary correctness is *not* this harness's job: byte-equivalence of
+//! fast and scalar scanning is enforced by
+//! `crates/chunker/tests/boundary_diff.rs` and `tests/differential.rs`
+//! independently of timing.
+
+use dbdedup_bench::{header, row, scale, BenchReport};
+use dbdedup_chunker::{ChunkerConfig, ChunkerKind, ContentChunker, SketchExtractor};
+use dbdedup_core::{DedupEngine, EngineConfig};
+use dbdedup_obs::{Registry, Stage};
+use dbdedup_util::dist::SplitMix64;
+use dbdedup_util::ids::RecordId;
+use std::time::Instant;
+
+const KINDS: [(ChunkerKind, &str); 3] = [
+    (ChunkerKind::Rabin, "rabin"),
+    (ChunkerKind::Gear, "gear"),
+    (ChunkerKind::GearScalar, "gear_scalar"),
+];
+
+/// Record stream: text-like documents (the dedup-friendly shape the paper
+/// targets) with a minority of incompressible blobs, ~8 KiB each.
+fn records(seed: u64, n: usize) -> Vec<Vec<u8>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|i| {
+            if i % 8 == 7 {
+                (0..8 * 1024).map(|_| rng.next_u64() as u8).collect()
+            } else {
+                let mut d = Vec::with_capacity(9 * 1024);
+                while d.len() < 8 * 1024 {
+                    let w = rng.next_u64() % 900;
+                    d.extend_from_slice(format!("rec{w} field{w} body text. ").as_bytes());
+                }
+                d
+            }
+        })
+        .collect()
+}
+
+fn mib(records: &[Vec<u8>]) -> f64 {
+    records.iter().map(|r| r.len()).sum::<usize>() as f64 / (1 << 20) as f64
+}
+
+/// MiB/s of `f` over the corpus, best of `reps` passes (dodges cold-cache
+/// and scheduler noise on shared CI hardware).
+fn throughput(corpus: &[Vec<u8>], reps: usize, mut f: impl FnMut(&[u8])) -> f64 {
+    let total = mib(corpus);
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for r in corpus {
+            f(r);
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    total / best
+}
+
+/// Fused chunk+sketch over `workers` threads, each owning an interleaved
+/// share of the corpus. Returns aggregate MiB/s (wall clock of the
+/// slowest worker).
+fn fused_parallel(corpus: &[Vec<u8>], kind: ChunkerKind, workers: usize, reps: usize) -> f64 {
+    let ex =
+        SketchExtractor::new(ContentChunker::with_kind(ChunkerConfig::with_avg(1024), kind), 8);
+    let total = mib(corpus);
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let ex = ex.clone();
+                s.spawn(move || {
+                    let mut chunks = Vec::new();
+                    for r in corpus.iter().skip(w).step_by(workers) {
+                        chunks.clear();
+                        ex.chunker().chunk_into(r, &mut chunks);
+                        std::hint::black_box(ex.extract_from_chunks(r, &chunks));
+                    }
+                });
+            }
+        });
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    total / best
+}
+
+struct KindRow {
+    chunk: f64,
+    sketch: f64,
+    fused1: f64,
+    fused2: f64,
+    fused4: f64,
+}
+
+fn measure_kind(corpus: &[Vec<u8>], kind: ChunkerKind, reps: usize) -> KindRow {
+    let chunker = ContentChunker::with_kind(ChunkerConfig::with_avg(1024), kind);
+    let ex = SketchExtractor::new(chunker.clone(), 8);
+
+    let mut buf = Vec::new();
+    let chunk = throughput(corpus, reps, |r| {
+        buf.clear();
+        chunker.chunk_into(r, &mut buf);
+        std::hint::black_box(buf.len());
+    });
+
+    // Sketch-only: chunking precomputed per record so only feature
+    // hashing + streaming top-K selection is on the clock.
+    let prechunked: Vec<_> = corpus.iter().map(|r| chunker.chunk(r)).collect();
+    let total = mib(corpus);
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for (r, c) in corpus.iter().zip(&prechunked) {
+            std::hint::black_box(ex.extract_from_chunks(r, c));
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    let sketch = total / best;
+
+    KindRow {
+        chunk,
+        sketch,
+        fused1: fused_parallel(corpus, kind, 1, reps),
+        fused2: fused_parallel(corpus, kind, 2, reps),
+        fused4: fused_parallel(corpus, kind, 4, reps),
+    }
+}
+
+/// Engine-integrated stage view: real inserts with every operation
+/// traced, reporting the chunk/sketch stage histograms for `kind`.
+fn engine_stages(corpus: &[Vec<u8>], kind: ChunkerKind) -> (Registry, u64, u64) {
+    let mut cfg = EngineConfig::default();
+    cfg.chunker_kind = kind;
+    cfg.trace_sample_every = 1; // every insert lands in the histograms
+    let mut engine = DedupEngine::open_temp(cfg).expect("engine");
+    for (i, r) in corpus.iter().enumerate() {
+        engine.insert("bench", RecordId(i as u64), r).expect("insert");
+    }
+    let stages = engine.stage_timings();
+    let mut reg = Registry::new();
+    reg.set_histogram("stage.chunk_ns", stages.get(Stage::Chunk));
+    reg.set_histogram("stage.sketch_ns", stages.get(Stage::Sketch));
+    (reg, stages.get(Stage::Chunk).quantile(0.50), stages.get(Stage::Sketch).quantile(0.50))
+}
+
+fn main() {
+    let n = scale().max(200);
+    let reps = 3;
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let corpus = records(0xC4A6, n);
+    println!(
+        "Chunk/sketch hot-path throughput ({n} records, {:.1} MiB, avg chunk 1 KiB, K=8)",
+        mib(&corpus)
+    );
+    println!(
+        "note: machine reports {cores} available core(s); the 2/4-worker rows need\n\
+         real cores to scale. The headline gear-vs-rabin speedup is single-worker\n\
+         and core-count-independent.\n"
+    );
+
+    let mut bench = BenchReport::new("chunk_throughput");
+    bench.meta_mut().set_u64("records", n as u64);
+    bench.meta_mut().set_u64("cores", cores as u64);
+
+    header(&["kind", "chunk MiB/s", "sketch MiB/s", "chunk+sketch w1", "w2", "w4"]);
+    let mut fused_by_kind = [0f64; 3];
+    let mut chunk_by_kind = [0f64; 3];
+    for (i, (kind, name)) in KINDS.iter().enumerate() {
+        let m = measure_kind(&corpus, *kind, reps);
+        fused_by_kind[i] = m.fused1;
+        chunk_by_kind[i] = m.chunk;
+        let mut reg = Registry::new();
+        reg.set_f64("chunk_mib_s", m.chunk);
+        reg.set_f64("sketch_mib_s", m.sketch);
+        reg.set_f64("fused_mib_s_w1", m.fused1);
+        reg.set_f64("fused_mib_s_w2", m.fused2);
+        reg.set_f64("fused_mib_s_w4", m.fused4);
+        bench.push_row(name, reg);
+        row(&[
+            (*name).into(),
+            format!("{:.0}", m.chunk),
+            format!("{:.0}", m.sketch),
+            format!("{:.0}", m.fused1),
+            format!("{:.0}", m.fused2),
+            format!("{:.0}", m.fused4),
+        ]);
+    }
+
+    let chunk_speedup = chunk_by_kind[1] / chunk_by_kind[0];
+    let fused_speedup = fused_by_kind[1] / fused_by_kind[0];
+    bench.meta_mut().set_f64("gear_vs_rabin_chunk_speedup", chunk_speedup);
+    bench.meta_mut().set_f64("gear_vs_rabin_fused_speedup", fused_speedup);
+    bench
+        .meta_mut()
+        .set_f64("gear_fast_vs_scalar_fused_speedup", fused_by_kind[1] / fused_by_kind[2]);
+    println!(
+        "\ngear vs rabin: {chunk_speedup:.2}x chunk-only, {fused_speedup:.2}x chunk+sketch \
+         (single worker; target >= 3x fused)"
+    );
+
+    // Engine-integrated stage histograms: the same speedup must be
+    // visible in the `stage.chunk` timings real inserts record.
+    println!("\nengine-integrated stage timings (trace_sample_every=1):");
+    header(&["kind", "stage.chunk p50 us", "stage.sketch p50 us"]);
+    for (kind, name) in [(ChunkerKind::Rabin, "rabin"), (ChunkerKind::Gear, "gear")] {
+        let (reg, chunk_p50, sketch_p50) = engine_stages(&corpus, kind);
+        bench.push_row(&format!("engine_{name}"), reg);
+        row(&[
+            name.into(),
+            format!("{:.1}", chunk_p50 as f64 / 1e3),
+            format!("{:.1}", sketch_p50 as f64 / 1e3),
+        ]);
+    }
+
+    bench.write().expect("write BENCH_chunk_throughput.json");
+}

@@ -1,11 +1,25 @@
-//! Content-defined chunking with Rabin fingerprints.
+//! Content-defined chunking: the windowed Rabin scan plus the fast
+//! gear-hash scanner, selected by [`ChunkerKind`].
 //!
-//! A 48-byte window slides over the record; a chunk boundary is declared
-//! wherever the window's Rabin fingerprint matches a fixed bit pattern in
-//! its low `n` bits, yielding an expected chunk size of `2ⁿ` bytes. Minimum
-//! and maximum chunk sizes bound the tail of the geometric length
-//! distribution, exactly as in LBFS-lineage dedup systems.
+//! In the default [`ChunkerKind::Rabin`] a 48-byte window slides over the
+//! record; a chunk boundary is declared wherever the window's Rabin
+//! fingerprint matches a fixed bit pattern in its low `n` bits, yielding an
+//! expected chunk size of `2ⁿ` bytes. Minimum and maximum chunk sizes bound
+//! the tail of the geometric length distribution, exactly as in
+//! LBFS-lineage dedup systems. The Rabin path is untouched by the kind
+//! refactor: its boundaries (and therefore every existing store, sim trace
+//! and oplog) stay byte-identical.
+//!
+//! [`ChunkerKind::Gear`] swaps the boundary function for the gear-hash
+//! scanner of [`crate::gear`] — same min/max bounds and tiling guarantees,
+//! different (cheaper) hash, with skip-ahead past `min_size` and an 8-lane
+//! unrolled inner loop. [`ChunkerKind::GearScalar`] runs the gear boundary
+//! function through its portable byte-at-a-time reference implementation;
+//! the two must agree boundary-for-boundary on every input
+//! (`tests/boundary_diff.rs`).
 
+use crate::gear::{self, GearParams};
+use dbdedup_util::hash::gear::GearTable;
 use dbdedup_util::hash::rabin::{RabinTables, RollingRabin};
 use std::sync::Arc;
 
@@ -41,10 +55,24 @@ pub struct ChunkerConfig {
 impl ChunkerConfig {
     /// The conventional configuration for a given average chunk size:
     /// `min = avg/4`, `max = avg*4`, 48-byte window (shrunk for tiny chunks).
+    ///
+    /// **Invariant** (relied on by every chunker kind and the boundary
+    /// resync property): `window ≤ min_size ≤ avg_size ≤ max_size`. Because
+    /// a Rabin boundary decision needs a full window of in-chunk bytes,
+    /// `min_size` is clamped *up* to the window width — so for tiny
+    /// averages (`avg_size < 4 · window`, i.e. below 64 with the 16-byte
+    /// floor) the effective minimum is the window, **not** `avg/4`: at
+    /// `avg = 16` the clamp makes `min_size == avg_size == 16`. The clamp
+    /// never breaks `min_size ≤ avg_size` since `window ≤ max(16, avg/2) ≤
+    /// avg` for every admissible average; `validate` asserts the full chain
+    /// at chunker construction.
     pub fn with_avg(avg_size: usize) -> Self {
         assert!(avg_size.is_power_of_two() && avg_size >= 16, "avg must be a power of two >= 16");
         let window = 48.min(avg_size / 2).max(16);
-        Self { avg_size, min_size: (avg_size / 4).max(window), max_size: avg_size * 4, window }
+        let cfg =
+            Self { avg_size, min_size: (avg_size / 4).max(window), max_size: avg_size * 4, window };
+        cfg.validate();
+        cfg
     }
 
     /// dbDedup's default 1 KiB average chunk size.
@@ -65,34 +93,80 @@ impl ChunkerConfig {
     }
 }
 
+/// Which boundary detector drives content-defined chunking.
+///
+/// The kinds are **not** boundary-compatible with each other: switching a
+/// store's kind re-chunks new content differently (old chains still decode
+/// — chunking only feeds sketching). What *is* guaranteed: [`Self::Rabin`]
+/// is byte-identical to the pre-kind chunker, and [`Self::Gear`] is
+/// boundary- and sketch-identical to [`Self::GearScalar`] on every input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChunkerKind {
+    /// Windowed Rabin fingerprint scan, byte at a time — the paper's
+    /// configuration and the default. Existing stores, sims and traces
+    /// depend on its exact boundaries; it stays untouched.
+    #[default]
+    Rabin,
+    /// Gear-hash scanner with skip-ahead past `min_size` and an 8-lane
+    /// unrolled candidate scan ([`crate::gear`]) — the fast path.
+    Gear,
+    /// The gear boundary function through its portable byte-at-a-time
+    /// reference implementation: the oracle the differential harness holds
+    /// [`Self::Gear`] to. Useful directly when debugging a divergence.
+    GearScalar,
+}
+
+/// The per-kind scanning state built at construction.
+#[derive(Debug, Clone)]
+enum Scanner {
+    Rabin { tables: Arc<RabinTables>, mask: u64, magic: u64 },
+    Gear(GearParams),
+}
+
 /// A reusable content-defined chunker.
 ///
-/// Construction builds the Rabin tables for the configured window, so create
+/// Construction builds the Rabin tables for the configured window (Rabin
+/// kind only; the gear kinds share the process-wide gear table), so create
 /// one chunker per configuration and share it (it is `Send + Sync`).
 #[derive(Debug, Clone)]
 pub struct ContentChunker {
     config: ChunkerConfig,
-    tables: Arc<RabinTables>,
-    mask: u64,
-    magic: u64,
+    kind: ChunkerKind,
+    scanner: Scanner,
 }
 
 impl ContentChunker {
-    /// Creates a chunker for `config`.
+    /// Creates a chunker for `config` with the default (Rabin) detector.
     pub fn new(config: ChunkerConfig) -> Self {
+        Self::with_kind(config, ChunkerKind::default())
+    }
+
+    /// Creates a chunker for `config` using the given boundary detector.
+    pub fn with_kind(config: ChunkerConfig, kind: ChunkerKind) -> Self {
         config.validate();
-        let bits = config.avg_size.trailing_zeros();
-        let mask = (1u64 << bits) - 1;
-        // A fixed non-zero pattern: all-zero windows (runs of identical
-        // bytes) hash to 0, so `magic = 0` would degenerate to min-size
-        // chunks on zero-filled regions.
-        let magic = 0x0078_35b1_ab5a_9c27 & mask;
-        Self { tables: Arc::new(RabinTables::new(config.window)), config, mask, magic }
+        let scanner = match kind {
+            ChunkerKind::Rabin => {
+                let bits = config.avg_size.trailing_zeros();
+                let mask = (1u64 << bits) - 1;
+                // A fixed non-zero pattern: all-zero windows (runs of
+                // identical bytes) hash to 0, so `magic = 0` would
+                // degenerate to min-size chunks on zero-filled regions.
+                let magic = 0x0078_35b1_ab5a_9c27 & mask;
+                Scanner::Rabin { tables: Arc::new(RabinTables::new(config.window)), mask, magic }
+            }
+            ChunkerKind::Gear | ChunkerKind::GearScalar => Scanner::Gear(GearParams::new(&config)),
+        };
+        Self { config, kind, scanner }
     }
 
     /// The configuration this chunker was built with.
     pub fn config(&self) -> &ChunkerConfig {
         &self.config
+    }
+
+    /// The boundary detector this chunker was built with.
+    pub fn kind(&self) -> ChunkerKind {
+        self.kind
     }
 
     /// Splits `data` into content-defined chunks covering it exactly.
@@ -110,15 +184,39 @@ impl ContentChunker {
         if data.is_empty() {
             return;
         }
+        match &self.scanner {
+            Scanner::Rabin { tables, mask, magic } => {
+                self.chunk_rabin(tables, *mask, *magic, data, out)
+            }
+            Scanner::Gear(params) => match self.kind {
+                ChunkerKind::Gear => {
+                    gear::chunk_fast(GearTable::standard(), &self.config, params, data, out)
+                }
+                _ => gear::chunk_scalar(GearTable::standard(), &self.config, params, data, out),
+            },
+        }
+    }
+
+    /// The original windowed Rabin scan, byte for byte as it has always
+    /// run — the `Rabin` kind's boundary bytes are a compatibility
+    /// contract (`tests/boundary_diff.rs` pins them against golden hashes).
+    fn chunk_rabin(
+        &self,
+        tables: &RabinTables,
+        mask: u64,
+        magic: u64,
+        data: &[u8],
+        out: &mut Vec<Chunk>,
+    ) {
         let mut start = 0usize;
-        let mut roll = RollingRabin::new(&self.tables);
+        let mut roll = RollingRabin::new(tables);
         let mut pos = 0usize;
         while pos < data.len() {
             roll.roll(data[pos]);
             let chunk_len = pos - start + 1;
             let at_boundary = chunk_len >= self.config.min_size
                 && roll.window_full()
-                && (roll.hash() & self.mask) == self.magic;
+                && (roll.hash() & mask) == magic;
             if at_boundary || chunk_len >= self.config.max_size {
                 out.push(Chunk { offset: start, len: chunk_len });
                 start = pos + 1;
@@ -256,5 +354,108 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_avg_rejected() {
         let _ = ChunkerConfig::with_avg(1000);
+    }
+
+    /// Regression for the `with_avg` min-size clamp: for every admissible
+    /// power-of-two average the invariant chain `window ≤ min_size ≤
+    /// avg_size ≤ max_size` holds, and the clamp is exactly
+    /// `max(avg/4, window)` — for tiny averages that lifts `min_size`
+    /// above `avg/4` (up to `avg` itself at 16) without ever exceeding it.
+    #[test]
+    fn with_avg_min_size_clamp_invariants() {
+        for avg_pow in 4..=16u32 {
+            let avg = 1usize << avg_pow;
+            let cfg = ChunkerConfig::with_avg(avg);
+            assert!(cfg.window <= cfg.min_size, "avg {avg}: window above min");
+            assert!(cfg.min_size <= cfg.avg_size, "avg {avg}: min above avg");
+            assert!(cfg.avg_size <= cfg.max_size, "avg {avg}: avg above max");
+            assert_eq!(cfg.min_size, (avg / 4).max(cfg.window), "avg {avg}: clamp rule");
+            assert_eq!(cfg.max_size, avg * 4);
+            if avg <= 64 {
+                assert!(
+                    cfg.min_size > avg / 4,
+                    "avg {avg}: tiny averages must clamp min_size up to the window"
+                );
+            }
+        }
+        // The documented extreme: at avg 16 the clamp meets the average.
+        assert_eq!(ChunkerConfig::with_avg(16).min_size, 16);
+    }
+
+    #[test]
+    fn default_kind_is_rabin_and_kind_is_reported() {
+        let cfg = ChunkerConfig::with_avg(64);
+        assert_eq!(ContentChunker::new(cfg).kind(), ChunkerKind::Rabin);
+        assert_eq!(ChunkerKind::default(), ChunkerKind::Rabin);
+        for kind in [ChunkerKind::Rabin, ChunkerKind::Gear, ChunkerKind::GearScalar] {
+            assert_eq!(ContentChunker::with_kind(cfg, kind).kind(), kind);
+        }
+    }
+
+    #[test]
+    fn gear_kinds_chunk_tiny_and_empty_inputs() {
+        for kind in [ChunkerKind::Gear, ChunkerKind::GearScalar] {
+            let c = ContentChunker::with_kind(ChunkerConfig::with_avg(1024), kind);
+            assert!(c.chunk(&[]).is_empty());
+            assert_eq!(c.chunk(&[42]), vec![Chunk { offset: 0, len: 1 }]);
+            let small = c.chunk(&random_bytes(100, 6));
+            assert_eq!(small.len(), 1);
+            assert_eq!(small[0].len, 100);
+        }
+    }
+
+    #[test]
+    fn gear_zero_filled_data_does_not_degenerate() {
+        // Constant-byte runs drive the gear hash's masked bits to a fixed
+        // point; the non-zero magic must turn that into max-size chunks,
+        // not min-size confetti (mirrors the Rabin-kind test above).
+        for kind in [ChunkerKind::Gear, ChunkerKind::GearScalar] {
+            for fill in [0x00u8, 0xFF] {
+                let cfg = ChunkerConfig::with_avg(64);
+                let c = ContentChunker::with_kind(cfg, kind);
+                let data = vec![fill; 100_000];
+                let avg = data.len() / c.chunk(&data).len();
+                assert!(avg >= cfg.avg_size, "{kind:?} fill {fill:#x} collapsed to avg {avg}");
+            }
+        }
+    }
+
+    #[test]
+    fn gear_average_size_in_expected_range() {
+        let cfg = ChunkerConfig::with_avg(256);
+        let c = ContentChunker::with_kind(cfg, ChunkerKind::Gear);
+        let data = random_bytes(1 << 20, 3);
+        let avg = data.len() / c.chunk(&data).len();
+        assert!(
+            (cfg.avg_size / 2..cfg.avg_size * 3).contains(&avg),
+            "gear avg chunk size {avg} for nominal {}",
+            cfg.avg_size
+        );
+    }
+
+    #[test]
+    fn gear_boundaries_are_content_defined() {
+        // Same shift experiment as the Rabin test: prepend bytes, tail
+        // boundaries realign to the same content.
+        let cfg = ChunkerConfig::with_avg(64);
+        let c = ContentChunker::with_kind(cfg, ChunkerKind::Gear);
+        let tail = random_bytes(20_000, 4);
+        let mut shifted = random_bytes(137, 5);
+        shifted.extend_from_slice(&tail);
+        let a = c.chunk(&tail);
+        let b = c.chunk(&shifted);
+        let bounds_a: Vec<usize> = a.iter().map(|ch| ch.offset + ch.len).collect();
+        let bounds_b: Vec<usize> = b
+            .iter()
+            .map(|ch| ch.offset + ch.len)
+            .filter(|&e| e > 137 + 1000)
+            .map(|e| e - 137)
+            .collect();
+        let common = bounds_b.iter().filter(|e| bounds_a.contains(e)).count();
+        assert!(
+            common * 10 >= bounds_b.len() * 8,
+            "only {common}/{} gear boundaries realigned",
+            bounds_b.len()
+        );
     }
 }

@@ -98,7 +98,31 @@ impl SketchExtractor {
 
     /// Extracts a sketch when the chunking is already available (avoids
     /// re-chunking when the caller also needs per-chunk hashes).
+    ///
+    /// Selection runs through the streaming [`TopK`] tracker: no feature
+    /// buffer, no global sort — one min-comparison per feature on the hot
+    /// path. Produces exactly the sketch of
+    /// [`Self::extract_from_chunks_reference`] (the harness in
+    /// `tests/boundary_diff.rs` holds it to that on every input class).
     pub fn extract_from_chunks(&self, record: &[u8], chunks: &[Chunk]) -> Sketch {
+        if record.is_empty() {
+            return Sketch::default();
+        }
+        let mut top = TopK::new(self.k);
+        for c in chunks {
+            top.offer(self.feature_of(c.slice(record)));
+        }
+        if top.is_empty() {
+            top.offer(self.feature_of(record));
+        }
+        Sketch { features: top.into_features() }
+    }
+
+    /// The original sort-the-world selection — collect every feature, sort
+    /// descending, dedup, truncate to K. Kept verbatim as the reference
+    /// oracle the differential harness compares the streaming selector
+    /// against; not used on the insert path.
+    pub fn extract_from_chunks_reference(&self, record: &[u8], chunks: &[Chunk]) -> Sketch {
         if record.is_empty() {
             return Sketch::default();
         }
@@ -110,6 +134,60 @@ impl SketchExtractor {
         feats.dedup();
         feats.truncate(self.k);
         Sketch { features: feats }
+    }
+}
+
+/// Streaming top-K-distinct selector, sorted descending.
+///
+/// The hot path tracks the current minimum in a register: once the buffer
+/// holds K features, a candidate at or below the minimum — the
+/// overwhelmingly common case for a long record — is rejected with a
+/// single comparison and no memory traffic (a feature *equal* to the
+/// minimum is a duplicate of it, so `<=` covers both reasons to skip).
+/// Only an improving feature pays the binary-search insert into the tiny
+/// sorted buffer. The result is identical to sort-dedup-truncate: the K
+/// largest distinct values seen.
+#[derive(Debug)]
+struct TopK {
+    /// Current top features, sorted descending, length ≤ k.
+    buf: Vec<u64>,
+    k: usize,
+    /// `buf.last()` mirrored into a register-friendly field: the hot
+    /// rejection test never touches the vector.
+    min: u64,
+}
+
+impl TopK {
+    fn new(k: usize) -> Self {
+        Self { buf: Vec::with_capacity(k + 1), k, min: 0 }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    #[inline(always)]
+    fn offer(&mut self, f: u64) {
+        if self.buf.len() == self.k && f <= self.min {
+            return;
+        }
+        self.insert_slow(f);
+    }
+
+    /// The rare path: `f` improves the sketch (or the sketch is not full).
+    #[inline(never)]
+    fn insert_slow(&mut self, f: u64) {
+        let pos = self.buf.partition_point(|&x| x > f);
+        if self.buf.get(pos) == Some(&f) {
+            return; // duplicate of a kept feature
+        }
+        self.buf.insert(pos, f);
+        self.buf.truncate(self.k);
+        self.min = *self.buf.last().expect("offer inserted at least one feature");
+    }
+
+    fn into_features(self) -> Vec<u64> {
+        self.buf
     }
 }
 
@@ -198,6 +276,54 @@ mod tests {
         let b = ex.extract(&data);
         assert_eq!(a.overlap(&b), b.overlap(&a));
         assert!(a.overlap(&b) > 0);
+    }
+
+    /// The streaming top-K selector must be indistinguishable from the
+    /// sort-dedup-truncate reference for every K and input shape,
+    /// including heavy duplication (constant fills chunk into identical
+    /// byte runs, so most features collide).
+    #[test]
+    fn streaming_selection_equals_reference() {
+        let mut rng = SplitMix64::new(0x70CC);
+        for round in 0..40 {
+            let k = 1 + rng.next_index(15);
+            let ex = extractor(64, k);
+            let data: Vec<u8> = match round % 4 {
+                0 => (0..rng.next_index(40_000)).map(|_| rng.next_u64() as u8).collect(),
+                1 => vec![0u8; rng.next_index(40_000)],
+                2 => b"abcdefgh".iter().cycle().take(rng.next_index(40_000)).copied().collect(),
+                _ => {
+                    let mut d = Vec::new();
+                    while d.len() < 20_000 {
+                        d.extend_from_slice(format!("w{} ", rng.next_u64() % 300).as_bytes());
+                    }
+                    d
+                }
+            };
+            let mut chunks = Vec::new();
+            ex.chunker().chunk_into(&data, &mut chunks);
+            assert_eq!(
+                ex.extract_from_chunks(&data, &chunks),
+                ex.extract_from_chunks_reference(&data, &chunks),
+                "round {round} k={k} len={}: streaming top-K diverged from reference",
+                data.len()
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_selection_handles_duplicate_floods() {
+        // Every chunk identical: exactly one distinct feature survives.
+        let ex = extractor(64, 8);
+        let data = vec![7u8; 50_000];
+        let mut chunks = Vec::new();
+        ex.chunker().chunk_into(&data, &mut chunks);
+        assert!(chunks.len() > 10);
+        let s = ex.extract_from_chunks(&data, &chunks);
+        assert_eq!(s, ex.extract_from_chunks_reference(&data, &chunks));
+        // Constant data at max-size chunking: interior chunks identical,
+        // the tail chunk may differ — at most two distinct features.
+        assert!(s.len() <= 2, "constant input must collapse to <= 2 features, got {}", s.len());
     }
 
     #[test]

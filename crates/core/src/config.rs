@@ -1,5 +1,6 @@
 //! Engine configuration, with the paper's defaults.
 
+use dbdedup_chunker::ChunkerKind;
 use dbdedup_encoding::EncodingPolicy;
 
 /// All dbDedup tunables in one place. `EngineConfig::default()` is the
@@ -13,6 +14,14 @@ pub struct EngineConfig {
     /// Average content-defined chunk size for feature extraction (power of
     /// two). The paper sweeps 64 B – 1 KiB.
     pub chunk_avg_size: usize,
+    /// Boundary-detection algorithm. The default, [`ChunkerKind::Rabin`],
+    /// is the paper's windowed Rabin scan and is byte-identical to every
+    /// release before this knob existed — existing stores, sims and traces
+    /// are unaffected unless a deployment opts into [`ChunkerKind::Gear`].
+    /// Gear changes *which* boundaries are cut (a different but equally
+    /// content-defined hash), so it must be chosen at store creation, not
+    /// toggled on live data.
+    pub chunker_kind: ChunkerKind,
     /// Sketch size K: features kept per record.
     pub sketch_k: usize,
     /// Cache-aware selection reward added to a candidate's feature-match
@@ -81,6 +90,7 @@ impl Default for EngineConfig {
         Self {
             dedup_enabled: true,
             chunk_avg_size: 1024,
+            chunker_kind: ChunkerKind::Rabin,
             sketch_k: 8,
             cache_reward: 2,
             source_cache_bytes: 32 << 20,
@@ -164,6 +174,9 @@ mod tests {
     fn defaults_match_paper() {
         let c = EngineConfig::default();
         assert_eq!(c.chunk_avg_size, 1024);
+        // The default boundary detector is the paper's Rabin scan; changing
+        // it would silently re-cut every existing store.
+        assert_eq!(c.chunker_kind, ChunkerKind::Rabin);
         assert_eq!(c.sketch_k, 8);
         assert_eq!(c.cache_reward, 2);
         assert_eq!(c.anchor_interval, 64);

@@ -39,6 +39,9 @@ pub mod sharded;
 pub mod shared;
 
 pub use config::{EngineConfig, IngestConfig};
+// Re-exported so engine embedders can set `EngineConfig::chunker_kind`
+// without depending on the chunker crate directly.
+pub use dbdedup_chunker::ChunkerKind;
 pub use engine::{DedupEngine, EngineError, InsertOutcome, ScrubSlice};
 pub use health::{
     HealthInputs, HealthReport, HealthThresholds, LinkState, SubsystemHealth, Verdict,

@@ -85,7 +85,10 @@ impl InsertPreparer {
     ///
     /// [`DedupEngine::new`]: crate::engine::DedupEngine::new
     pub fn from_config(config: &EngineConfig) -> Self {
-        let chunker = ContentChunker::new(ChunkerConfig::with_avg(config.chunk_avg_size));
+        let chunker = ContentChunker::with_kind(
+            ChunkerConfig::with_avg(config.chunk_avg_size),
+            config.chunker_kind,
+        );
         Self { extractor: SketchExtractor::new(chunker, config.sketch_k) }
     }
 

@@ -84,4 +84,15 @@ cargo test -q -p dbdedup-index
 cargo test -q --test index_tiering
 cargo test -q --test index_tiering unlimited_budget_is_byte_identical_to_pure_in_memory_index
 
+# Fast-chunking differential suite: clippy-clean chunker crate, then the
+# boundary-equivalence harness over its fixed seeds — Gear ≡ GearScalar
+# boundary sets and sketches on every input class, the Rabin default
+# pinned to pre-refactor golden hashes, the chunker property sweep over
+# every kind, and the end-to-end gear-vs-scalar ingest byte-identity
+# tests (serial + 4-worker parallel). A failure prints the repro seed.
+echo "==> chunk-smoke"
+cargo clippy -q -p dbdedup-chunker -- -D warnings
+cargo test -q -p dbdedup-chunker
+cargo test -q --test differential gear
+
 echo "==> ci.sh: all green"

@@ -17,7 +17,8 @@
 //! worker count that failed.
 
 use dbdedup_core::{
-    DedupEngine, EngineConfig, IngestConfig, InsertOutcome, ParallelIngest, ShardedEngine,
+    ChunkerKind, DedupEngine, EngineConfig, IngestConfig, InsertOutcome, ParallelIngest,
+    ShardedEngine,
 };
 use dbdedup_util::dist::{LogNormal, SplitMix64};
 use dbdedup_util::ids::RecordId;
@@ -292,4 +293,85 @@ fn overload_pass_through_matches_serial() {
         "degraded_total must count exactly the overload-shed commits — repro: {repro}"
     );
     parallel.with_shard(0, |shard| assert_engines_identical(&mut serial, shard, &repro));
+}
+
+/// A [`config`] variant selecting a specific boundary detector; everything
+/// else stays at the harness's small-threshold settings.
+fn config_with_kind(kind: ChunkerKind) -> EngineConfig {
+    let mut cfg = config();
+    cfg.chunker_kind = kind;
+    cfg
+}
+
+/// End-to-end fast-path equivalence, serial: a full ingest through an
+/// engine on [`ChunkerKind::Gear`] (skip-ahead + 8-lane scan) must leave
+/// byte-identical segments, oplog and counters to the same stream through
+/// [`ChunkerKind::GearScalar`] (the portable fallback). This closes the
+/// gap the chunker-level harness can't: boundary equality must survive
+/// sketching, candidate selection, delta encoding and storage layout.
+#[test]
+fn gear_fast_matches_scalar_fallback_end_to_end_serial() {
+    for seed in [0x6EA2_0011u64, 0x6EA2_0012] {
+        let repro = format!("seed={seed:#x} serial gear-vs-scalar (tests/differential.rs)");
+        let ops = workload(seed, 140);
+        let mut fast = DedupEngine::open_temp(config_with_kind(ChunkerKind::Gear)).expect("fast");
+        let mut scalar =
+            DedupEngine::open_temp(config_with_kind(ChunkerKind::GearScalar)).expect("scalar");
+        for (db, id, data) in &ops {
+            fast.insert(db, *id, data).expect("fast insert");
+            scalar.insert(db, *id, data).expect("scalar insert");
+        }
+        assert_engines_identical(&mut scalar, &mut fast, &repro);
+    }
+}
+
+/// End-to-end fast-path equivalence under parallelism: `ParallelIngest`
+/// with 4 workers on the fast gear chunker vs a plain serial engine on
+/// the scalar fallback — crossing both the fast/scalar boundary and the
+/// serial/parallel boundary in one comparison.
+#[test]
+fn gear_fast_parallel_matches_scalar_serial() {
+    let seed = 0x6EA2_0013u64;
+    let repro = format!("seed={seed:#x} workers=4 gear-vs-scalar (tests/differential.rs)");
+    let ops = workload(seed, 140);
+
+    let mut scalar =
+        DedupEngine::open_temp(config_with_kind(ChunkerKind::GearScalar)).expect("scalar");
+    for (db, id, data) in &ops {
+        scalar.insert(db, *id, data).expect("scalar insert");
+    }
+
+    let sharded =
+        ShardedEngine::open_temp(config_with_kind(ChunkerKind::Gear), 1).expect("sharded");
+    let mut ingest = ParallelIngest::new(sharded, IngestConfig::with_workers(4));
+    for (db, id, data) in &ops {
+        ingest.submit(db, *id, data);
+    }
+    let (parallel, report) = ingest.finish().expect("parallel finish");
+    assert_eq!(report.committed, ops.len() as u64, "repro: {repro}");
+    parallel.with_shard(0, |shard| assert_engines_identical(&mut scalar, shard, &repro));
+}
+
+/// The gear path must actually change boundaries relative to Rabin —
+/// otherwise the two tests above compare a knob that isn't connected.
+#[test]
+fn gear_differs_from_rabin_end_to_end() {
+    let ops = workload(0x6EA2_0014, 60);
+    let mut rabin = DedupEngine::open_temp(config()).expect("rabin");
+    let mut gear = DedupEngine::open_temp(config_with_kind(ChunkerKind::Gear)).expect("gear");
+    for (db, id, data) in &ops {
+        rabin.insert(db, *id, data).expect("rabin insert");
+        gear.insert(db, *id, data).expect("gear insert");
+    }
+    rabin.flush_all_writebacks().expect("flush");
+    gear.flush_all_writebacks().expect("flush");
+    assert_ne!(
+        rabin.store().segment_bytes().expect("segments"),
+        gear.store().segment_bytes().expect("segments"),
+        "gear must cut different boundaries than Rabin (else the knob is dead)"
+    );
+    // Both remain readable end-to-end regardless of the boundary family.
+    for (_, id, data) in &ops {
+        assert_eq!(&gear.read(*id).expect("read")[..], &data[..]);
+    }
 }
